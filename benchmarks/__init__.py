@@ -1,0 +1,1 @@
+"""Benchmark package: one module per table/figure of the paper's evaluation."""

@@ -1,0 +1,44 @@
+"""Appendix experiment: impact of the pruning optimisations.
+
+The paper reports that offline pruning drops 41-73 % of the extracted
+attributes and online pruning a further 3-14 % of the survivors.  This
+benchmark regenerates the per-dataset drop fractions and the per-rule
+breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.mesa.system import MESA
+
+from .conftest import bench_config, print_table
+
+
+def _pruning_stats(bundles):
+    rows = []
+    for name, bundle in bundles.items():
+        mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                    config=bench_config(bundle))
+        result = mesa.explain(bundle.queries[0].query)
+        pruning = result.pruning
+        total = len(pruning.kept) + pruning.n_dropped
+        offline_rules = ("constant", "missing", "high_entropy")
+        offline_dropped = sum(1 for rule in pruning.dropped.values() if rule in offline_rules)
+        online_dropped = pruning.n_dropped - offline_dropped
+        rows.append([name, total,
+                     f"{100.0 * offline_dropped / max(1, total):.0f}%",
+                     f"{100.0 * online_dropped / max(1, total):.0f}%",
+                     len(pruning.kept),
+                     ", ".join(f"{rule}:{count}" for rule, count
+                               in sorted(pruning.dropped_by_rule().items()))])
+    return rows
+
+
+def test_appendix_pruning_impact(bundles, benchmark):
+    """Regenerate the pruning-impact statistics."""
+    rows = benchmark.pedantic(lambda: _pruning_stats(bundles), rounds=1, iterations=1)
+    print_table("Appendix: impact of pruning",
+                ["Dataset", "#candidates", "offline dropped", "online dropped",
+                 "kept", "per-rule breakdown"], rows)
+    for row in rows:
+        assert row[4] > 0, f"{row[0]}: pruning must keep some candidates"
+        assert row[4] < row[1], f"{row[0]}: pruning should drop something"

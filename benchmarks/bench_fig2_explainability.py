@@ -1,0 +1,46 @@
+"""Figure 2: distance of each method's explainability score from Brute-Force.
+
+The paper plots, for the Covid-19 and Forbes queries, how far each method's
+``I(O;T|E)`` lands from the Brute-Force optimum (lower is better).  The
+reproduced claim: MESA and MESA- sit almost on top of Brute-Force, while
+Top-K / LR / HypDB are clearly worse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.evaluation.harness import run_methods_for_query
+
+from .conftest import bench_config, print_table
+
+METHODS = ("brute_force", "mesa", "mesa_minus", "top_k", "linear_regression", "hypdb")
+DATASETS = ("Covid-19", "Forbes")
+
+
+def _distances(bundles):
+    rows = []
+    per_method: Dict[str, List[float]] = {method: [] for method in METHODS if method != "brute_force"}
+    for name in DATASETS:
+        bundle = bundles[name]
+        for query in bundle.queries:
+            run = run_methods_for_query(bundle, query, methods=METHODS, k=5,
+                                        config=bench_config(bundle, k=5))
+            distances = run.explainability_distance_from("brute_force")
+            for method, distance in sorted(distances.items()):
+                per_method[method].append(distance)
+                rows.append([query.query_id, method, f"{distance:.3f}"])
+    return rows, per_method
+
+
+def test_fig2_distance_from_brute_force(bundles, benchmark):
+    """Regenerate Figure 2 and check MESA tracks the Brute-Force optimum."""
+    rows, per_method = benchmark.pedantic(lambda: _distances(bundles), rounds=1, iterations=1)
+    print_table("Figure 2: distance from Brute-Force explainability (Covid-19 + Forbes)",
+                ["Query", "Method", "Distance"], rows)
+    mean = {method: sum(values) / len(values) for method, values in per_method.items()}
+    print("Mean distance per method:",
+          {method: round(value, 3) for method, value in sorted(mean.items())})
+    # MESA stays close to the optimum and is no worse than the weakest baseline.
+    assert mean["mesa"] <= 0.5
+    assert mean["mesa"] <= max(mean["linear_regression"], mean["top_k"], mean["hypdb"]) + 1e-9

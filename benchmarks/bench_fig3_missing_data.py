@@ -1,0 +1,77 @@
+"""Figure 3: robustness of the explanations to missing data.
+
+The paper removes 10-90 % of the values of the ten most relevant attributes
+— either at random or by dropping the highest values (biased removal) — and
+tracks the average explainability score of the MESA explanation; it also
+shows that mean imputation degrades badly.  The reproduced claim: the IPW /
+missing-aware pipeline barely moves until ~50 % missingness, while
+imputation drifts away immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.mcimr import mcimr
+from repro.core.problem import CorrelationExplanationProblem
+from repro.mesa.system import MESA
+from repro.missingness.imputation import impute_mean
+from repro.missingness.patterns import inject_biased_removal, inject_mcar
+
+from .conftest import bench_config, print_table
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+DATASETS = ("SO", "Covid-19")
+
+
+def _score_with_missing(mesa_result, fraction: float, mode: str) -> float:
+    """Explainability of the original explanation after injecting missingness."""
+    problem = mesa_result.problem
+    explanation = list(mesa_result.explanation.attributes)
+    if not explanation:
+        return mesa_result.explanation.baseline_cmi
+    # The ten attributes most relevant to the outcome are degraded, as in the paper.
+    ranked = sorted(problem.candidates, key=problem.attribute_relevance)
+    targets = [a for a in ranked[:10] if problem.context_table.column(a).is_numeric()]
+    table = problem.context_table
+    if mode == "mcar":
+        degraded = inject_mcar(table, targets, fraction, seed=23)
+    else:
+        degraded = inject_biased_removal(table, targets, fraction)
+    if mode == "imputation":
+        degraded = impute_mean(inject_mcar(table, targets, fraction, seed=23), targets)
+    fresh = CorrelationExplanationProblem(degraded, mesa_result.query.with_context(
+        mesa_result.query.context), explanation)
+    return fresh.explanation_score(explanation)
+
+
+def _sweep(bundles):
+    rows = []
+    series: Dict[str, List[float]] = {}
+    for name in DATASETS:
+        bundle = bundles[name]
+        mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                    config=bench_config(bundle, k=3))
+        result = mesa.explain(bundle.queries[0].query)
+        for mode in ("mcar", "biased", "imputation"):
+            for fraction in FRACTIONS:
+                score = _score_with_missing(result, fraction, mode)
+                rows.append([name, mode, f"{int(fraction * 100)}%", f"{score:.4f}"])
+                series.setdefault(f"{name}/{mode}", []).append(score)
+    return rows, series
+
+
+def test_fig3_robustness_to_missing_data(bundles, benchmark):
+    """Regenerate Figure 3: explainability vs. percentage of missing values."""
+    rows, series = benchmark.pedantic(lambda: _sweep(bundles), rounds=1, iterations=1)
+    print_table("Figure 3: avg. explainability vs. % missing values",
+                ["Dataset", "Removal mode", "% missing", "Explainability"], rows)
+    for name in DATASETS:
+        mcar = series[f"{name}/mcar"]
+        imputed = series[f"{name}/imputation"]
+        # Up to 50% missingness the missing-aware estimate moves little
+        # compared with the damage mean imputation can do at 90%.
+        drift_mcar = abs(mcar[2] - mcar[0])
+        drift_imputed = abs(imputed[-1] - imputed[0])
+        assert drift_mcar <= drift_imputed + 0.15, (
+            f"{name}: missing-aware drift {drift_mcar:.3f} vs imputation {drift_imputed:.3f}")

@@ -1,0 +1,69 @@
+"""Figure 4: running time as a function of the number of candidate attributes.
+
+The paper subsamples the candidate attribute set and compares three
+configurations: No Pruning, Offline Pruning only, and the full MCIMR
+pipeline.  The reproduced claims: runtime grows (near) linearly with the
+number of candidates, and pruning keeps MCIMR well below the No-Pruning
+configuration.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+import numpy as np
+
+from repro.core.mcimr import mcimr
+from repro.core.problem import CorrelationExplanationProblem
+from repro.core.pruning import offline_prune, online_prune
+from repro.mesa.system import MESA
+
+from .conftest import bench_config, print_table
+
+SIZES = (50, 150, 250, 350)
+DATASET = "SO"
+
+
+def _timed_run(problem, candidates, offline: bool, online: bool, augmented) -> float:
+    start = time.perf_counter()
+    kept = list(candidates)
+    if offline:
+        kept = offline_prune(augmented, kept).kept
+    if online:
+        kept = online_prune(problem, kept).kept
+    mcimr(problem, k=5, candidates=kept)
+    return time.perf_counter() - start
+
+
+def _sweep(bundle):
+    mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                config=bench_config(bundle))
+    query = bundle.queries[0].query
+    augmented = mesa.augmented_table()
+    from repro.core.candidates import build_candidate_set
+    candidate_set = build_candidate_set(augmented, query,
+                                        extracted_attributes=mesa.extracted_attribute_names(),
+                                        exclude=bundle.id_columns)
+    all_candidates = candidate_set.all
+    rng = np.random.default_rng(0)
+    rows: List[List[object]] = []
+    for size in SIZES:
+        size = min(size, len(all_candidates))
+        chosen = [all_candidates[i] for i in
+                  sorted(rng.choice(len(all_candidates), size=size, replace=False))]
+        problem = CorrelationExplanationProblem(augmented, query, chosen)
+        no_pruning = _timed_run(problem, chosen, offline=False, online=False, augmented=augmented)
+        offline_only = _timed_run(problem, chosen, offline=True, online=False, augmented=augmented)
+        full = _timed_run(problem, chosen, offline=True, online=True, augmented=augmented)
+        rows.append([size, f"{no_pruning:.2f}", f"{offline_only:.2f}", f"{full:.2f}"])
+    return rows
+
+
+def test_fig4_runtime_vs_candidates(bundles, benchmark):
+    """Regenerate Figure 4 for the SO dataset."""
+    rows = benchmark.pedantic(lambda: _sweep(bundles[DATASET]), rounds=1, iterations=1)
+    print_table(f"Figure 4: runtime (s) vs. #candidate attributes ({DATASET})",
+                ["#candidates", "No Pruning", "Offline Pruning", "MCIMR"], rows)
+    # Runtime grows with the candidate count for the no-pruning configuration.
+    assert float(rows[-1][1]) >= float(rows[0][1]) * 0.8

@@ -1,0 +1,58 @@
+"""Section 5.1 usefulness statistic: fraction of random queries MESA helps.
+
+The paper generates 40 random aggregate queries (10 per dataset) and reports
+that in 72.5 % of them (1) conditioning on the MESA explanation lowers the
+partial correlation and (2) the explanation contains at least one attribute
+extracted from the knowledge graph.  This benchmark regenerates the
+statistic with a smaller query budget per dataset.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.queries import random_queries
+from repro.mesa.system import MESA
+
+from .conftest import bench_config, print_table
+
+QUERIES_PER_DATASET = 4
+
+
+def _useful_fraction(bundles):
+    rows = []
+    useful = 0
+    total = 0
+    for name, bundle in bundles.items():
+        mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                    config=bench_config(bundle, k=3))
+        queries = random_queries(bundle.table, bundle.extraction_columns(),
+                                 n_queries=QUERIES_PER_DATASET, seed=11)
+        dataset_useful = 0
+        for query in queries:
+            result = mesa.explain(query)
+            reduced = result.explainability < result.explanation.baseline_cmi - 1e-6
+            has_extracted = any(result.candidate_set.is_extracted(a)
+                                for a in result.attributes)
+            if reduced and has_extracted:
+                dataset_useful += 1
+        useful += dataset_useful
+        total += len(queries)
+        rows.append([name, len(queries), dataset_useful,
+                     f"{100.0 * dataset_useful / max(1, len(queries)):.0f}%"])
+    rows.append(["All", total, useful, f"{100.0 * useful / max(1, total):.1f}%"])
+    return rows, useful / max(1, total)
+
+
+def test_random_query_usefulness(bundles, benchmark):
+    """A substantial fraction of random queries should benefit (paper: 72.5 %).
+
+    The synthetic datasets contain many (exposure, outcome) pairs with no
+    planted confounding at all (e.g. developer age by country), for which the
+    correct behaviour is to return no KG-based explanation; the measured
+    usefulness fraction is therefore lower than the paper's 72.5 % — the
+    assertion checks it stays well above a no-signal baseline.
+    """
+    result = benchmark.pedantic(lambda: _useful_fraction(bundles), rounds=1, iterations=1)
+    rows, fraction = result
+    print_table("Section 5.1: usefulness on random queries (paper: 72.5%)",
+                ["Dataset", "#queries", "#useful", "useful %"], rows)
+    assert fraction >= 0.25

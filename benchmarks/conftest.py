@@ -1,0 +1,60 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation (Section 5).  The datasets here are smaller than the paper's
+(this is a laptop-scale reproduction), but every workload, parameter sweep
+and baseline of the original experiment is exercised, and each module prints
+the same rows/series the paper reports so the *shape* of the results can be
+compared directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.datasets.registry import DatasetBundle, load_dataset
+from repro.kg.synthetic import SyntheticKGConfig, build_world_knowledge_graph
+from repro.mesa.config import MESAConfig
+
+#: Row counts used by the benchmarks (the paper's datasets are larger; the
+#: scaling figure varies these explicitly).
+BENCH_ROWS = {"SO": 1500, "Flights": 6000}
+
+#: The knowledge-graph configuration used by all benchmarks: more padding
+#: properties than the test suite so that pruning has real work to do.
+BENCH_KG_CONFIG = SyntheticKGConfig(seed=7, n_noise_properties=40)
+
+
+def bench_config(bundle: DatasetBundle, **overrides) -> MESAConfig:
+    """The default MESA configuration for a bundle in the benchmarks."""
+    return MESAConfig(excluded_columns=bundle.id_columns, **overrides)
+
+
+@pytest.fixture(scope="session")
+def bench_kg():
+    """The shared synthetic knowledge graph."""
+    return build_world_knowledge_graph(BENCH_KG_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bundles(bench_kg) -> Dict[str, DatasetBundle]:
+    """All four dataset bundles sharing the session knowledge graph."""
+    return {
+        name: load_dataset(name, seed=7, n_rows=BENCH_ROWS.get(name), knowledge_graph=bench_kg)
+        for name in ("SO", "Covid-19", "Flights", "Forbes")
+    }
+
+
+def print_table(title: str, header: List[str], rows: List[List[object]]) -> None:
+    """Print a small aligned table (the benchmark's textual 'figure')."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [max(len(header[i]), *(len(row[i]) for row in rendered)) if rendered
+              else len(header[i]) for i in range(len(header))]
+    line = "  ".join(header[i].ljust(widths[i]) for i in range(len(header)))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))

@@ -1,0 +1,115 @@
+"""Using MESA on your own table and your own knowledge source.
+
+The other examples use the bundled synthetic datasets; this one shows the
+path a downstream user takes with their own data:
+
+1. build (or load) a table with the columnar engine;
+2. describe the domain knowledge as a small knowledge graph;
+3. point MESA at the table, the graph and the linking column;
+4. read the explanation.
+
+The toy domain: an online retailer wonders why average delivery delay
+differs so much between carriers.  The hidden confounder is the share of
+rural deliveries each carrier handles - a fact that lives in the company's
+knowledge base, not in the orders table.
+
+Run with:  python examples/custom_dataset_and_kg.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MESA, MESAConfig, Table
+from repro.datasets.registry import ExtractionSpec
+from repro.kg.graph import Entity, KnowledgeGraph
+from repro.query.aggregate_query import AggregateQuery
+
+
+def build_orders(n_orders: int = 3000, seed: int = 0) -> Table:
+    """Synthesise the orders table: carrier, weight, priority, delay."""
+    rng = np.random.default_rng(seed)
+    carriers = {
+        # carrier -> (rural share, fleet age years)
+        "NorthPost": (0.65, 9.0),
+        "CityExpress": (0.10, 3.0),
+        "RegioShip": (0.45, 6.0),
+        "MetroRush": (0.05, 2.0),
+        "CountryCargo": (0.80, 11.0),
+        "LakesideLogistics": (0.55, 8.0),
+        "UrbanParcel": (0.10, 4.0),
+        "HighlandHaul": (0.70, 10.0),
+        "CoastalCourier": (0.25, 5.0),
+        "PrairiePost": (0.60, 9.0),
+        "DowntownDrop": (0.05, 3.0),
+        "ValleyVan": (0.40, 7.0),
+    }
+    rows = []
+    names = list(carriers)
+    for order in range(n_orders):
+        carrier = names[int(rng.integers(0, len(names)))]
+        rural_share, fleet_age = carriers[carrier]
+        rural = rng.random() < rural_share
+        weight = float(np.clip(rng.lognormal(0.5, 0.6), 0.1, 40.0))
+        priority = "express" if rng.random() < 0.3 else "standard"
+        delay = 1.0 + (3.5 if rural else 0.0) + 0.35 * fleet_age + 0.05 * weight
+        delay += (-0.8 if priority == "express" else 0.0) + rng.normal(0, 1.2)
+        rows.append({"Order": order, "Carrier": carrier, "Weight": round(weight, 2),
+                     "Priority": priority, "Delay_days": round(max(0.1, delay), 2)})
+    return Table.from_rows(rows, name="orders")
+
+
+def build_carrier_kg() -> KnowledgeGraph:
+    """The company knowledge base: per-carrier operational facts."""
+    graph = KnowledgeGraph(name="carrier-kb")
+    facts = {
+        "NorthPost": {"Rural delivery share": 0.65, "Fleet age": 9.0, "Hubs": 4},
+        "CityExpress": {"Rural delivery share": 0.10, "Fleet age": 3.0, "Hubs": 12},
+        "RegioShip": {"Rural delivery share": 0.45, "Fleet age": 6.0, "Hubs": 7},
+        "MetroRush": {"Rural delivery share": 0.05, "Fleet age": 2.0, "Hubs": 15},
+        "CountryCargo": {"Rural delivery share": 0.80, "Fleet age": 11.0, "Hubs": 3},
+        "LakesideLogistics": {"Rural delivery share": 0.55, "Fleet age": 8.0, "Hubs": 5},
+        "UrbanParcel": {"Rural delivery share": 0.10, "Fleet age": 4.0, "Hubs": 11},
+        "HighlandHaul": {"Rural delivery share": 0.70, "Fleet age": 10.0, "Hubs": 4},
+        "CoastalCourier": {"Rural delivery share": 0.25, "Fleet age": 5.0, "Hubs": 9},
+        "PrairiePost": {"Rural delivery share": 0.60, "Fleet age": 9.0, "Hubs": 5},
+        "DowntownDrop": {"Rural delivery share": 0.05, "Fleet age": 3.0, "Hubs": 14},
+        "ValleyVan": {"Rural delivery share": 0.40, "Fleet age": 7.0, "Hubs": 8},
+    }
+    for name, properties in facts.items():
+        entity_id = f"carrier:{name.lower()}"
+        graph.add_entity(Entity(entity_id, name, "Carrier"))
+        for property_name, value in properties.items():
+            graph.add_fact(entity_id, property_name, value)
+    return graph
+
+
+def main() -> None:
+    orders = build_orders()
+    knowledge = build_carrier_kg()
+    query = AggregateQuery(exposure="Carrier", outcome="Delay_days", aggregate="avg",
+                           table_name="orders", name="delay-by-carrier")
+    print(f"Orders table: {orders.n_rows} rows; knowledge base: "
+          f"{knowledge.n_entities} entities, {knowledge.n_facts} facts")
+    print(query.to_sql())
+    print("\nQuery result:")
+    print(query.execute(orders).to_text())
+
+    mesa = MESA(orders, knowledge,
+                extraction_specs=[ExtractionSpec(column="Carrier", entity_class="Carrier")],
+                config=MESAConfig(k=3, excluded_columns=("Order",)))
+    result = mesa.explain(query)
+
+    print("\nExplanation:")
+    for attribute in result.explanation.ranked_attributes():
+        responsibility = result.explanation.responsibilities.get(attribute, 0.0)
+        print(f"  - {attribute} (responsibility {responsibility:+.2f})")
+    print(f"I(O;T|C) = {result.explanation.baseline_cmi:.3f} -> "
+          f"I(O;T|E,C) = {result.explainability:.3f}")
+    print("\nThe delay differences between carriers are explained by how rural their")
+    print("delivery areas are and how old their fleets are - facts from the")
+    print("knowledge base, not from the orders table itself.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Flight delays: knowledge mined from three entity classes + missing data.
+
+The Flights scenario exercises the parts of MESA the other examples do not:
+
+* extraction from *several* columns against *different* entity classes
+  (origin city -> City, origin state -> State, airline -> Airline);
+* selection-bias detection and inverse-probability weighting for sparsely
+  populated extracted attributes;
+* robustness of the explanation when values are removed at random or in a
+  biased way (the Figure 3 experiment of the paper, in miniature).
+
+Run with:  python examples/flights_missing_data.py
+"""
+
+from __future__ import annotations
+
+from repro import MESAConfig, load_dataset
+from repro.core.problem import CorrelationExplanationProblem
+from repro.datasets import representative_queries
+from repro.mesa.system import MESA
+from repro.missingness.imputation import impute_mean
+from repro.missingness.patterns import inject_biased_removal, inject_mcar
+
+
+def main() -> None:
+    bundle = load_dataset("Flights", seed=7, n_rows=8000)
+    query = representative_queries("Flights")[0]     # average delay per origin city
+    print(f"Dataset: {bundle.name} with {bundle.n_rows} flights")
+    print(f"Query:   {query.query.to_sql()}\n")
+
+    mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                config=MESAConfig(k=4, excluded_columns=bundle.id_columns))
+    result = mesa.explain(query.query)
+
+    print("Extraction summary:")
+    for extraction in mesa.extraction_results():
+        failures = len(extraction.linking_failures())
+        print(f"  from {extraction.key_column:<13} {extraction.n_attributes:>3} attributes "
+              f"({failures} values failed entity linking)")
+
+    print(f"\nMESA explanation: {', '.join(result.attributes) or '(none)'}")
+    print(f"I(O;T|C) = {result.explanation.baseline_cmi:.3f} -> "
+          f"I(O;T|E,C) = {result.explainability:.3f}")
+    biased = result.biased_attributes()
+    print(f"Attributes with detected selection bias (IPW applied): {len(biased)}")
+
+    # Robustness of the found explanation to additional missing data.
+    explanation = list(result.attributes)
+    problem = result.problem
+    numeric_targets = [a for a in explanation
+                       if problem.context_table.column(a).is_numeric()]
+    print("\nExplainability of the explanation under injected missingness:")
+    print(f"  {'regime':<28} {'25% missing':>12} {'50% missing':>12}")
+    for label, degrade in (
+            ("missing at random", lambda t, f: inject_mcar(t, numeric_targets, f, seed=3)),
+            ("biased removal (top values)", lambda t, f: inject_biased_removal(t, numeric_targets, f)),
+            ("mean imputation", lambda t, f: impute_mean(
+                inject_mcar(t, numeric_targets, f, seed=3), numeric_targets))):
+        scores = []
+        for fraction in (0.25, 0.5):
+            degraded = degrade(problem.context_table, fraction)
+            fresh = CorrelationExplanationProblem(degraded, result.query, explanation)
+            scores.append(fresh.explanation_score(explanation))
+        print(f"  {label:<28} {scores[0]:>12.3f} {scores[1]:>12.3f}")
+    print("\nThe missing-aware estimates stay close to the clean-data score, while")
+    print("mean imputation distorts the dependence structure - the Figure 3 story.")
+
+
+if __name__ == "__main__":
+    main()

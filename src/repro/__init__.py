@@ -1,0 +1,48 @@
+"""repro: a reproduction of "On Explaining Confounding Bias" (ICDE 2023).
+
+The package implements the MESA system and the MCIMR algorithm end to end —
+aggregate-query model, knowledge-graph mining of candidate confounders,
+information-theoretic explanation search, selection-bias handling and
+unexplained-subgroup discovery — together with the substrates the paper
+relies on (a columnar table engine, discrete information-theoretic
+estimators, a synthetic DBpedia-like knowledge graph and synthetic versions
+of the four evaluation datasets).
+
+Quickstart
+----------
+
+>>> from repro import MESA, MESAConfig, load_dataset
+>>> from repro.datasets import representative_queries
+>>> bundle = load_dataset("Covid-19")
+>>> mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs)
+>>> result = mesa.explain(representative_queries("Covid-19")[0].query)
+>>> result.attributes          # doctest: +SKIP
+('HDI', 'Confirmed_cases', ...)
+"""
+
+from repro.core.explanation import Explanation
+from repro.core.mcimr import mcimr
+from repro.core.problem import CorrelationExplanationProblem
+from repro.datasets.registry import DatasetBundle, load_dataset
+from repro.mesa.config import MESAConfig
+from repro.mesa.system import MESA, MESAResult
+from repro.query.aggregate_query import AggregateQuery
+from repro.query.parser import parse_query
+from repro.table.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Explanation",
+    "mcimr",
+    "CorrelationExplanationProblem",
+    "DatasetBundle",
+    "load_dataset",
+    "MESAConfig",
+    "MESA",
+    "MESAResult",
+    "AggregateQuery",
+    "parse_query",
+    "Table",
+    "__version__",
+]

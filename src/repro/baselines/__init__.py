@@ -1,0 +1,25 @@
+"""Baseline explanation algorithms the paper compares MESA against.
+
+* :func:`brute_force` — exhaustive search over attribute subsets
+  (the optimum of Definition 2.1; only feasible after pruning / on small
+  candidate sets).
+* :func:`top_k` — rank attributes by individual explanation power only
+  (max relevance, no redundancy control).
+* :func:`linear_regression` — OLS of the outcome on the candidate
+  attributes; the explanation is the top-k significant coefficients.
+* :func:`hypdb` — a re-implementation of the HypDB-style causal-analysis
+  baseline: candidate confounders must be associated with both the exposure
+  and the outcome, ranked by their responsibility, with an attribute-count
+  cap reflecting its exponential scaling.
+* :func:`cajade` — a CajaDE-style baseline: patterns (attribute-value pairs)
+  most unevenly distributed across the exposure groups, chosen independently
+  of the outcome.
+"""
+
+from repro.baselines.brute_force import brute_force
+from repro.baselines.cajade import cajade
+from repro.baselines.hypdb import hypdb
+from repro.baselines.linear_regression import linear_regression
+from repro.baselines.top_k import top_k
+
+__all__ = ["brute_force", "cajade", "hypdb", "linear_regression", "top_k"]

@@ -1,0 +1,37 @@
+"""Top-K baseline: rank attributes by individual explanation power only.
+
+Equivalent to the Max-Relevance criterion without any redundancy control —
+the paper shows it tends to pick highly correlated attributes (e.g. both
+``Year Low F`` and ``Year Avg F``), which wastes explanation slots.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.core.explanation import Explanation
+from repro.core.problem import CorrelationExplanationProblem
+from repro.core.responsibility import responsibilities
+
+
+def top_k(problem: CorrelationExplanationProblem, k: int = 3,
+          candidates: Optional[Sequence[str]] = None) -> Explanation:
+    """Select the ``k`` attributes with the lowest individual ``I(O;T|C,E)``."""
+    if candidates is None:
+        candidates = problem.candidates
+    start = time.perf_counter()
+    ranked = sorted(candidates, key=problem.attribute_relevance)
+    selected = tuple(ranked[:max(0, k)])
+    runtime = time.perf_counter() - start
+    baseline = problem.baseline_cmi()
+    explainability = problem.explanation_score(selected) if selected else baseline
+    return Explanation(
+        attributes=selected,
+        explainability=explainability,
+        baseline_cmi=baseline,
+        objective=problem.objective(selected),
+        responsibilities=responsibilities(problem, selected),
+        method="top_k",
+        runtime_seconds=runtime,
+    )

@@ -1,0 +1,43 @@
+"""Core algorithms of the paper.
+
+* :class:`~repro.core.problem.CorrelationExplanationProblem` — the
+  Correlation-Explanation problem instance (Definition 2.1): the augmented
+  table, the query, the candidate attributes and the (weighted) CMI oracle.
+* :func:`~repro.core.mcimr.mcimr` — the MCIMR algorithm (Algorithm 1) with
+  its responsibility-test stopping criterion.
+* :func:`~repro.core.responsibility.responsibilities` — degree of
+  responsibility (Definition 2.2).
+* :mod:`~repro.core.pruning` — offline and online pruning optimisations
+  (Section 4.2).
+* :func:`~repro.core.subgroups.top_k_unexplained_groups` — Algorithm 2, the
+  search for the largest unexplained data subgroups (Section 4.3).
+"""
+
+from repro.core.candidates import CandidateSet, build_candidate_set
+from repro.core.explanation import Explanation
+from repro.core.mcimr import MCIMRTrace, mcimr, next_best_attribute
+from repro.core.problem import CorrelationExplanationProblem
+from repro.core.pruning import (
+    PruningResult,
+    offline_prune,
+    online_prune,
+)
+from repro.core.responsibility import responsibilities, responsibility_test
+from repro.core.subgroups import Subgroup, top_k_unexplained_groups
+
+__all__ = [
+    "CandidateSet",
+    "build_candidate_set",
+    "Explanation",
+    "MCIMRTrace",
+    "mcimr",
+    "next_best_attribute",
+    "CorrelationExplanationProblem",
+    "PruningResult",
+    "offline_prune",
+    "online_prune",
+    "responsibilities",
+    "responsibility_test",
+    "Subgroup",
+    "top_k_unexplained_groups",
+]

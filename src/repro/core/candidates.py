@@ -1,0 +1,80 @@
+"""Assembly of the candidate attribute set ``A``.
+
+Following Section 2.2, the candidate set is ``E ∪ T_attrs \\ {O, T}``: every
+attribute of the input table plus every extracted attribute, minus the
+outcome, the exposure and (by default) the attributes the query context
+conditions on — conditioning on a context attribute is meaningless because
+it is constant within the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set
+
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """The candidate attributes, split by provenance.
+
+    Attributes
+    ----------
+    from_dataset:
+        Candidates that already existed in the input dataset.
+    from_knowledge_source:
+        Candidates added by knowledge-graph extraction.
+    """
+
+    from_dataset: tuple
+    from_knowledge_source: tuple
+
+    @property
+    def all(self) -> List[str]:
+        """All candidates, dataset attributes first."""
+        return list(self.from_dataset) + list(self.from_knowledge_source)
+
+    def __len__(self) -> int:
+        return len(self.from_dataset) + len(self.from_knowledge_source)
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.from_dataset or attribute in self.from_knowledge_source
+
+    def is_extracted(self, attribute: str) -> bool:
+        """Whether the attribute came from the knowledge source."""
+        return attribute in set(self.from_knowledge_source)
+
+
+def build_candidate_set(table: Table, query: AggregateQuery,
+                        extracted_attributes: Sequence[str] = (),
+                        exclude: Iterable[str] = (),
+                        drop_context_columns: bool = True) -> CandidateSet:
+    """Build the candidate set for a query over an augmented table.
+
+    Parameters
+    ----------
+    table:
+        The augmented table (dataset columns plus extracted columns).
+    query:
+        The aggregate query; its exposure and outcome are always excluded.
+    extracted_attributes:
+        Names of the columns added by extraction (used only to label the
+        provenance of each candidate).
+    exclude:
+        Extra columns to exclude (identifier columns, for example).
+    drop_context_columns:
+        Whether to drop the columns referenced by the query's WHERE clause.
+    """
+    excluded: Set[str] = {query.exposure, query.outcome}
+    excluded.update(exclude)
+    if drop_context_columns:
+        excluded.update(query.context.columns())
+    extracted = [name for name in extracted_attributes if name in table]
+    extracted_set = set(extracted)
+    dataset_candidates = [name for name in table.column_names
+                          if name not in excluded and name not in extracted_set]
+    kg_candidates = [name for name in extracted if name not in excluded]
+    return CandidateSet(from_dataset=tuple(dataset_candidates),
+                        from_knowledge_source=tuple(kg_candidates))

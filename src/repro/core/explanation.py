@@ -1,0 +1,96 @@
+"""The :class:`Explanation` result object shared by MCIMR and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """A correlation explanation: the selected attributes plus diagnostics.
+
+    Attributes
+    ----------
+    attributes:
+        The selected confounding attributes, in selection order.
+    explainability:
+        ``I(O;T | attributes, C)`` — the paper's *explainability score*;
+        0 means the correlation is perfectly explained away.
+    baseline_cmi:
+        ``I(O;T | C)`` before conditioning on anything; the improvement is
+        ``baseline_cmi - explainability``.
+    objective:
+        The Definition 2.1 objective ``explainability * |attributes|``.
+    responsibilities:
+        Degree of responsibility of every selected attribute
+        (Definition 2.2); empty when fewer than two attributes are selected.
+    method:
+        Name of the algorithm that produced the explanation
+        (``"mcimr"``, ``"brute_force"``, ``"top_k"``, ...).
+    runtime_seconds:
+        Wall-clock time of the search.
+    trace:
+        Optional per-iteration diagnostics (attribute added, CMI after).
+    """
+
+    attributes: Tuple[str, ...]
+    explainability: float
+    baseline_cmi: float
+    objective: float
+    responsibilities: Dict[str, float] = field(default_factory=dict)
+    method: str = "mcimr"
+    runtime_seconds: float = 0.0
+    trace: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def size(self) -> int:
+        """Number of selected attributes."""
+        return len(self.attributes)
+
+    @property
+    def improvement(self) -> float:
+        """Absolute drop in CMI achieved by the explanation."""
+        return max(0.0, self.baseline_cmi - self.explainability)
+
+    @property
+    def relative_improvement(self) -> float:
+        """Fraction of the original CMI explained away (0 when baseline is 0)."""
+        if self.baseline_cmi <= 0:
+            return 0.0
+        return self.improvement / self.baseline_cmi
+
+    def ranked_attributes(self) -> List[str]:
+        """Attributes sorted by responsibility (selection order as tie-break)."""
+        if not self.responsibilities:
+            return list(self.attributes)
+        order = {attribute: index for index, attribute in enumerate(self.attributes)}
+        return sorted(self.attributes,
+                      key=lambda a: (-self.responsibilities.get(a, 0.0), order[a]))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering used by the benchmark harness."""
+        return {
+            "method": self.method,
+            "attributes": list(self.attributes),
+            "explainability": self.explainability,
+            "baseline_cmi": self.baseline_cmi,
+            "objective": self.objective,
+            "responsibilities": dict(self.responsibilities),
+            "runtime_seconds": self.runtime_seconds,
+        }
+
+    def describe(self) -> str:
+        """Readable one-paragraph rendering for examples and reports."""
+        if not self.attributes:
+            return (f"[{self.method}] no explanation found "
+                    f"(I(O;T|C) = {self.baseline_cmi:.3f})")
+        parts = []
+        for attribute in self.ranked_attributes():
+            responsibility = self.responsibilities.get(attribute)
+            if responsibility is None:
+                parts.append(attribute)
+            else:
+                parts.append(f"{attribute} (resp {responsibility:.2f})")
+        return (f"[{self.method}] {{{', '.join(parts)}}}: "
+                f"I(O;T|C) {self.baseline_cmi:.3f} -> {self.explainability:.3f}")

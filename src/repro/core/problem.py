@@ -1,0 +1,254 @@
+"""The Correlation-Explanation problem instance (Definition 2.1).
+
+A :class:`CorrelationExplanationProblem` bundles everything the search
+algorithms need:
+
+* the (augmented) table restricted to the query's context ``C``;
+* the exposure ``T`` and outcome ``O``;
+* the candidate attribute list ``A``;
+* per-attribute inverse-probability weights for selection-biased attributes;
+* a memoised conditional-mutual-information oracle, since both MCIMR and the
+  brute-force baseline evaluate many overlapping CMI terms over the same
+  table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExplanationError
+from repro.infotheory.encoding import EncodedFrame
+from repro.infotheory.entropy import conditional_entropy, entropy
+from repro.infotheory.independence import IndependenceResult, conditional_independence_test
+from repro.infotheory.mutual_information import (
+    conditional_mutual_information,
+    mutual_information,
+)
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.discretize import DEFAULT_BINS
+from repro.table.table import Table
+
+
+class CorrelationExplanationProblem:
+    """One instance of the Correlation-Explanation problem.
+
+    Parameters
+    ----------
+    table:
+        The augmented table (input dataset joined with the extracted
+        attributes).  The query context has *not* been applied yet; the
+        constructor applies it.
+    query:
+        The aggregate query whose exposure/outcome correlation is being
+        explained.
+    candidates:
+        The candidate attribute names ``A`` (everything that may enter an
+        explanation).  They must exist in ``table``.
+    attribute_weights:
+        Optional per-attribute IPW weight vectors (aligned with the rows of
+        the *context-restricted* table).  Only attributes flagged with
+        selection bias need an entry.
+    n_bins:
+        Number of bins used when numeric attributes are discretised for the
+        information-theoretic estimates.
+    """
+
+    def __init__(self, table: Table, query: AggregateQuery, candidates: Sequence[str],
+                 attribute_weights: Optional[Dict[str, np.ndarray]] = None,
+                 n_bins: int = DEFAULT_BINS):
+        query.validate_against(table)
+        missing = [name for name in candidates if name not in table]
+        if missing:
+            raise ExplanationError(
+                f"Candidate attribute(s) {missing} are not columns of the table"
+            )
+        forbidden = {query.exposure, query.outcome}
+        overlapping = [name for name in candidates if name in forbidden]
+        if overlapping:
+            raise ExplanationError(
+                f"Candidate attributes may not include the exposure or outcome: {overlapping}"
+            )
+        self.query = query
+        self.full_table = table
+        self.context_table = query.apply_context(table)
+        if self.context_table.n_rows == 0:
+            raise ExplanationError(
+                f"The query context {query.context!r} selects no rows"
+            )
+        self.candidates: List[str] = list(dict.fromkeys(candidates))
+        self.n_bins = n_bins
+        self.frame = EncodedFrame(self.context_table, n_bins=n_bins)
+        self.attribute_weights: Dict[str, np.ndarray] = dict(attribute_weights or {})
+        for attribute, weights in self.attribute_weights.items():
+            if len(weights) != self.context_table.n_rows:
+                raise ExplanationError(
+                    f"IPW weights for {attribute!r} have length {len(weights)}, "
+                    f"expected {self.context_table.n_rows} (context rows)"
+                )
+        self._cmi_cache: Dict[Tuple[str, ...], float] = {}
+        self._mi_cache: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def exposure(self) -> str:
+        """The exposure attribute ``T``."""
+        return self.query.exposure
+
+    @property
+    def outcome(self) -> str:
+        """The outcome attribute ``O``."""
+        return self.query.outcome
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows satisfying the query context."""
+        return self.context_table.n_rows
+
+    def has_selection_bias(self, attribute: str) -> bool:
+        """Whether IPW weights were supplied for the attribute."""
+        return attribute in self.attribute_weights
+
+    # ------------------------------------------------------------------ #
+    # weighted estimation helpers
+    # ------------------------------------------------------------------ #
+    def _weights_for(self, attributes: Sequence[str]) -> Optional[np.ndarray]:
+        """Combined IPW weights for a set of attributes.
+
+        The paper applies weights per selection-biased attribute; when a
+        conditioning set contains several such attributes their weights are
+        multiplied (a row must be re-weighted for every biased attribute it
+        contributes to).  ``None`` means no re-weighting is needed.
+        """
+        combined: Optional[np.ndarray] = None
+        for attribute in attributes:
+            weights = self.attribute_weights.get(attribute)
+            if weights is None:
+                continue
+            combined = weights.copy() if combined is None else combined * weights
+        return combined
+
+    # ------------------------------------------------------------------ #
+    # information-theoretic oracle
+    # ------------------------------------------------------------------ #
+    def cmi(self, conditioning: Sequence[str] = ()) -> float:
+        """``I(O; T | conditioning, C)`` with memoisation and IPW weights.
+
+        Missing values of conditioning attributes form their own stratum
+        (see :meth:`repro.infotheory.encoding.EncodedFrame.codes`): a row
+        whose confounder value is unknown keeps its unexplained dependence
+        instead of being dropped, which prevents sparsely populated
+        attributes from looking like good explanations merely because their
+        complete cases exclude entire exposure groups.
+        """
+        key = tuple(sorted(conditioning))
+        if key not in self._cmi_cache:
+            codes = [self.frame.codes(attribute, missing_as_category=True)
+                     for attribute in key]
+            value = conditional_mutual_information(
+                self.frame.codes(self.outcome),
+                self.frame.codes(self.exposure),
+                codes,
+                weights=self._weights_for(key),
+            )
+            self._cmi_cache[key] = value
+        return self._cmi_cache[key]
+
+    def baseline_cmi(self) -> float:
+        """``I(O; T | C)`` — the unexplained correlation."""
+        return self.cmi(())
+
+    def explanation_score(self, attributes: Sequence[str]) -> float:
+        """The explainability score of an attribute set (lower is better)."""
+        return self.cmi(attributes)
+
+    def objective(self, attributes: Sequence[str]) -> float:
+        """The Definition 2.1 objective ``I(O;T|E,C) * |E|``."""
+        if not attributes:
+            return self.baseline_cmi()
+        return self.explanation_score(attributes) * len(attributes)
+
+    def pairwise_mi(self, a: str, b: str) -> float:
+        """``I(A; B)`` between two candidate attributes (memoised, weighted)."""
+        key = (a, b) if a <= b else (b, a)
+        if key not in self._mi_cache:
+            value = mutual_information(
+                self.frame.codes(a, missing_as_category=True),
+                self.frame.codes(b, missing_as_category=True),
+                weights=self._weights_for([a, b]),
+            )
+            self._mi_cache[key] = value
+        return self._mi_cache[key]
+
+    def attribute_relevance(self, attribute: str) -> float:
+        """Individual explanation power ``I(O;T|C, attribute)`` (lower = stronger)."""
+        return self.cmi([attribute])
+
+    def entropy_of(self, attribute: str) -> float:
+        """Entropy of an attribute within the context."""
+        return entropy(self.frame.codes(attribute))
+
+    def conditional_entropy_of(self, target: str, given: Sequence[str]) -> float:
+        """``H(target | given)`` within the context."""
+        return conditional_entropy(self.frame.codes(target),
+                                   [self.frame.codes(g) for g in given])
+
+    # ------------------------------------------------------------------ #
+    # independence testing
+    # ------------------------------------------------------------------ #
+    def independence_test(self, a: str, b: str, conditioning: Sequence[str] = (),
+                          **kwargs) -> IndependenceResult:
+        """Conditional-independence test between two columns given others."""
+        return conditional_independence_test(
+            self.frame.codes(a), self.frame.codes(b),
+            [self.frame.codes(c) for c in conditioning],
+            weights=self._weights_for([a, b, *conditioning]),
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived problems
+    # ------------------------------------------------------------------ #
+    def restricted_to(self, mask: np.ndarray) -> "CorrelationExplanationProblem":
+        """A new problem over a row subset of the *context* table.
+
+        Used by the unexplained-subgroup search, which evaluates the same
+        explanation on refinements of the context.  Attribute weights are
+        sliced along with the rows.
+        """
+        restricted = CorrelationExplanationProblem.__new__(CorrelationExplanationProblem)
+        restricted.query = self.query
+        restricted.full_table = self.full_table
+        restricted.context_table = self.context_table.filter(mask)
+        restricted.candidates = list(self.candidates)
+        restricted.n_bins = self.n_bins
+        restricted.frame = self.frame.restrict(mask)
+        restricted.attribute_weights = {
+            attribute: weights[np.asarray(mask, dtype=bool)]
+            for attribute, weights in self.attribute_weights.items()
+        }
+        restricted._cmi_cache = {}
+        restricted._mi_cache = {}
+        return restricted
+
+    def subset_candidates(self, candidates: Iterable[str]) -> "CorrelationExplanationProblem":
+        """A shallow copy of the problem with a reduced candidate list.
+
+        The CMI caches are shared (they are keyed by attribute names, so
+        entries stay valid), which lets pruning produce a cheaper problem
+        without recomputation.
+        """
+        clone = CorrelationExplanationProblem.__new__(CorrelationExplanationProblem)
+        clone.query = self.query
+        clone.full_table = self.full_table
+        clone.context_table = self.context_table
+        clone.candidates = [name for name in candidates]
+        clone.n_bins = self.n_bins
+        clone.frame = self.frame
+        clone.attribute_weights = self.attribute_weights
+        clone._cmi_cache = self._cmi_cache
+        clone._mi_cache = self._mi_cache
+        return clone

@@ -1,0 +1,251 @@
+"""Pruning optimisations (Section 4.2 of the paper).
+
+Two families of rules reduce the candidate attribute set ``A``:
+
+* **Offline (pre-processing, across-queries) pruning** — drops attributes
+  that can never be interesting explanations: constant attributes,
+  attributes with more than 90 % missing values, and near-unique
+  "identifier" attributes with very high entropy (``wikiID``-style).
+* **Online (query-specific) pruning** — executed once the exposure and
+  outcome are known: attributes logically (functionally) dependent on ``T``
+  or ``O`` are discarded (Lemma A.2: conditioning on them trivially zeroes
+  the CMI without being a confounder), and attributes with low individual
+  relevance (``O ⊥ E | C`` and ``O ⊥ E | C, T``) are discarded under the
+  paper's no-XOR-explanations assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.problem import CorrelationExplanationProblem
+from repro.table.table import Table
+
+
+@dataclass
+class PruningResult:
+    """Outcome of a pruning pass.
+
+    Attributes
+    ----------
+    kept:
+        Candidate attributes that survive.
+    dropped:
+        Mapping from dropped attribute to the rule that removed it.
+    """
+
+    kept: List[str] = field(default_factory=list)
+    dropped: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_dropped(self) -> int:
+        """Number of attributes removed."""
+        return len(self.dropped)
+
+    def drop_fraction(self) -> float:
+        """Fraction of the input attributes that were removed."""
+        total = len(self.kept) + len(self.dropped)
+        if total == 0:
+            return 0.0
+        return len(self.dropped) / total
+
+    def dropped_by_rule(self) -> Dict[str, int]:
+        """Number of attributes dropped per rule."""
+        counts: Dict[str, int] = {}
+        for rule in self.dropped.values():
+            counts[rule] = counts.get(rule, 0) + 1
+        return counts
+
+
+# --------------------------------------------------------------------------- #
+# Offline pruning
+# --------------------------------------------------------------------------- #
+def offline_prune(table: Table, candidates: Sequence[str],
+                  max_missing_fraction: float = 0.9,
+                  high_entropy_unique_ratio: float = 0.9,
+                  min_rows_for_entropy_rule: int = 20) -> PruningResult:
+    """Across-queries pruning: constant, mostly-missing and identifier-like attributes.
+
+    Parameters
+    ----------
+    table:
+        The augmented table (before any context is applied — this pruning is
+        query independent and can be cached across queries).
+    candidates:
+        The attributes to consider.
+    max_missing_fraction:
+        Attributes missing in more than this fraction of the rows are dropped
+        (the paper uses 90 %).
+    high_entropy_unique_ratio:
+        Non-numeric attributes whose number of distinct values exceeds this
+        fraction of the number of present values are treated as identifiers
+        (``wikiID``-style) and dropped.  Numeric attributes are exempt: a
+        continuous measurement is near-unique per row by nature and is
+        binned before estimation anyway.
+    min_rows_for_entropy_rule:
+        The identifier rule only fires when the table has at least this many
+        rows; tiny tables would otherwise lose legitimate attributes.
+    """
+    result = PruningResult()
+    for attribute in candidates:
+        column = table.column(attribute)
+        n_present = len(column) - column.missing_count()
+        n_unique = column.n_unique()
+        if n_unique <= 1:
+            result.dropped[attribute] = "constant"
+            continue
+        if column.missing_fraction() > max_missing_fraction:
+            result.dropped[attribute] = "missing"
+            continue
+        if (not column.is_numeric()
+                and table.n_rows >= min_rows_for_entropy_rule and n_present > 0
+                and n_unique / n_present >= high_entropy_unique_ratio):
+            result.dropped[attribute] = "high_entropy"
+            continue
+        result.kept.append(attribute)
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Online pruning
+# --------------------------------------------------------------------------- #
+def online_prune(problem: CorrelationExplanationProblem,
+                 candidates: Optional[Sequence[str]] = None,
+                 fd_entropy_threshold: float = 0.05,
+                 relevance_cmi_threshold: float = 0.01,
+                 determination_ratio: float = 0.25,
+                 relevance_permutations: int = 20) -> PruningResult:
+    """Query-specific pruning: logical dependencies and low-relevance attributes.
+
+    Parameters
+    ----------
+    problem:
+        The problem instance (provides the encoded context table).
+    candidates:
+        Attributes to consider; defaults to ``problem.candidates``.
+    fd_entropy_threshold:
+        An attribute ``E`` is considered functionally equivalent to ``T``
+        (resp. ``O``) when both ``H(T|E)`` and ``H(E|T)`` fall below this
+        threshold (approximate functional dependency in both directions,
+        e.g. ``CountryCode ⇔ Country``).
+    relevance_cmi_threshold:
+        Threshold of the conditional-independence shortcut used by the
+        low-relevance rule: ``E`` is dropped when ``O ⊥ E | C`` and
+        ``O ⊥ E | C, T`` both hold.
+    determination_ratio:
+        Generalisation of the logical-dependency rule for *categorical*
+        attributes that nearly determine the exposure or the outcome without
+        the reverse dependency holding (e.g. ``Currency`` almost pinning
+        down ``Country``): the attribute is dropped when ``H(T|E) / H(T)``
+        falls below this ratio.  Conditioning on such an attribute zeroes
+        the CMI for the trivial reason of Lemma A.2 rather than because it
+        is a confounder.  Numeric attributes are exempt (they are binned
+        before estimation and legitimately coarse confounders such as
+        ``Fleet size`` must survive).  Set to 0 to disable.
+    relevance_permutations:
+        Number of permutations used by the low-relevance independence test;
+        the permutation null corrects the upward small-sample bias of the
+        plug-in estimate, which would otherwise keep irrelevant attributes.
+    """
+    if candidates is None:
+        candidates = problem.candidates
+    result = PruningResult()
+    exposure = problem.exposure
+    outcome = problem.outcome
+    for attribute in candidates:
+        if _functionally_equivalent(problem, attribute, exposure, fd_entropy_threshold):
+            result.dropped[attribute] = "logical_dependency_exposure"
+            continue
+        if _functionally_equivalent(problem, attribute, outcome, fd_entropy_threshold):
+            result.dropped[attribute] = "logical_dependency_outcome"
+            continue
+        is_categorical = not problem.context_table.column(attribute).is_numeric()
+        if (determination_ratio > 0 and is_categorical
+                and _nearly_determines(problem, attribute, exposure, determination_ratio)):
+            result.dropped[attribute] = "near_determines_exposure"
+            continue
+        if (determination_ratio > 0 and is_categorical
+                and _nearly_determines(problem, attribute, outcome, determination_ratio)):
+            result.dropped[attribute] = "near_determines_outcome"
+            continue
+        if _low_relevance(problem, attribute, relevance_cmi_threshold,
+                          relevance_permutations):
+            result.dropped[attribute] = "low_relevance"
+            continue
+        result.kept.append(attribute)
+    return result
+
+
+def _nearly_determines(problem: CorrelationExplanationProblem, attribute: str,
+                       target: str, ratio: float) -> bool:
+    """Whether knowing ``attribute`` leaves less than ``ratio`` of ``target``'s entropy."""
+    h_target = problem.entropy_of(target)
+    if h_target <= 0:
+        return False
+    remaining = problem.conditional_entropy_of(target, [attribute])
+    return remaining / h_target < ratio
+
+
+def _functionally_equivalent(problem: CorrelationExplanationProblem, attribute: str,
+                             target: str, threshold: float) -> bool:
+    """Approximate two-way functional dependency between attribute and target."""
+    h_target_given_attribute = problem.conditional_entropy_of(target, [attribute])
+    if h_target_given_attribute > threshold:
+        return False
+    h_attribute_given_target = problem.conditional_entropy_of(attribute, [target])
+    return h_attribute_given_target <= threshold
+
+
+def _low_relevance(problem: CorrelationExplanationProblem, attribute: str,
+                   threshold: float, n_permutations: int = 20,
+                   dependent_threshold: float = 0.15) -> bool:
+    """The Relevance Test of the appendix: O ⊥ E | C and O ⊥ E | C, T.
+
+    Attributes whose association with the outcome is clearly above
+    ``dependent_threshold`` skip the permutation test (they are obviously
+    relevant); the permutations only arbitrate the grey zone where the
+    plug-in estimate's small-sample bias could go either way.
+    """
+    unconditional = problem.independence_test(problem.outcome, attribute,
+                                              threshold=threshold,
+                                              n_permutations=n_permutations,
+                                              dependent_threshold=dependent_threshold)
+    if not unconditional.independent:
+        return False
+    conditional = problem.independence_test(problem.outcome, attribute,
+                                            [problem.exposure],
+                                            threshold=threshold,
+                                            n_permutations=n_permutations,
+                                            dependent_threshold=dependent_threshold)
+    return conditional.independent
+
+
+def prune(problem: CorrelationExplanationProblem,
+          offline: bool = True, online: bool = True,
+          **kwargs) -> PruningResult:
+    """Convenience wrapper running offline then online pruning.
+
+    The combined result reports every dropped attribute with the rule that
+    removed it and the surviving candidates in their original order.
+    """
+    candidates: Sequence[str] = problem.candidates
+    combined = PruningResult()
+    if offline:
+        offline_result = offline_prune(problem.full_table, candidates,
+                                       **{key: value for key, value in kwargs.items()
+                                          if key in ("max_missing_fraction",
+                                                     "high_entropy_unique_ratio",
+                                                     "min_rows_for_entropy_rule")})
+        combined.dropped.update(offline_result.dropped)
+        candidates = offline_result.kept
+    if online:
+        online_result = online_prune(problem, candidates,
+                                     **{key: value for key, value in kwargs.items()
+                                        if key in ("fd_entropy_threshold",
+                                                   "relevance_cmi_threshold",
+                                                   "determination_ratio")})
+        combined.dropped.update(online_result.dropped)
+        candidates = online_result.kept
+    combined.kept = list(candidates)
+    return combined

@@ -1,0 +1,80 @@
+"""Degree of responsibility (Definition 2.2) and the responsibility test.
+
+The responsibility of an attribute within an explanation is its normalised
+marginal contribution:
+
+.. math::
+
+    Resp(E_i) = \\frac{I(O;T|E \\setminus \\{E_i\\}, C) - I(O;T|E, C)}
+                      {\\sum_j I(O;T|E \\setminus \\{E_j\\}, C) - I(O;T|E, C)}
+
+A negative responsibility means the attribute *harms* the explanation
+(negative interaction information); MCIMR's stopping criterion (Lemma 4.2)
+uses a conditional-independence test to detect candidates whose
+responsibility would be ≈ 0 before paying for them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.problem import CorrelationExplanationProblem
+
+
+def marginal_contributions(problem: CorrelationExplanationProblem,
+                           attributes: Sequence[str]) -> Dict[str, float]:
+    """Unnormalised marginal contribution of each attribute in the set.
+
+    The contribution of ``E_i`` is ``I(O;T|E \\ {E_i}, C) - I(O;T|E, C)``:
+    how much the CMI would rise if the attribute were removed.
+    """
+    attributes = list(attributes)
+    full_score = problem.explanation_score(attributes)
+    contributions: Dict[str, float] = {}
+    for attribute in attributes:
+        without = [other for other in attributes if other != attribute]
+        score_without = problem.explanation_score(without)
+        contributions[attribute] = score_without - full_score
+    return contributions
+
+
+def responsibilities(problem: CorrelationExplanationProblem,
+                     attributes: Sequence[str]) -> Dict[str, float]:
+    """Degree of responsibility (Definition 2.2) of each selected attribute.
+
+    For a single-attribute explanation the attribute trivially receives
+    responsibility 1.0 (if it improves on the baseline) or 0.0 otherwise.
+    When the normalising denominator is 0 (no attribute contributes) all
+    responsibilities are 0.
+    """
+    attributes = list(attributes)
+    if not attributes:
+        return {}
+    if len(attributes) == 1:
+        attribute = attributes[0]
+        improvement = problem.baseline_cmi() - problem.explanation_score(attributes)
+        return {attribute: 1.0 if improvement > 0 else 0.0}
+    contributions = marginal_contributions(problem, attributes)
+    denominator = sum(contributions.values())
+    if abs(denominator) < 1e-12:
+        return {attribute: 0.0 for attribute in attributes}
+    return {attribute: contribution / denominator
+            for attribute, contribution in contributions.items()}
+
+
+def responsibility_test(problem: CorrelationExplanationProblem, candidate: str,
+                        selected: Sequence[str], cmi_threshold: float = 0.01,
+                        n_permutations: int = 20) -> bool:
+    """The stopping-criterion test of Algorithm 1 (line 5) / Lemma 4.2.
+
+    Returns True when ``O ⊥ candidate | selected`` holds — i.e. the
+    candidate's responsibility would be ≤ 0 and the algorithm should stop
+    before adding it.  The test first applies a cheap CMI-threshold shortcut
+    and then (with ``n_permutations > 0``) a stratified permutation test,
+    which corrects the upward small-sample bias of the plug-in CMI estimate
+    that would otherwise keep the algorithm adding attributes.
+    """
+    result = problem.independence_test(problem.outcome, candidate, selected,
+                                       threshold=cmi_threshold,
+                                       n_permutations=n_permutations)
+    return result.independent

@@ -1,0 +1,183 @@
+"""Top-k unexplained data subgroups (Section 4.3, Algorithm 2).
+
+Given a query, its explanation ``E`` and a threshold ``τ``, the algorithm
+searches for the *largest* data groups — context refinements ``C'`` of the
+query's context ``C`` — whose explanation score ``I(O;T|C',E)`` exceeds
+``τ``: groups for which the global explanation is not satisfactory and a
+different explanation is required.
+
+The refinements form a pattern graph; the algorithm traverses it top-down
+with a max-heap ordered by group size, generating each refinement at most
+once and never descending below a refinement that already qualified (its
+ancestors subsume it).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import CorrelationExplanationProblem
+from repro.exceptions import ExplanationError
+from repro.table.discretize import discretize_column
+from repro.table.expressions import Condition
+
+
+@dataclass(frozen=True)
+class Subgroup:
+    """One unexplained data subgroup.
+
+    Attributes
+    ----------
+    condition:
+        The context refinement defining the group (assignments *added* to the
+        query's own context).
+    size:
+        Number of rows of the context table belonging to the group.
+    explanation_score:
+        ``I(O;T | C', E)`` for this group — above the threshold by
+        construction.
+    """
+
+    condition: Condition
+    size: int
+    explanation_score: float
+
+    def describe(self) -> str:
+        """Readable rendering used in reports (mirrors Table 4)."""
+        body = " AND ".join(f"{attribute} = {value}"
+                            for attribute, value in self.condition.assignments)
+        return f"{body or 'TRUE'} (size={self.size}, score={self.explanation_score:.3f})"
+
+
+class _RefinementSpace:
+    """Enumerates context refinements over a set of (binned) attributes."""
+
+    def __init__(self, problem: CorrelationExplanationProblem,
+                 attributes: Sequence[str], n_bins: int, max_values_per_attribute: int):
+        self.problem = problem
+        self.attributes = list(attributes)
+        self.values: Dict[str, List[object]] = {}
+        self.masks: Dict[Tuple[str, object], np.ndarray] = {}
+        table = problem.context_table
+        for attribute in self.attributes:
+            column = table.column(attribute)
+            if column.is_numeric() and column.n_unique() > n_bins:
+                column, _ = discretize_column(column, n_bins=n_bins)
+            values = column.unique()
+            if len(values) > max_values_per_attribute:
+                counts = column.value_counts()
+                values = sorted(counts, key=lambda v: -counts[v])[:max_values_per_attribute]
+            self.values[attribute] = list(values)
+            mask_all = column.missing_mask
+            for value in self.values[attribute]:
+                mask = np.array([(not mask_all[i]) and column[i] == value
+                                 for i in range(len(column))], dtype=bool)
+                self.masks[(attribute, value)] = mask
+
+    def children(self, condition: Condition) -> Iterable[Condition]:
+        """All refinements obtained by adding one assignment on a new attribute.
+
+        To generate each node of the pattern graph at most once, an attribute
+        may only be added if it sorts after every attribute already assigned
+        (canonical generation order).
+        """
+        assigned = condition.columns()
+        last = max(assigned) if assigned else ""
+        for attribute in self.attributes:
+            if attribute in assigned or attribute <= last:
+                continue
+            for value in self.values[attribute]:
+                yield condition.refine(attribute, value)
+
+    def mask(self, condition: Condition) -> np.ndarray:
+        """Row mask (within the context table) of a refinement."""
+        result = np.ones(self.problem.context_table.n_rows, dtype=bool)
+        for attribute, value in condition.assignments:
+            result &= self.masks[(attribute, value)]
+        return result
+
+
+def top_k_unexplained_groups(problem: CorrelationExplanationProblem,
+                             explanation_attributes: Sequence[str],
+                             k: int = 5,
+                             threshold: float = 0.2,
+                             refine_attributes: Optional[Sequence[str]] = None,
+                             min_group_size: int = 10,
+                             n_bins: int = 6,
+                             max_values_per_attribute: int = 12,
+                             max_expansions: int = 2000) -> List[Subgroup]:
+    """Algorithm 2: the top-``k`` largest groups the explanation fails on.
+
+    Parameters
+    ----------
+    problem:
+        The problem instance the explanation was computed on.
+    explanation_attributes:
+        The explanation ``E`` whose adequacy is being checked.
+    k:
+        Number of groups to return.
+    threshold:
+        Minimum explanation score ``τ`` for a group to count as unexplained.
+    refine_attributes:
+        Attributes allowed in refinements; defaults to the dataset-side
+        candidate attributes (refining on hundreds of extracted attributes is
+        rarely meaningful and matches the paper's use of context refinements
+        such as ``Continent = Europe``).
+    min_group_size:
+        Groups smaller than this are skipped (CMI estimates on a handful of
+        rows are meaningless).
+    n_bins / max_values_per_attribute:
+        Controls of the refinement space for numeric / high-cardinality
+        attributes.
+    max_expansions:
+        Safety bound on the number of heap expansions.
+    """
+    if k < 1:
+        raise ExplanationError(f"k must be >= 1, got {k}")
+    if refine_attributes is None:
+        refine_attributes = [attribute for attribute in problem.candidates
+                             if attribute in problem.full_table.column_names]
+    space = _RefinementSpace(problem, refine_attributes, n_bins=n_bins,
+                             max_values_per_attribute=max_values_per_attribute)
+    explanation = list(explanation_attributes)
+
+    results: List[Subgroup] = []
+    counter = itertools.count()
+    heap: List[Tuple[int, int, Condition]] = []
+    root = Condition()
+    for child in space.children(root):
+        size = int(space.mask(child).sum())
+        if size >= min_group_size:
+            heapq.heappush(heap, (-size, next(counter), child))
+
+    expansions = 0
+    while heap and len(results) < k and expansions < max_expansions:
+        negative_size, _, condition = heapq.heappop(heap)
+        size = -negative_size
+        expansions += 1
+        mask = space.mask(condition)
+        restricted = problem.restricted_to(mask)
+        score = restricted.explanation_score(explanation) if explanation \
+            else restricted.baseline_cmi()
+        if score > threshold:
+            if not _has_ancestor_in(condition, results):
+                results.append(Subgroup(condition=condition, size=size,
+                                        explanation_score=score))
+        else:
+            for child in space.children(condition):
+                child_size = int(space.mask(child).sum())
+                if child_size >= min_group_size:
+                    heapq.heappush(heap, (-child_size, next(counter), child))
+    return results
+
+
+def _has_ancestor_in(condition: Condition, accepted: List[Subgroup]) -> bool:
+    """Whether an already-accepted group subsumes this refinement."""
+    return any(condition.is_refinement_of(subgroup.condition) and
+               condition != subgroup.condition
+               for subgroup in accepted)

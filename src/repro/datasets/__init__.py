@@ -1,0 +1,35 @@
+"""Synthetic versions of the paper's four evaluation datasets.
+
+The paper evaluates on Stack Overflow's developer survey, a Covid-19
+country-level dataset, the US flight-delay dataset and the Forbes celebrity
+earnings dataset.  Those CSVs are not available offline, so this package
+generates seeded synthetic equivalents whose outcomes are *driven by* the
+properties stored in the synthetic knowledge graph (HDI, GDP, Gini, city
+climate, airline fleet size, celebrity net worth, ...).  Planting the
+confounders this way gives every evaluation query a known ground truth —
+which the quality benchmarks (Tables 2 and 3) score against.
+"""
+
+from repro.datasets.covid import generate_covid_dataset
+from repro.datasets.flights import generate_flights_dataset
+from repro.datasets.forbes import generate_forbes_dataset
+from repro.datasets.stackoverflow import generate_so_dataset
+from repro.datasets.registry import DatasetBundle, load_dataset, DATASET_NAMES
+from repro.datasets.queries import (
+    RepresentativeQuery,
+    random_queries,
+    representative_queries,
+)
+
+__all__ = [
+    "generate_covid_dataset",
+    "generate_flights_dataset",
+    "generate_forbes_dataset",
+    "generate_so_dataset",
+    "DatasetBundle",
+    "load_dataset",
+    "DATASET_NAMES",
+    "RepresentativeQuery",
+    "random_queries",
+    "representative_queries",
+]

@@ -1,0 +1,67 @@
+"""Synthetic Covid-19 country-level dataset.
+
+One row per country and month of 2020 with the columns used by the
+paper's Covid queries: ``Country``, ``WHO_Region``, ``Month``,
+``Confirmed_cases``, ``New_cases``, ``Recovered_per_100_cases``,
+``Active_per_100_cases`` and the outcome ``Deaths_per_100_cases``.
+
+The death rate is generated from country facts held in the knowledge graph
+(HDI, GDP per capita, population density) plus the in-table confirmed-case
+load — so the planted explanation of the Country↔death-rate correlation is
+``{HDI, GDP, Confirmed_cases}``, matching Covid Q1 in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro import world
+from repro.table.table import Table
+from repro.utils.rng import SeedLike, make_rng
+
+_MONTHS = list(range(1, 13))
+
+
+def expected_death_rate(country: world.CountryFacts, confirmed_per_million: float) -> float:
+    """Structural (noise-free) deaths per 100 confirmed cases.
+
+    Lower for countries with a high HDI and GDP (better health systems),
+    higher for dense countries and for a heavier confirmed-case load.
+    """
+    base = 9.0
+    development = -14.0 * (country.hdi - 0.7) - 0.045 * country.gdp_per_capita
+    density_effect = 0.0022 * min(country.density, 1500.0)
+    load = 1.1 * np.log1p(confirmed_per_million / 1000.0)
+    return float(max(0.2, base + development + density_effect + load))
+
+
+def generate_covid_dataset(seed: SeedLike = 11, noise_scale: float = 0.9) -> Table:
+    """Generate the synthetic Covid-19 table (one row per country per month)."""
+    rng = make_rng(seed)
+    rows: List[Dict[str, object]] = []
+    for country in world.countries():
+        # Case load grows over the year and scales with density and population.
+        base_rate = rng.uniform(800, 12000)  # confirmed per million over the year
+        for month in _MONTHS:
+            growth = month / len(_MONTHS)
+            confirmed_per_million = base_rate * growth * (1.0 + 0.0004 * country.density)
+            confirmed = int(confirmed_per_million * country.population_millions)
+            new_cases = int(confirmed * rng.uniform(0.1, 0.35))
+            death_rate = expected_death_rate(country, confirmed_per_million)
+            death_rate += float(rng.normal(0.0, noise_scale))
+            death_rate = max(0.05, death_rate)
+            recovered = float(np.clip(rng.normal(70.0, 12.0), 5.0, 98.0))
+            active = max(0.0, 100.0 - recovered - death_rate)
+            rows.append({
+                "Country": country.name,
+                "WHO_Region": country.who_region,
+                "Month": month,
+                "Confirmed_cases": confirmed,
+                "New_cases": new_cases,
+                "Deaths_per_100_cases": round(death_rate, 3),
+                "Recovered_per_100_cases": round(recovered, 3),
+                "Active_per_100_cases": round(active, 3),
+            })
+    return Table.from_rows(rows, name="Covid-19")

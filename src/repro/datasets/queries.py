@@ -1,0 +1,259 @@
+"""The evaluation queries.
+
+* :func:`representative_queries` — the 14 representative queries of Table 2,
+  each with its planted ground-truth confounders (derived from the
+  structural models in the dataset generators, and therefore known exactly
+  here, unlike the paper which relies on external literature).
+* :func:`random_queries` — the random-query generator of Section 5.1 (pick a
+  KG-extraction column as the exposure, a numeric attribute as the outcome,
+  and a random WHERE clause selecting at least 10 % of the tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.expressions import Eq, TRUE
+from repro.table.table import Table
+from repro.utils.rng import SeedLike, make_rng
+
+#: Groups of attribute names considered equivalent when scoring an
+#: explanation against the ground truth (DBpedia-style graphs carry both a
+#: statistic and its rank, and either one controls the same confounder).
+EQUIVALENCE_GROUPS: Tuple[FrozenSet[str], ...] = (
+    frozenset({"HDI", "HDI Rank"}),
+    frozenset({"GDP", "GDP Rank", "GDP Nominal"}),
+    frozenset({"Gini", "Gini Rank"}),
+    frozenset({"Population Census", "Population Estimate", "Population Rank"}),
+    frozenset({"Population Total", "Population Urban", "Population Metropolitan",
+               "Population Ranking"}),
+    frozenset({"State Population estimation", "State Population Rank",
+               "State Population Urban"}),
+    frozenset({"Year Low F", "Year Avg F", "December Low F"}),
+    frozenset({"Precipitation Days", "Year Snow", "Year UV", "December percent sun"}),
+    frozenset({"State Year Low F", "State Record Low F", "State Dec Record Low F",
+               "State Year Snow", "State Precipitation Days"}),
+    frozenset({"Fleet size", "Num of Employees", "Revenue"}),
+    frozenset({"Equity", "Net Income"}),
+    frozenset({"Net Worth", "Years Active", "ActiveSince", "Age"}),
+    frozenset({"Cups", "Total Cups", "National Cups"}),
+)
+
+
+def expand_equivalents(attribute: str) -> FrozenSet[str]:
+    """All attribute names considered equivalent to ``attribute``."""
+    for group in EQUIVALENCE_GROUPS:
+        if attribute in group:
+            return group
+    return frozenset({attribute})
+
+
+@dataclass(frozen=True)
+class RepresentativeQuery:
+    """One evaluation query plus its planted ground truth.
+
+    Attributes
+    ----------
+    query_id:
+        Identifier matching Table 2 (``"SO-Q1"``, ``"Flights-Q3"``, ...).
+    dataset:
+        Name of the dataset the query runs over.
+    query:
+        The aggregate query itself.
+    ground_truth:
+        The planted confounders; each entry is a frozenset of acceptable
+        (equivalent) attribute names, and an explanation "covers" the entry
+        if it contains any of them.
+    description:
+        One-line description mirroring the paper's Table 2 row.
+    """
+
+    query_id: str
+    dataset: str
+    query: AggregateQuery
+    ground_truth: Tuple[FrozenSet[str], ...]
+    description: str
+
+    def coverage(self, attributes: Sequence[str]) -> float:
+        """Fraction of ground-truth confounders covered by ``attributes``."""
+        if not self.ground_truth:
+            return 0.0
+        attribute_set = set(attributes)
+        hit = sum(1 for group in self.ground_truth if attribute_set & group)
+        return hit / len(self.ground_truth)
+
+    def precision(self, attributes: Sequence[str]) -> float:
+        """Fraction of ``attributes`` that belong to some ground-truth group."""
+        attributes = list(attributes)
+        if not attributes:
+            return 0.0
+        acceptable = set()
+        for group in self.ground_truth:
+            acceptable |= group
+        hits = sum(1 for attribute in attributes if attribute in acceptable)
+        return hits / len(attributes)
+
+
+def _gt(*names: str) -> Tuple[FrozenSet[str], ...]:
+    return tuple(expand_equivalents(name) for name in names)
+
+
+def representative_queries(dataset: Optional[str] = None) -> List[RepresentativeQuery]:
+    """The 14 representative queries of Table 2 (optionally for one dataset)."""
+    queries = [
+        # ----------------------------- Stack Overflow ----------------------
+        RepresentativeQuery(
+            query_id="SO-Q1", dataset="SO",
+            query=AggregateQuery(exposure="Country", outcome="Salary", aggregate="avg",
+                                 table_name="SO", name="SO-Q1"),
+            ground_truth=_gt("HDI", "Gini", "GDP"),
+            description="Average salary per country",
+        ),
+        RepresentativeQuery(
+            query_id="SO-Q2", dataset="SO",
+            query=AggregateQuery(exposure="Continent", outcome="Salary", aggregate="avg",
+                                 table_name="SO", name="SO-Q2"),
+            ground_truth=_gt("GDP", "HDI"),
+            description="Average salary per continent",
+        ),
+        RepresentativeQuery(
+            query_id="SO-Q3", dataset="SO",
+            query=AggregateQuery(exposure="Country", outcome="Salary", aggregate="avg",
+                                 context=Eq("Continent", "Europe"), table_name="SO",
+                                 name="SO-Q3"),
+            ground_truth=_gt("GDP", "Gini", "Population Census"),
+            description="Average salary per country in Europe",
+        ),
+        # ----------------------------- Flights ------------------------------
+        RepresentativeQuery(
+            query_id="Flights-Q1", dataset="Flights",
+            query=AggregateQuery(exposure="Origin_City", outcome="Departure_Delay",
+                                 aggregate="avg", table_name="Flights", name="Flights-Q1"),
+            ground_truth=_gt("Precipitation Days", "Year Low F", "Population Metropolitan"),
+            description="Average delay per origin city",
+        ),
+        RepresentativeQuery(
+            query_id="Flights-Q2", dataset="Flights",
+            query=AggregateQuery(exposure="Origin_State", outcome="Departure_Delay",
+                                 aggregate="avg", table_name="Flights", name="Flights-Q2"),
+            ground_truth=_gt("State Year Snow", "State Population estimation",
+                             "Year Low F", "Population Metropolitan"),
+            description="Average delay per origin state",
+        ),
+        RepresentativeQuery(
+            query_id="Flights-Q3", dataset="Flights",
+            query=AggregateQuery(exposure="Origin_City", outcome="Departure_Delay",
+                                 aggregate="avg", context=Eq("Origin_State", "California"),
+                                 table_name="Flights", name="Flights-Q3"),
+            ground_truth=_gt("Population Metropolitan", "Density"),
+            description="Average delay per origin city in California",
+        ),
+        RepresentativeQuery(
+            query_id="Flights-Q4", dataset="Flights",
+            query=AggregateQuery(exposure="Origin_State", outcome="Departure_Delay",
+                                 aggregate="avg",
+                                 context=Eq("Airline", "Southwest Airlines"),
+                                 table_name="Flights", name="Flights-Q4"),
+            ground_truth=_gt("State Population estimation", "State Year Snow"),
+            description="Average delay per origin state for one airline",
+        ),
+        RepresentativeQuery(
+            query_id="Flights-Q5", dataset="Flights",
+            query=AggregateQuery(exposure="Airline", outcome="Departure_Delay",
+                                 aggregate="avg", table_name="Flights", name="Flights-Q5"),
+            ground_truth=_gt("Equity", "Fleet size"),
+            description="Average delay per airline",
+        ),
+        # ----------------------------- Covid-19 -----------------------------
+        RepresentativeQuery(
+            query_id="Covid-Q1", dataset="Covid-19",
+            query=AggregateQuery(exposure="Country", outcome="Deaths_per_100_cases",
+                                 aggregate="avg", table_name="Covid-19", name="Covid-Q1"),
+            ground_truth=_gt("HDI", "GDP", "Confirmed_cases"),
+            description="Deaths per 100 cases per country",
+        ),
+        RepresentativeQuery(
+            query_id="Covid-Q2", dataset="Covid-19",
+            query=AggregateQuery(exposure="Country", outcome="Deaths_per_100_cases",
+                                 aggregate="avg", context=Eq("WHO_Region", "Europe"),
+                                 table_name="Covid-19", name="Covid-Q2"),
+            ground_truth=_gt("GDP", "HDI", "Density", "Confirmed_cases"),
+            description="Deaths per 100 cases per country in Europe",
+        ),
+        RepresentativeQuery(
+            query_id="Covid-Q3", dataset="Covid-19",
+            query=AggregateQuery(exposure="WHO_Region", outcome="Deaths_per_100_cases",
+                                 aggregate="avg", table_name="Covid-19", name="Covid-Q3"),
+            ground_truth=_gt("Density", "HDI", "GDP", "Confirmed_cases"),
+            description="Average deaths per WHO region",
+        ),
+        # ----------------------------- Forbes -------------------------------
+        RepresentativeQuery(
+            query_id="Forbes-Q1", dataset="Forbes",
+            query=AggregateQuery(exposure="Name", outcome="Pay", aggregate="avg",
+                                 context=Eq("Category", "Actors"), table_name="Forbes",
+                                 name="Forbes-Q1"),
+            ground_truth=_gt("Net Worth", "Gender"),
+            description="Pay of actors",
+        ),
+        RepresentativeQuery(
+            query_id="Forbes-Q2", dataset="Forbes",
+            query=AggregateQuery(exposure="Name", outcome="Pay", aggregate="avg",
+                                 context=Eq("Category", "Directors/Producers"),
+                                 table_name="Forbes", name="Forbes-Q2"),
+            ground_truth=_gt("Net Worth", "Awards"),
+            description="Pay of directors and producers",
+        ),
+        RepresentativeQuery(
+            query_id="Forbes-Q3", dataset="Forbes",
+            query=AggregateQuery(exposure="Name", outcome="Pay", aggregate="avg",
+                                 context=Eq("Category", "Athletes"), table_name="Forbes",
+                                 name="Forbes-Q3"),
+            ground_truth=_gt("Cups", "Draft Pick"),
+            description="Pay of athletes",
+        ),
+    ]
+    if dataset is not None:
+        queries = [query for query in queries if query.dataset == dataset]
+    return queries
+
+
+def random_queries(table: Table, exposure_columns: Sequence[str], n_queries: int = 10,
+                   seed: SeedLike = 0, min_context_fraction: float = 0.1,
+                   outcome_columns: Optional[Sequence[str]] = None) -> List[AggregateQuery]:
+    """The random-query generator of Section 5.1.
+
+    ``T`` is drawn from ``exposure_columns`` (the columns used for KG
+    extraction), ``O`` from the numeric columns, and a random equality WHERE
+    clause is added when it keeps at least ``min_context_fraction`` of the
+    tuples (otherwise the query is generated without a context).
+    """
+    rng = make_rng(seed)
+    numeric = outcome_columns or table.schema.numeric_names()
+    queries: List[AggregateQuery] = []
+    attempts = 0
+    while len(queries) < n_queries and attempts < n_queries * 30:
+        attempts += 1
+        exposure = str(rng.choice(list(exposure_columns)))
+        outcome_candidates = [name for name in numeric if name != exposure]
+        if not outcome_candidates:
+            break
+        outcome = str(rng.choice(outcome_candidates))
+        context = TRUE
+        categorical = [name for name in table.schema.categorical_names()
+                       if name not in (exposure, outcome)]
+        if categorical and rng.random() < 0.8:
+            attribute = str(rng.choice(categorical))
+            values = table.column(attribute).unique()
+            if values:
+                value = values[int(rng.integers(0, len(values)))]
+                candidate_context = Eq(attribute, value)
+                kept = int(candidate_context.mask(table).sum())
+                if kept >= min_context_fraction * table.n_rows:
+                    context = candidate_context
+        queries.append(AggregateQuery(exposure=exposure, outcome=outcome, aggregate="avg",
+                                      context=context, table_name=table.name,
+                                      name=f"random-{len(queries) + 1}"))
+    return queries

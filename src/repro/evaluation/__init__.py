@@ -1,0 +1,18 @@
+"""Evaluation utilities: ground-truth scoring, simulated user study, harness.
+
+The paper's quality evaluation (Tables 2 and 3) relies on a 150-subject
+Amazon MTurk study; offline, the study is replaced by a simulated-subject
+scoring oracle that rewards exactly the properties the paper argues make
+explanations convincing: coverage of the true (planted) confounders,
+precision (no irrelevant attributes), non-redundancy and explanatory power.
+"""
+
+from repro.evaluation.harness import ExperimentRun, run_methods_for_query
+from repro.evaluation.scoring import SimulatedStudyResult, simulate_user_study
+
+__all__ = [
+    "ExperimentRun",
+    "run_methods_for_query",
+    "SimulatedStudyResult",
+    "simulate_user_study",
+]

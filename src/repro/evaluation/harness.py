@@ -1,0 +1,116 @@
+"""Multi-method experiment harness used by the quality benchmarks.
+
+``run_methods_for_query`` runs MESA, MESA- (no pruning) and the baselines on
+one representative query of a dataset bundle, sharing the extraction and the
+pruned candidate set the way the paper's protocol does ("for a fair
+comparison, we run all baselines (except for MESA-) after employing our
+pruning optimizations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.brute_force import brute_force
+from repro.baselines.cajade import cajade
+from repro.baselines.hypdb import hypdb
+from repro.baselines.linear_regression import linear_regression
+from repro.baselines.top_k import top_k
+from repro.core.explanation import Explanation
+from repro.core.mcimr import mcimr
+from repro.core.problem import CorrelationExplanationProblem
+from repro.datasets.queries import RepresentativeQuery
+from repro.datasets.registry import DatasetBundle
+from repro.exceptions import ExplanationError
+from repro.mesa.config import MESAConfig
+from repro.mesa.system import MESA, MESAResult
+
+#: Methods the harness knows how to run.
+ALL_METHODS = ("mesa", "mesa_minus", "brute_force", "top_k", "linear_regression",
+               "hypdb", "cajade")
+
+
+@dataclass
+class ExperimentRun:
+    """All method results for one query."""
+
+    query: RepresentativeQuery
+    explanations: Dict[str, Explanation] = field(default_factory=dict)
+    mesa_result: Optional[MESAResult] = None
+
+    def explainability_distance_from(self, reference_method: str) -> Dict[str, float]:
+        """Per-method distance of the explainability score from a reference method.
+
+        This is the quantity plotted in Figure 2 (distance from Brute-Force).
+        Methods missing from the run are skipped.
+        """
+        if reference_method not in self.explanations:
+            raise ExplanationError(
+                f"Reference method {reference_method!r} was not run for {self.query.query_id}"
+            )
+        reference = self.explanations[reference_method].explainability
+        return {method: explanation.explainability - reference
+                for method, explanation in self.explanations.items()
+                if method != reference_method}
+
+
+def run_methods_for_query(bundle: DatasetBundle, query: RepresentativeQuery,
+                          methods: Sequence[str] = ALL_METHODS,
+                          k: int = 5,
+                          config: Optional[MESAConfig] = None,
+                          brute_force_k: int = 3,
+                          brute_force_max_candidates: int = 30) -> ExperimentRun:
+    """Run the requested methods on one representative query.
+
+    MESA runs its own full pipeline.  The other methods run on the problem
+    instance MESA produced (same extraction, same pruned candidates, same
+    IPW weights), which mirrors the paper's protocol and keeps the
+    comparison about the *selection* strategy.  Brute-force is restricted to
+    the ``brute_force_max_candidates`` most relevant candidates so that it
+    stays feasible, as in the paper where it only runs on the small datasets.
+    """
+    unknown = [method for method in methods if method not in ALL_METHODS]
+    if unknown:
+        raise ExplanationError(f"Unknown method(s) {unknown}; supported: {ALL_METHODS}")
+    config = config or MESAConfig(k=k, excluded_columns=bundle.id_columns)
+    run = ExperimentRun(query=query)
+
+    mesa_system = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                       config=config)
+    mesa_result = mesa_system.explain(query.query, k=k)
+    run.mesa_result = mesa_result
+    problem = mesa_result.problem
+    candidates = list(problem.candidates)
+
+    if "mesa" in methods:
+        run.explanations["mesa"] = mesa_result.explanation
+
+    if "mesa_minus" in methods:
+        minus_system = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                            config=config.without_pruning())
+        run.explanations["mesa_minus"] = minus_system.explain(query.query, k=k).explanation
+
+    if "top_k" in methods:
+        run.explanations["top_k"] = top_k(problem, k=min(k, 3), candidates=candidates)
+    if "linear_regression" in methods:
+        run.explanations["linear_regression"] = linear_regression(
+            problem, k=min(k, 3), candidates=candidates)
+    if "hypdb" in methods:
+        run.explanations["hypdb"] = hypdb(problem, k=min(k, 3), candidates=candidates)
+    if "cajade" in methods:
+        run.explanations["cajade"] = cajade(problem, k=min(k, 3), candidates=candidates)
+    if "brute_force" in methods:
+        ranked = sorted(candidates, key=problem.attribute_relevance)
+        restricted = ranked[:brute_force_max_candidates]
+        run.explanations["brute_force"] = brute_force(
+            problem, k=brute_force_k, candidates=restricted,
+            max_candidates=brute_force_max_candidates)
+    return run
+
+
+def run_all_queries(bundle: DatasetBundle, methods: Sequence[str] = ALL_METHODS,
+                    k: int = 5, config: Optional[MESAConfig] = None) -> List[ExperimentRun]:
+    """Run the harness over every representative query of a bundle."""
+    return [run_methods_for_query(bundle, query, methods=methods, k=k, config=config)
+            for query in bundle.queries]

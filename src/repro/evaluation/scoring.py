@@ -1,0 +1,95 @@
+"""Simulated user study (replacement for the paper's MTurk evaluation).
+
+Each simulated subject rates an explanation on the paper's 1–5 scale.  The
+subject's latent quality judgement combines
+
+* **coverage** of the planted ground-truth confounders (did the explanation
+  mention the factors that actually drive the outcome?),
+* **precision** (are the mentioned attributes relevant at all?),
+* **explanatory power** (how much of the correlation the set explains away),
+* a **redundancy penalty** when the explanation spends several slots on
+  attributes from the same equivalence group (``Year Low F`` + ``Year Avg F``),
+* an **empty-explanation penalty** (methods that return nothing, as LR often
+  does, read as unconvincing);
+
+plus per-subject noise.  The oracle is deliberately simple — its purpose is
+to let the Table 3 benchmark compare *methods* under a transparent,
+documented stand-in for human judgement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.explanation import Explanation
+from repro.datasets.queries import EQUIVALENCE_GROUPS, RepresentativeQuery
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class SimulatedStudyResult:
+    """Aggregated scores of one method on one query."""
+
+    method: str
+    mean_score: float
+    variance: float
+    n_subjects: int
+
+
+def redundancy_penalty(attributes: Sequence[str]) -> float:
+    """0.0–1.0 penalty for spending several slots on equivalent attributes."""
+    attributes = list(attributes)
+    if len(attributes) < 2:
+        return 0.0
+    redundant_pairs = 0
+    total_pairs = 0
+    for i in range(len(attributes)):
+        for j in range(i + 1, len(attributes)):
+            total_pairs += 1
+            for group in EQUIVALENCE_GROUPS:
+                if attributes[i] in group and attributes[j] in group:
+                    redundant_pairs += 1
+                    break
+    if total_pairs == 0:
+        return 0.0
+    return redundant_pairs / total_pairs
+
+
+def explanation_quality(explanation: Explanation, query: RepresentativeQuery) -> float:
+    """Latent quality in [0, 1] of one explanation for one query."""
+    if not explanation.attributes:
+        return 0.05
+    coverage = query.coverage(explanation.attributes)
+    precision = query.precision(explanation.attributes)
+    power = explanation.relative_improvement
+    penalty = 0.35 * redundancy_penalty(explanation.attributes)
+    quality = 0.45 * coverage + 0.25 * precision + 0.30 * power - penalty
+    return float(np.clip(quality, 0.0, 1.0))
+
+
+def simulate_user_study(explanations: Mapping[str, Explanation],
+                        query: RepresentativeQuery,
+                        n_subjects: int = 150,
+                        noise_scale: float = 0.7,
+                        seed: SeedLike = 0) -> Dict[str, SimulatedStudyResult]:
+    """Score every method's explanation with ``n_subjects`` simulated raters.
+
+    Returns one :class:`SimulatedStudyResult` per method, keyed by method
+    name.  Scores lie on the paper's 1–5 scale.
+    """
+    rng = make_rng(seed)
+    results: Dict[str, SimulatedStudyResult] = {}
+    for method, explanation in explanations.items():
+        quality = explanation_quality(explanation, query)
+        latent = 1.0 + 4.0 * quality
+        scores = np.clip(latent + rng.normal(0.0, noise_scale, size=n_subjects), 1.0, 5.0)
+        results[method] = SimulatedStudyResult(
+            method=method,
+            mean_score=float(scores.mean()),
+            variance=float(scores.var()),
+            n_subjects=n_subjects,
+        )
+    return results

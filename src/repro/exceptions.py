@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError``,
+``KeyError`` from misuse of plain Python objects, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table or column was used in a way incompatible with its schema.
+
+    Examples: referencing a column that does not exist, joining on columns
+    with incompatible types, or adding a column whose length does not match
+    the table.
+    """
+
+
+class QueryError(ReproError):
+    """An aggregate query is malformed or references missing attributes."""
+
+
+class ExtractionError(ReproError):
+    """Knowledge-graph attribute extraction failed.
+
+    Raised for instance when the extraction column does not exist in the
+    input table or when the requested number of hops is not positive.
+    """
+
+
+class EntityLinkingError(ReproError):
+    """The entity linker was configured or invoked incorrectly."""
+
+
+class EstimationError(ReproError):
+    """An information-theoretic quantity could not be estimated.
+
+    Typically raised when arrays have mismatched lengths or when weights are
+    negative.
+    """
+
+
+class MissingDataError(ReproError):
+    """Missing-data handling (IPW, recoverability analysis) failed."""
+
+
+class ExplanationError(ReproError):
+    """The explanation search (MCIMR, brute force, baselines) was misused."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains invalid settings."""

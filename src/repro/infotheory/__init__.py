@@ -1,0 +1,50 @@
+"""Discrete information-theoretic estimators.
+
+The paper measures partial correlation with conditional mutual information
+(CMI) estimated from data by the Pyitlib library; this package provides the
+same plug-in estimators from scratch, extended with per-row weights so that
+the inverse-probability-weighting correction of Section 3.2 can be applied
+directly inside the estimators.
+
+All estimators operate on integer *code* arrays (one code per row, ``-1``
+denoting a missing value) produced by :mod:`repro.infotheory.encoding`.
+Rows with a missing value in any involved variable are excluded
+(complete-case analysis), optionally re-weighted via the ``weights``
+argument.
+"""
+
+from repro.infotheory.encoding import (
+    EncodedFrame,
+    encode_column,
+    encode_table,
+    joint_codes,
+)
+from repro.infotheory.entropy import (
+    conditional_entropy,
+    entropy,
+    joint_entropy,
+)
+from repro.infotheory.mutual_information import (
+    conditional_mutual_information,
+    interaction_information,
+    mutual_information,
+)
+from repro.infotheory.independence import (
+    IndependenceResult,
+    conditional_independence_test,
+)
+
+__all__ = [
+    "EncodedFrame",
+    "encode_column",
+    "encode_table",
+    "joint_codes",
+    "conditional_entropy",
+    "entropy",
+    "joint_entropy",
+    "conditional_mutual_information",
+    "interaction_information",
+    "mutual_information",
+    "IndependenceResult",
+    "conditional_independence_test",
+]

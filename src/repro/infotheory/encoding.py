@@ -1,0 +1,157 @@
+"""Encoding of table columns into integer codes for the estimators.
+
+Information-theoretic quantities over a table are computed on factorised
+columns: each distinct (present) value of a column gets an integer code and
+missing cells get ``-1``.  Numeric columns are discretised first (the paper
+bins numeric attributes before estimating CMI).  The :class:`EncodedFrame`
+caches the encoding of every column of a table so that the explanation
+search, which evaluates hundreds of CMI terms over the same table, does not
+re-factorise columns repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+from repro.table.column import Column
+from repro.table.discretize import DEFAULT_BINS, discretize_column
+from repro.table.table import Table
+
+
+def encode_column(column: Column, n_bins: int = DEFAULT_BINS,
+                  strategy: str = "frequency") -> Tuple[np.ndarray, List[Any]]:
+    """Encode a single column into integer codes.
+
+    Numeric columns with more than ``n_bins`` distinct values are binned
+    first; categorical columns are factorised directly.  Returns
+    ``(codes, categories)`` with ``codes[i] == -1`` for missing cells.
+    """
+    if column.is_numeric() and column.n_unique() > n_bins:
+        binned, _ = discretize_column(column, n_bins=n_bins, strategy=strategy)
+        return binned.codes()
+    return column.codes()
+
+
+def joint_codes(code_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Combine several code arrays into a single joint code array.
+
+    The joint code of a row is a distinct integer for every distinct tuple of
+    per-variable codes.  A missing value (``-1``) in any component makes the
+    joint code ``-1``.  An empty sequence encodes the "empty conditioning
+    set": every row gets joint code ``0``.
+    """
+    if len(code_arrays) == 0:
+        raise EstimationError("joint_codes requires at least one code array")
+    lengths = {len(codes) for codes in code_arrays}
+    if len(lengths) != 1:
+        raise EstimationError(f"Code arrays have differing lengths: {sorted(lengths)}")
+    n = lengths.pop()
+    if len(code_arrays) == 1:
+        return np.asarray(code_arrays[0], dtype=np.int64).copy()
+    stacked = np.stack([np.asarray(codes, dtype=np.int64) for codes in code_arrays], axis=1)
+    missing = (stacked < 0).any(axis=1)
+    result = np.full(n, -1, dtype=np.int64)
+    if (~missing).any():
+        present_rows = stacked[~missing]
+        # np.unique over rows yields one inverse index per distinct tuple.
+        _, inverse = np.unique(present_rows, axis=0, return_inverse=True)
+        result[~missing] = inverse
+    return result
+
+
+@dataclass
+class EncodedFrame:
+    """A cache of encoded columns of one table.
+
+    Parameters
+    ----------
+    table:
+        The table whose columns are encoded lazily on first access.
+    n_bins:
+        Number of bins used when a numeric column must be discretised.
+    strategy:
+        Binning strategy (``"frequency"`` or ``"width"``).
+    """
+
+    table: Table
+    n_bins: int = DEFAULT_BINS
+    strategy: str = "frequency"
+    _codes: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _categories: Dict[str, List[Any]] = field(default_factory=dict, repr=False)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows of the underlying table."""
+        return self.table.n_rows
+
+    def codes(self, column_name: str, missing_as_category: bool = False) -> np.ndarray:
+        """Integer codes for ``column_name`` (cached).
+
+        With ``missing_as_category=True`` missing cells are remapped to an
+        extra category (``len(categories)``) instead of the ``-1`` sentinel,
+        so the estimators keep those rows instead of dropping them.  MESA
+        uses this representation for *conditioning* attributes: a row whose
+        confounder value is unknown cannot have its correlation explained by
+        that confounder, so it keeps contributing its unconditional
+        dependence rather than silently vanishing from the estimate.
+        """
+        if column_name not in self._codes:
+            codes, categories = encode_column(
+                self.table.column(column_name), n_bins=self.n_bins, strategy=self.strategy
+            )
+            self._codes[column_name] = codes
+            self._categories[column_name] = categories
+        codes = self._codes[column_name]
+        if missing_as_category and (codes < 0).any():
+            remapped = codes.copy()
+            remapped[remapped < 0] = len(self._categories[column_name])
+            return remapped
+        return codes
+
+    def categories(self, column_name: str) -> List[Any]:
+        """The category list for ``column_name`` (index = code)."""
+        self.codes(column_name)
+        return self._categories[column_name]
+
+    def codes_for(self, column_names: Sequence[str]) -> List[np.ndarray]:
+        """Codes for several columns, in order."""
+        return [self.codes(column_name) for column_name in column_names]
+
+    def joint(self, column_names: Sequence[str]) -> np.ndarray:
+        """Joint codes over several columns (``0`` everywhere for the empty set)."""
+        if not column_names:
+            return np.zeros(self.n_rows, dtype=np.int64)
+        return joint_codes(self.codes_for(column_names))
+
+    def observed_mask(self, column_name: str) -> np.ndarray:
+        """Boolean mask, True where the column is present (the ``R_E`` indicator)."""
+        return self.codes(column_name) >= 0
+
+    def restrict(self, mask: np.ndarray) -> "EncodedFrame":
+        """A new frame over the rows selected by ``mask``.
+
+        Cached encodings are sliced rather than recomputed so that repeated
+        context refinements (Section 4.3) stay cheap.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.n_rows:
+            raise EstimationError(
+                f"Restriction mask of length {len(mask)} does not match frame with "
+                f"{self.n_rows} rows"
+            )
+        restricted = EncodedFrame(self.table.filter(mask), n_bins=self.n_bins,
+                                  strategy=self.strategy)
+        for column_name, codes in self._codes.items():
+            restricted._codes[column_name] = codes[mask]
+            restricted._categories[column_name] = self._categories[column_name]
+        return restricted
+
+
+def encode_table(table: Table, n_bins: int = DEFAULT_BINS,
+                 strategy: str = "frequency") -> EncodedFrame:
+    """Convenience constructor for :class:`EncodedFrame`."""
+    return EncodedFrame(table, n_bins=n_bins, strategy=strategy)

@@ -1,0 +1,28 @@
+"""Knowledge-graph substrate: triple store, entity linking, attribute extraction.
+
+The paper mines candidate confounding attributes from DBpedia.  Offline, we
+provide (1) a small triple-store :class:`KnowledgeGraph`, (2) a
+string-normalising fuzzy :class:`EntityLinker` standing in for the NED step,
+(3) an :class:`AttributeExtractor` that builds the universal relation of
+entity properties (1-hop or multi-hop, with user-defined aggregation of
+one-to-many relations), and (4) synthetic "DBpedia-like" graph builders with
+country / city / state / airline / celebrity entities whose properties drive
+the outcomes of the synthetic datasets.
+"""
+
+from repro.kg.graph import Entity, Fact, KnowledgeGraph
+from repro.kg.entity_linking import EntityLinker, LinkResult, normalize_label
+from repro.kg.extraction import AttributeExtractor, ExtractionResult
+from repro.kg.synthetic import build_world_knowledge_graph
+
+__all__ = [
+    "Entity",
+    "Fact",
+    "KnowledgeGraph",
+    "EntityLinker",
+    "LinkResult",
+    "normalize_label",
+    "AttributeExtractor",
+    "ExtractionResult",
+    "build_world_knowledge_graph",
+]

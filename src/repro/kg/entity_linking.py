@@ -1,0 +1,146 @@
+"""Named-entity disambiguation (NED): linking table values to KG entities.
+
+The paper relies on an off-the-shelf entity linker (SpaCy) and reports two
+characteristic failure modes that our linker reproduces deliberately:
+
+* *name mismatches* — the table says ``"Russian Federation"`` while the KG
+  entity is labelled ``"Russia"``; the normalising + fuzzy matching layer
+  recovers most of these but not all;
+* *ambiguity* — the table value ``"Ronaldo"`` matches several entities; the
+  linker refuses to pick one and the value stays unlinked, which surfaces
+  downstream as missing extracted values (exactly the source of selection
+  bias that Section 3.2 handles).
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+import unicodedata
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import EntityLinkingError
+from repro.kg.graph import Entity, KnowledgeGraph
+
+_WORD_RE = re.compile(r"[a-z0-9]+")
+
+
+def normalize_label(text: str) -> str:
+    """Normalise a label: lowercase, strip accents and punctuation, collapse spaces."""
+    text = unicodedata.normalize("NFKD", str(text))
+    text = "".join(ch for ch in text if not unicodedata.combining(ch))
+    tokens = _WORD_RE.findall(text.lower())
+    return " ".join(tokens)
+
+
+@dataclass(frozen=True)
+class LinkResult:
+    """Outcome of linking one table value."""
+
+    value: str
+    entity_id: Optional[str]
+    score: float
+    ambiguous: bool = False
+    candidates: Tuple[str, ...] = ()
+
+    @property
+    def linked(self) -> bool:
+        """Whether a single entity was confidently selected."""
+        return self.entity_id is not None
+
+
+class EntityLinker:
+    """Links raw table values to knowledge-graph entities.
+
+    Strategy, in order:
+
+    1. exact match of the normalised value against normalised labels/aliases;
+    2. fuzzy match (difflib ratio) above ``fuzzy_threshold``;
+    3. otherwise the value is left unlinked.
+
+    A value whose normalised form matches several *distinct* entities is
+    reported as ambiguous and left unlinked (mirroring the ``Ronaldo``
+    example of the paper's appendix).
+    """
+
+    def __init__(self, graph: KnowledgeGraph, entity_class: Optional[str] = None,
+                 fuzzy_threshold: float = 0.85):
+        if not 0.0 < fuzzy_threshold <= 1.0:
+            raise EntityLinkingError(f"fuzzy_threshold must lie in (0, 1], got {fuzzy_threshold}")
+        self.graph = graph
+        self.entity_class = entity_class
+        self.fuzzy_threshold = fuzzy_threshold
+        self._index: Dict[str, List[str]] = {}
+        self._names: List[str] = []
+        self._build_index()
+
+    def _candidate_entities(self) -> List[Entity]:
+        if self.entity_class is None:
+            return list(self.graph.entities())
+        return self.graph.entities_of_class(self.entity_class)
+
+    def _build_index(self) -> None:
+        for entity in self._candidate_entities():
+            for name in entity.all_names():
+                key = normalize_label(name)
+                if not key:
+                    continue
+                bucket = self._index.setdefault(key, [])
+                if entity.entity_id not in bucket:
+                    bucket.append(entity.entity_id)
+        self._names = sorted(self._index)
+
+    # ------------------------------------------------------------------ #
+    # linking
+    # ------------------------------------------------------------------ #
+    def link(self, value: object) -> LinkResult:
+        """Link a single table value to an entity."""
+        if value is None:
+            return LinkResult(value="", entity_id=None, score=0.0)
+        raw = str(value)
+        key = normalize_label(raw)
+        if not key:
+            return LinkResult(value=raw, entity_id=None, score=0.0)
+
+        exact = self._index.get(key, [])
+        if len(exact) == 1:
+            return LinkResult(value=raw, entity_id=exact[0], score=1.0)
+        if len(exact) > 1:
+            return LinkResult(value=raw, entity_id=None, score=1.0, ambiguous=True,
+                              candidates=tuple(exact))
+
+        match = difflib.get_close_matches(key, self._names, n=1, cutoff=self.fuzzy_threshold)
+        if match:
+            matched_key = match[0]
+            candidates = self._index[matched_key]
+            score = difflib.SequenceMatcher(None, key, matched_key).ratio()
+            if len(candidates) == 1:
+                return LinkResult(value=raw, entity_id=candidates[0], score=score)
+            return LinkResult(value=raw, entity_id=None, score=score, ambiguous=True,
+                              candidates=tuple(candidates))
+        return LinkResult(value=raw, entity_id=None, score=0.0)
+
+    def link_all(self, values: List[object]) -> Dict[object, LinkResult]:
+        """Link every *distinct* value in ``values``; returns a mapping keyed by value."""
+        results: Dict[object, LinkResult] = {}
+        for value in values:
+            if value in results or value is None:
+                continue
+            results[value] = self.link(value)
+        return results
+
+    def linking_report(self, values: List[object]) -> Dict[str, float]:
+        """Fractions of linked / ambiguous / unmatched distinct values."""
+        results = self.link_all(values)
+        total = len(results)
+        if total == 0:
+            return {"linked": 0.0, "ambiguous": 0.0, "unmatched": 0.0, "n_values": 0}
+        linked = sum(1 for r in results.values() if r.linked)
+        ambiguous = sum(1 for r in results.values() if r.ambiguous)
+        return {
+            "linked": linked / total,
+            "ambiguous": ambiguous / total,
+            "unmatched": (total - linked - ambiguous) / total,
+            "n_values": total,
+        }

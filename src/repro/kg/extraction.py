@@ -1,0 +1,214 @@
+"""Attribute extraction from a knowledge graph (Section 3.1 of the paper).
+
+Given an input table, the columns to extract from (e.g. ``Country``) and a
+knowledge graph, the extractor
+
+1. links every distinct value of the extraction column to a KG entity (NED);
+2. pulls all properties of the linked entities — 1 hop by default, or more
+   hops by following entity-valued properties and flattening their literal
+   properties into names such as ``Leader Age``;
+3. aggregates one-to-many relations with a user-supplied function
+   (mean for numbers, first for categories, by default);
+4. organises everything into the *universal relation*: one row per distinct
+   key value, one column per extracted property, ``None`` for every property
+   the KG does not know — this is where the sparsity / missing-data story of
+   the paper comes from.
+
+The resulting :class:`ExtractionResult` can then be joined back onto the
+input table with :meth:`AttributeExtractor.augment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExtractionError
+from repro.kg.entity_linking import EntityLinker, LinkResult
+from repro.kg.graph import Fact, KnowledgeGraph
+from repro.table.aggregates import agg_first, agg_mean
+from repro.table.table import Table
+
+
+def default_numeric_aggregator(values: Sequence[float]) -> Optional[float]:
+    """Default aggregation of multi-valued numeric properties: the mean."""
+    return agg_mean(list(values))
+
+
+def default_categorical_aggregator(values: Sequence[Any]) -> Any:
+    """Default aggregation of multi-valued categorical properties: the first value."""
+    return agg_first(list(values))
+
+
+@dataclass
+class ExtractionResult:
+    """The universal relation of extracted attributes plus bookkeeping.
+
+    Attributes
+    ----------
+    key_column:
+        Name of the column of the input table the extraction was keyed on.
+    table:
+        One row per distinct key value; columns are the key plus every
+        extracted property.
+    attribute_names:
+        The extracted property columns (everything except the key).
+    link_results:
+        Entity-linking outcome per distinct key value.
+    hops:
+        Number of hops that were followed.
+    """
+
+    key_column: str
+    table: Table
+    attribute_names: List[str]
+    link_results: Dict[Any, LinkResult] = field(default_factory=dict)
+    hops: int = 1
+
+    @property
+    def n_attributes(self) -> int:
+        """Number of extracted candidate attributes."""
+        return len(self.attribute_names)
+
+    def linking_failures(self) -> List[Any]:
+        """Key values that could not be linked to any entity."""
+        return [value for value, result in self.link_results.items() if not result.linked]
+
+    def missing_fractions(self) -> Dict[str, float]:
+        """Missing fraction per extracted attribute (over distinct key values)."""
+        return {name: self.table.column(name).missing_fraction()
+                for name in self.attribute_names}
+
+
+class AttributeExtractor:
+    """Extracts candidate confounding attributes from a knowledge graph."""
+
+    def __init__(self, graph: KnowledgeGraph,
+                 numeric_aggregator: Callable[[Sequence[float]], Optional[float]] = default_numeric_aggregator,
+                 categorical_aggregator: Callable[[Sequence[Any]], Any] = default_categorical_aggregator,
+                 fuzzy_threshold: float = 0.85):
+        self.graph = graph
+        self.numeric_aggregator = numeric_aggregator
+        self.categorical_aggregator = categorical_aggregator
+        self.fuzzy_threshold = fuzzy_threshold
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def extract(self, table: Table, key_column: str, hops: int = 1,
+                entity_class: Optional[str] = None,
+                attribute_prefix: str = "") -> ExtractionResult:
+        """Extract properties for the distinct values of ``key_column``.
+
+        ``entity_class`` optionally restricts entity linking to one class of
+        the KG (the analyst telling MESA which knowledge source to use);
+        ``attribute_prefix`` is prepended to every extracted attribute name,
+        which keeps attributes from different extraction keys apart when a
+        query extracts from several columns (e.g. Flights extracts from both
+        the origin city and the airline).
+        """
+        if hops < 1:
+            raise ExtractionError(f"hops must be >= 1, got {hops}")
+        if key_column not in table:
+            raise ExtractionError(
+                f"Extraction column {key_column!r} not in table {table.name!r} "
+                f"(columns: {table.column_names})"
+            )
+        linker = EntityLinker(self.graph, entity_class=entity_class,
+                              fuzzy_threshold=self.fuzzy_threshold)
+        distinct_values = table.column(key_column).unique()
+        link_results = {value: linker.link(value) for value in distinct_values}
+
+        per_value_properties: Dict[Any, Dict[str, Any]] = {}
+        all_attributes: List[str] = []
+        seen_attributes = set()
+        for value, result in link_results.items():
+            if not result.linked:
+                per_value_properties[value] = {}
+                continue
+            properties = self._entity_properties(result.entity_id, hops)
+            per_value_properties[value] = properties
+            for name in properties:
+                if name not in seen_attributes:
+                    seen_attributes.add(name)
+                    all_attributes.append(name)
+
+        prefixed = {name: f"{attribute_prefix}{name}" for name in all_attributes}
+        rows = []
+        for value in distinct_values:
+            row: Dict[str, Any] = {key_column: value}
+            properties = per_value_properties.get(value, {})
+            for name in all_attributes:
+                row[prefixed[name]] = properties.get(name)
+            rows.append(row)
+        columns = [key_column] + [prefixed[name] for name in all_attributes]
+        universal = Table.from_rows(rows, columns=columns, name=f"extracted_{key_column}")
+        return ExtractionResult(
+            key_column=key_column,
+            table=universal,
+            attribute_names=[prefixed[name] for name in all_attributes],
+            link_results=link_results,
+            hops=hops,
+        )
+
+    def augment(self, table: Table, key_column: str, hops: int = 1,
+                entity_class: Optional[str] = None,
+                attribute_prefix: str = "") -> Tuple[Table, ExtractionResult]:
+        """Extract and left-join the extracted attributes onto ``table``.
+
+        Rows whose key value failed entity linking get missing values in
+        every extracted column — these are exactly the rows whose selection
+        indicator ``R_E`` is 0.
+        """
+        result = self.extract(table, key_column, hops=hops, entity_class=entity_class,
+                              attribute_prefix=attribute_prefix)
+        augmented = table.join(result.table, on=key_column, how="left")
+        return augmented, result
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _entity_properties(self, entity_id: str, hops: int) -> Dict[str, Any]:
+        """Flattened properties of one entity, following up to ``hops`` hops."""
+        properties: Dict[str, Any] = {}
+        self._collect(entity_id, hops, prefix="", out=properties)
+        return properties
+
+    def _collect(self, entity_id: str, hops_left: int, prefix: str,
+                 out: Dict[str, Any]) -> None:
+        grouped = self.graph.properties_of(entity_id)
+        for property_name, facts in grouped.items():
+            literal_facts = [fact for fact in facts if not fact.is_entity_ref]
+            entity_facts = [fact for fact in facts if fact.is_entity_ref]
+            if literal_facts:
+                name = f"{prefix}{property_name}"
+                out[name] = self._aggregate([fact.value for fact in literal_facts])
+            if entity_facts and hops_left > 1:
+                # Follow links: flatten the literal properties of the referenced
+                # entities one level down, aggregating across multiple targets
+                # (e.g. "Avg Population size of Ethnic Group").
+                child_values: Dict[str, List[Any]] = {}
+                for fact in entity_facts:
+                    child_grouped = self.graph.properties_of(fact.value)
+                    for child_property, child_facts in child_grouped.items():
+                        literals = [cf.value for cf in child_facts if not cf.is_entity_ref]
+                        if literals:
+                            child_values.setdefault(child_property, []).extend(literals)
+                for child_property, values in child_values.items():
+                    name = f"{prefix}{property_name} {child_property}"
+                    out[name] = self._aggregate(values)
+            elif entity_facts:
+                # At the last hop an entity-valued property contributes its
+                # target's label as a categorical value.
+                labels = [self.graph.entity(fact.value).label for fact in entity_facts]
+                name = f"{prefix}{property_name}"
+                out[name] = self.categorical_aggregator(labels)
+
+    def _aggregate(self, values: List[Any]) -> Any:
+        """Aggregate a (possibly multi-valued) property into a single value."""
+        if len(values) == 1:
+            return values[0]
+        if all(isinstance(value, (int, float)) and not isinstance(value, bool)
+               for value in values):
+            return self.numeric_aggregator(values)
+        return self.categorical_aggregator(values)

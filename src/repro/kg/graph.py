@@ -1,0 +1,189 @@
+"""A small in-memory knowledge graph (triple store).
+
+Entities carry a label, an entity class (``"Country"``, ``"City"`` ...) and
+optional aliases; facts are (subject, property, value) triples whose value is
+either a literal (number, string, bool) or a reference to another entity.
+The graph supports the operations the extraction pipeline needs: look up all
+properties of an entity, follow entity-valued properties for multi-hop
+extraction, and enumerate entities of a class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ExtractionError
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A node of the knowledge graph."""
+
+    entity_id: str
+    label: str
+    entity_class: str
+    aliases: Tuple[str, ...] = ()
+
+    def all_names(self) -> Tuple[str, ...]:
+        """The label followed by all aliases."""
+        return (self.label,) + tuple(self.aliases)
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A single (subject, property, value) triple.
+
+    ``is_entity_ref`` marks object properties: the value is then the
+    ``entity_id`` of another entity in the graph.
+    """
+
+    subject: str
+    property_name: str
+    value: Any
+    is_entity_ref: bool = False
+
+
+class KnowledgeGraph:
+    """An in-memory triple store with entity metadata."""
+
+    def __init__(self, name: str = "kg"):
+        self.name = name
+        self._entities: Dict[str, Entity] = {}
+        self._facts_by_subject: Dict[str, List[Fact]] = {}
+        self._entities_by_class: Dict[str, List[str]] = {}
+        self._n_facts = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_entity(self, entity: Entity) -> None:
+        """Register an entity; re-adding the same id raises."""
+        if entity.entity_id in self._entities:
+            raise ExtractionError(f"Entity {entity.entity_id!r} already exists in graph {self.name!r}")
+        self._entities[entity.entity_id] = entity
+        self._entities_by_class.setdefault(entity.entity_class, []).append(entity.entity_id)
+        self._facts_by_subject.setdefault(entity.entity_id, [])
+
+    def add_fact(self, subject: str, property_name: str, value: Any,
+                 is_entity_ref: bool = False) -> None:
+        """Add a triple; the subject must already be an entity.
+
+        ``None`` values are silently skipped: the synthetic builders use this
+        to model DBpedia's sparsity (a property simply absent for an entity).
+        """
+        if subject not in self._entities:
+            raise ExtractionError(f"Unknown subject entity {subject!r}")
+        if value is None:
+            return
+        if is_entity_ref and value not in self._entities:
+            raise ExtractionError(
+                f"Fact ({subject!r}, {property_name!r}, ...) references unknown entity {value!r}"
+            )
+        self._facts_by_subject[subject].append(
+            Fact(subject, property_name, value, is_entity_ref)
+        )
+        self._n_facts += 1
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def n_entities(self) -> int:
+        """Number of entities in the graph."""
+        return len(self._entities)
+
+    @property
+    def n_facts(self) -> int:
+        """Number of triples in the graph."""
+        return self._n_facts
+
+    def entity(self, entity_id: str) -> Entity:
+        """Look up an entity by id."""
+        try:
+            return self._entities[entity_id]
+        except KeyError as exc:
+            raise ExtractionError(f"Unknown entity {entity_id!r}") from exc
+
+    def has_entity(self, entity_id: str) -> bool:
+        """Whether the entity id exists."""
+        return entity_id in self._entities
+
+    def entities(self) -> Iterable[Entity]:
+        """Iterate over all entities."""
+        return self._entities.values()
+
+    def entities_of_class(self, entity_class: str) -> List[Entity]:
+        """All entities of a given class."""
+        return [self._entities[entity_id]
+                for entity_id in self._entities_by_class.get(entity_class, [])]
+
+    def entity_classes(self) -> List[str]:
+        """All entity classes present in the graph."""
+        return sorted(self._entities_by_class)
+
+    def facts_of(self, entity_id: str) -> List[Fact]:
+        """All facts whose subject is ``entity_id``."""
+        if entity_id not in self._entities:
+            raise ExtractionError(f"Unknown entity {entity_id!r}")
+        return list(self._facts_by_subject.get(entity_id, []))
+
+    def properties_of(self, entity_id: str) -> Dict[str, List[Fact]]:
+        """Facts of an entity grouped by property name.
+
+        Multi-valued properties (one-to-many relations such as
+        ``Ethnic Group``) yield several facts under the same key.
+        """
+        grouped: Dict[str, List[Fact]] = {}
+        for fact in self.facts_of(entity_id):
+            grouped.setdefault(fact.property_name, []).append(fact)
+        return grouped
+
+    def property_names(self, entity_class: Optional[str] = None) -> List[str]:
+        """All property names in the graph (optionally restricted to one class)."""
+        names: Set[str] = set()
+        if entity_class is None:
+            subjects: Sequence[str] = list(self._entities)
+        else:
+            subjects = self._entities_by_class.get(entity_class, [])
+        for subject in subjects:
+            for fact in self._facts_by_subject.get(subject, []):
+                names.add(fact.property_name)
+        return sorted(names)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export the graph structure as a networkx multi-digraph.
+
+        Entity-valued facts become edges labelled with the property name;
+        literal facts become node attributes.  Used by examples to inspect
+        and visualise the synthetic KG.
+        """
+        graph = nx.MultiDiGraph(name=self.name)
+        for entity in self._entities.values():
+            graph.add_node(entity.entity_id, label=entity.label,
+                           entity_class=entity.entity_class)
+        for facts in self._facts_by_subject.values():
+            for fact in facts:
+                if fact.is_entity_ref:
+                    graph.add_edge(fact.subject, fact.value, key=fact.property_name,
+                                   property=fact.property_name)
+                else:
+                    graph.nodes[fact.subject][fact.property_name] = fact.value
+        return graph
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary statistics used by Table 1 style reports."""
+        per_class = {entity_class: len(entity_ids)
+                     for entity_class, entity_ids in self._entities_by_class.items()}
+        return {
+            "name": self.name,
+            "n_entities": self.n_entities,
+            "n_facts": self.n_facts,
+            "entities_per_class": per_class,
+            "n_properties": len(self.property_names()),
+        }

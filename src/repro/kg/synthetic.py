@@ -1,0 +1,317 @@
+"""Synthetic "DBpedia-like" knowledge graph built from the world model.
+
+The builder creates one entity per country / US city / US state / airline /
+celebrity defined in :mod:`repro.datasets.world`, attaches their real
+properties as literal triples, adds the structural features that the paper's
+pipeline has to cope with:
+
+* **sparsity** — each property value is dropped with a per-property missing
+  probability, and a few properties are *missing not at random* (their value
+  is dropped preferentially for high values), which is what creates the
+  selection bias that Section 3.2 handles with IPW;
+* **uninteresting properties** — every entity has a constant ``Type``
+  property and a near-unique ``wikiID`` property (exercising the offline
+  pruning rules), plus a configurable number of pure-noise padding
+  properties so that the candidate-attribute space reaches the hundreds of
+  attributes reported in Table 1;
+* **entity-valued properties** — countries point to a ``Leader`` person
+  entity and to ``Ethnic Group`` entities (with a ``Population size``), so
+  multi-hop extraction and one-to-many aggregation have something to chew on;
+* **ambiguity** — a second footballer entity whose alias collides with
+  ``"Ronaldo"`` reproduces the entity-linking failure discussed in the
+  paper's appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro import world
+from repro.kg.graph import Entity, KnowledgeGraph
+from repro.utils.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class SyntheticKGConfig:
+    """Configuration of the synthetic knowledge-graph builder.
+
+    Attributes
+    ----------
+    seed:
+        Base seed; every entity/property pair derives its own child seed.
+    n_noise_properties:
+        Number of pure-noise padding properties added per entity class.
+    missing_rate:
+        Baseline probability that a property value is absent for an entity.
+    mnar_properties:
+        Properties whose values go missing preferentially when they are
+        *high* (missing-not-at-random), producing selection bias.
+    mnar_rate:
+        Missing probability for the top-quartile values of MNAR properties.
+    include_multi_hop:
+        Whether to add Leader / Ethnic-Group entities and links.
+    """
+
+    seed: int = 7
+    n_noise_properties: int = 40
+    missing_rate: float = 0.12
+    mnar_properties: Sequence[str] = ("HDI", "Gini", "Net Worth", "Median Household Income")
+    mnar_rate: float = 0.45
+    include_multi_hop: bool = True
+
+
+def _entity_id(entity_class: str, label: str) -> str:
+    slug = label.lower().replace(" ", "_").replace("/", "_")
+    return f"{entity_class.lower()}:{slug}"
+
+
+class _GraphBuilder:
+    """Stateful helper that assembles the synthetic graph."""
+
+    def __init__(self, config: SyntheticKGConfig):
+        self.config = config
+        self.graph = KnowledgeGraph(name="synthetic-dbpedia")
+        self._wiki_counter = 1000
+
+    # ------------------------------------------------------------------ #
+    # low-level helpers
+    # ------------------------------------------------------------------ #
+    def _should_drop(self, entity_label: str, property_name: str, value: object,
+                     prominence: float = 0.5) -> bool:
+        """Decide whether this property value is absent from the KG.
+
+        ``prominence`` in [0, 1] models how well documented the entity is:
+        DBpedia knows far more about the United States than about a small
+        country, so obscure entities lose values more often.  This matches
+        the real sparsity pattern and keeps the missingness from being
+        uniform across exposure groups.
+        """
+        rng = spawn_rng(self.config.seed, "missing", entity_label, property_name)
+        if property_name in self.config.mnar_properties and isinstance(value, (int, float)):
+            # High values of MNAR properties go missing more often.
+            threshold = self._mnar_threshold(property_name)
+            if threshold is not None and float(value) >= threshold:
+                return bool(rng.random() < self.config.mnar_rate)
+        rate = self.config.missing_rate * (1.6 - 1.2 * float(np.clip(prominence, 0.0, 1.0)))
+        return bool(rng.random() < rate)
+
+    def _mnar_threshold(self, property_name: str) -> Optional[float]:
+        thresholds = {
+            "HDI": 0.93,
+            "Gini": 42.0,
+            "Net Worth": 400.0,
+            "Median Household Income": 75.0,
+        }
+        return thresholds.get(property_name)
+
+    def _add_entity(self, entity_class: str, label: str, aliases: Iterable[str] = ()) -> str:
+        entity_id = _entity_id(entity_class, label)
+        self.graph.add_entity(Entity(entity_id=entity_id, label=label,
+                                     entity_class=entity_class, aliases=tuple(aliases)))
+        # Constant property (pruned by the "simple filtering" rule) and a
+        # near-unique identifier (pruned by the "high entropy" rule).
+        self.graph.add_fact(entity_id, "Type", entity_class)
+        self._wiki_counter += 1
+        self.graph.add_fact(entity_id, "wikiID", f"Q{self._wiki_counter}")
+        return entity_id
+
+    def _add_properties(self, entity_id: str, label: str, properties: Dict[str, object],
+                        prominence: float = 0.5) -> None:
+        for property_name, value in properties.items():
+            if value is None:
+                continue
+            if self._should_drop(label, property_name, value, prominence=prominence):
+                continue
+            self.graph.add_fact(entity_id, property_name, value)
+
+    def _add_noise_properties(self, entity_id: str, label: str, entity_class: str,
+                              prominence: float = 0.5) -> None:
+        """Pure-noise padding properties, uncorrelated with every outcome."""
+        rate = self.config.missing_rate * (1.6 - 1.2 * float(np.clip(prominence, 0.0, 1.0)))
+        for index in range(self.config.n_noise_properties):
+            property_name = f"{entity_class} Property {index:03d}"
+            rng = spawn_rng(self.config.seed, "noise", entity_class, index, label)
+            if rng.random() < rate:
+                continue
+            # Noise properties are low-cardinality, as most irrelevant DBpedia
+            # properties are (flags, small categories, coarse quantities);
+            # a unique-per-entity random value would act as an identifier and
+            # be pruned anyway.
+            kind = index % 3
+            if kind == 0:
+                value: object = float(np.clip(np.round(rng.normal(loc=50.0, scale=15.0), -1),
+                                              10.0, 90.0))
+            elif kind == 1:
+                value = f"category-{int(rng.integers(0, 4))}"
+            else:
+                value = int(rng.integers(0, 5))
+            self.graph.add_fact(entity_id, property_name, value)
+
+    # ------------------------------------------------------------------ #
+    # entity classes
+    # ------------------------------------------------------------------ #
+    def add_countries(self) -> None:
+        derived = world.country_derived_properties()
+        rng = spawn_rng(self.config.seed, "leaders")
+        all_countries = world.countries()
+        max_population = max(c.population_millions for c in all_countries)
+        for country in all_countries:
+            prominence = (country.population_millions / max_population) ** 0.35
+            entity_id = self._add_entity("Country", country.name, aliases=country.aliases)
+            properties: Dict[str, object] = {
+                "HDI": country.hdi,
+                "GDP": country.gdp_per_capita,
+                "Gini": country.gini,
+                "Density": country.density,
+                "Currency": country.currency,
+                "Language": country.language,
+                "Established Date": country.established_year,
+                "Time Zone": country.time_zone,
+                "Continent": country.continent,
+            }
+            properties.update(derived[country.name])
+            self._add_properties(entity_id, country.name, properties, prominence=prominence)
+            self._add_noise_properties(entity_id, country.name, "Country", prominence=prominence)
+            if self.config.include_multi_hop:
+                self._add_country_links(entity_id, country, rng)
+
+    def _add_country_links(self, country_id: str, country: world.CountryFacts,
+                           rng: np.random.Generator) -> None:
+        leader_label = f"Leader of {country.name}"
+        leader_id = self._add_entity("Person", leader_label)
+        self.graph.add_fact(leader_id, "Age", int(rng.integers(40, 80)))
+        self.graph.add_fact(leader_id, "Gender", "Female" if rng.random() < 0.15 else "Male")
+        self.graph.add_fact(country_id, "Leader", leader_id, is_entity_ref=True)
+        n_groups = int(rng.integers(1, 4))
+        for group_index in range(n_groups):
+            group_label = f"{country.name} Ethnic Group {group_index + 1}"
+            group_id = self._add_entity("EthnicGroup", group_label)
+            share = float(rng.uniform(0.05, 0.6))
+            self.graph.add_fact(group_id, "Population size",
+                                round(country.population_millions * share * 1e6))
+            self.graph.add_fact(country_id, "Ethnic Group", group_id, is_entity_ref=True)
+
+    def add_cities(self) -> None:
+        derived = world.city_derived_properties()
+        all_cities = world.cities()
+        max_metro = max(c.metro_population_thousands for c in all_cities)
+        for city in all_cities:
+            prominence = (city.metro_population_thousands / max_metro) ** 0.35
+            entity_id = self._add_entity("City", city.name)
+            properties: Dict[str, object] = {
+                "Density": city.density,
+                "Median Household Income": city.median_household_income,
+                "Year Low F": city.year_low_f,
+                "Year Avg F": city.year_avg_f,
+                "December Low F": city.december_low_f,
+                "Precipitation Days": city.precipitation_days,
+                "Year Snow": city.year_snow_inches,
+                "Year UV": city.year_uv_index,
+                "December percent sun": city.december_percent_sun,
+                "State": city.state,
+            }
+            properties.update(derived[city.name])
+            self._add_properties(entity_id, city.name, properties, prominence=prominence)
+            self._add_noise_properties(entity_id, city.name, "City", prominence=prominence)
+
+    def add_states(self) -> None:
+        derived = world.state_derived_properties()
+        all_states = world.states()
+        max_population = max(s.population_millions for s in all_states)
+        for state in all_states:
+            prominence = (state.population_millions / max_population) ** 0.35
+            entity_id = self._add_entity("State", state.name, aliases=(state.code,))
+            properties: Dict[str, object] = {
+                "Density": state.density,
+                "Median Household Income": state.median_household_income,
+                "Year Low F": state.year_low_f,
+                "Record Low F": state.record_low_f,
+                "Dec Record Low F": state.december_record_low_f,
+                "Year Snow": state.year_snow_inches,
+                "Precipitation Days": state.precipitation_days,
+            }
+            properties.update(derived[state.name])
+            self._add_properties(entity_id, state.name, properties, prominence=prominence)
+            self._add_noise_properties(entity_id, state.name, "State", prominence=prominence)
+
+    def add_airlines(self) -> None:
+        all_airlines = world.airlines()
+        max_fleet = max(a.fleet_size for a in all_airlines)
+        for airline in all_airlines:
+            prominence = (airline.fleet_size / max_fleet) ** 0.35
+            entity_id = self._add_entity("Airline", airline.name, aliases=(airline.iata_code,))
+            properties: Dict[str, object] = {
+                "Fleet size": airline.fleet_size,
+                "Equity": airline.equity_billion,
+                "Net Income": airline.net_income_billion,
+                "Revenue": airline.revenue_billion,
+                "Num of Employees": airline.num_employees_thousand,
+                "Founded": airline.founded_year,
+            }
+            self._add_properties(entity_id, airline.name, properties, prominence=prominence)
+            self._add_noise_properties(entity_id, airline.name, "Airline", prominence=prominence)
+
+    def add_celebrities(self) -> None:
+        all_celebrities = world.celebrities()
+        max_worth = max(c.net_worth_million for c in all_celebrities)
+        for celebrity in all_celebrities:
+            prominence = (celebrity.net_worth_million / max_worth) ** 0.35
+            entity_id = self._add_entity("Person", celebrity.name, aliases=celebrity.aliases)
+            properties: Dict[str, object] = {
+                "Net Worth": celebrity.net_worth_million,
+                "Gender": celebrity.gender,
+                "Age": celebrity.age,
+                "Citizenship": celebrity.citizenship,
+                "Years Active": celebrity.years_active,
+                "ActiveSince": 2020 - celebrity.years_active,
+                "Awards": celebrity.awards,
+                "Honors": celebrity.honors,
+                "Cups": celebrity.cups,
+                "National Cups": celebrity.national_cups,
+                "Draft Pick": celebrity.draft_pick,
+            }
+            if celebrity.cups is not None and celebrity.national_cups is not None:
+                properties["Total Cups"] = celebrity.cups + celebrity.national_cups
+            self._add_properties(entity_id, celebrity.name, properties, prominence=prominence)
+            self._add_noise_properties(entity_id, celebrity.name, "Person", prominence=prominence)
+        # A second famous "Ronaldo": the alias collision makes the bare value
+        # "Ronaldo" ambiguous, so the entity linker refuses to link it.
+        nazario_id = self._add_entity("Person", "Ronaldo Nazario", aliases=("Ronaldo",))
+        self.graph.add_fact(nazario_id, "Net Worth", 160.0)
+        self.graph.add_fact(nazario_id, "Gender", "Male")
+        self.graph.add_fact(nazario_id, "Age", 44)
+        self.graph.add_fact(nazario_id, "Citizenship", "Brazil")
+
+
+def build_world_knowledge_graph(config: Optional[SyntheticKGConfig] = None,
+                                entity_classes: Optional[Sequence[str]] = None) -> KnowledgeGraph:
+    """Build the synthetic DBpedia-like knowledge graph.
+
+    Parameters
+    ----------
+    config:
+        Builder configuration; defaults to :class:`SyntheticKGConfig`.
+    entity_classes:
+        Optionally restrict the graph to a subset of
+        ``{"Country", "City", "State", "Airline", "Celebrity"}`` — handy for
+        tests that only need one class.
+    """
+    config = config or SyntheticKGConfig()
+    wanted = set(entity_classes) if entity_classes is not None else {
+        "Country", "City", "State", "Airline", "Celebrity",
+    }
+    builder = _GraphBuilder(config)
+    if "Country" in wanted:
+        builder.add_countries()
+    if "City" in wanted:
+        builder.add_cities()
+    if "State" in wanted:
+        builder.add_states()
+    if "Airline" in wanted:
+        builder.add_airlines()
+    if "Celebrity" in wanted:
+        builder.add_celebrities()
+    return builder.graph

@@ -1,0 +1,13 @@
+"""The MESA system: the end-to-end pipeline of the paper.
+
+:class:`~repro.mesa.system.MESA` wires together knowledge-graph extraction,
+candidate assembly, pruning, selection-bias handling (IPW), the MCIMR search
+and the unexplained-subgroup analysis behind a single ``explain(query)``
+call.
+"""
+
+from repro.mesa.config import MESAConfig
+from repro.mesa.report import render_report
+from repro.mesa.system import MESA, MESAResult
+
+__all__ = ["MESA", "MESAConfig", "MESAResult", "render_report"]

@@ -1,0 +1,46 @@
+"""Textual rendering of a MESA result, used by the examples."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.subgroups import Subgroup
+from repro.mesa.system import MESAResult
+
+
+def render_report(result: MESAResult, subgroups: Optional[Sequence[Subgroup]] = None,
+                  max_biased: int = 8) -> str:
+    """Render a MESA result (and optional subgroup analysis) as plain text."""
+    explanation = result.explanation
+    lines: List[str] = []
+    lines.append("=" * 72)
+    lines.append(f"Query: {result.query.to_sql()}")
+    lines.append("-" * 72)
+    lines.append(f"Unexplained correlation I(O;T|C): {explanation.baseline_cmi:.4f} bits")
+    if explanation.attributes:
+        lines.append("Explanation (confounding attributes):")
+        for attribute in explanation.ranked_attributes():
+            responsibility = explanation.responsibilities.get(attribute)
+            suffix = f"  [responsibility {responsibility:.2f}]" if responsibility is not None else ""
+            origin = "KG" if result.candidate_set.is_extracted(attribute) else "dataset"
+            lines.append(f"  - {attribute} ({origin}){suffix}")
+        lines.append(f"Residual correlation I(O;T|E,C): {explanation.explainability:.4f} bits "
+                     f"({explanation.relative_improvement:.0%} explained)")
+    else:
+        lines.append("No explanation found: no candidate attribute reduces the correlation.")
+    lines.append(f"Candidates considered after pruning: {result.n_candidates_after_pruning} "
+                 f"(dropped {result.pruning.n_dropped})")
+    biased = result.biased_attributes()
+    if biased:
+        shown = ", ".join(biased[:max_biased])
+        more = "" if len(biased) <= max_biased else f" (+{len(biased) - max_biased} more)"
+        lines.append(f"Selection bias detected and corrected with IPW for: {shown}{more}")
+    lines.append(f"Pipeline time: {result.total_runtime():.2f}s "
+                 f"({', '.join(f'{k} {v:.2f}s' for k, v in result.timings.items())})")
+    if subgroups:
+        lines.append("-" * 72)
+        lines.append("Largest data subgroups needing a different explanation:")
+        for rank, subgroup in enumerate(subgroups, start=1):
+            lines.append(f"  {rank}. {subgroup.describe()}")
+    lines.append("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Binary logistic regression, implemented from scratch with numpy.
+
+The IPW correction fits a logistic model of the selection indicator
+``R_E`` (is the extracted value present for this row?) on the fully observed
+attributes of the input dataset (Section 3.2: "a logistic regression model is
+fitted ... Data available for this are the values of the attributes in D").
+No external ML library is available offline, so the model is implemented
+here with L2-regularised Newton/IRLS optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import MissingDataError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+@dataclass
+class LogisticRegression:
+    """L2-regularised binary logistic regression fitted with IRLS.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty on the weights (not on the intercept); a small penalty
+        keeps the Newton updates stable when features are collinear, which
+        happens routinely with one-hot encoded categorical attributes.
+    max_iter:
+        Maximum number of Newton iterations.
+    tol:
+        Convergence tolerance on the change of the coefficient vector.
+    """
+
+    l2: float = 1e-3
+    max_iter: int = 50
+    tol: float = 1e-8
+    coefficients_: Optional[np.ndarray] = field(default=None, repr=False)
+    intercept_: float = 0.0
+    converged_: bool = False
+    n_iterations_: int = 0
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegression":
+        """Fit the model on a dense feature matrix and 0/1 labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        if features.ndim != 2:
+            raise MissingDataError(f"features must be 2-dimensional, got shape {features.shape}")
+        if len(features) != len(labels):
+            raise MissingDataError(
+                f"features ({len(features)} rows) and labels ({len(labels)}) differ in length"
+            )
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise MissingDataError("labels must be binary (0/1)")
+        n_rows, n_features = features.shape
+        design = np.hstack([np.ones((n_rows, 1)), features])
+        beta = np.zeros(n_features + 1)
+        penalty = np.full(n_features + 1, self.l2)
+        penalty[0] = 0.0  # do not penalise the intercept
+
+        # Degenerate labels (all 0 or all 1) have no unique MLE; fall back to
+        # the intercept-only model at the empirical rate.
+        if labels.min() == labels.max():
+            rate = float(np.clip(labels.mean(), 1e-6, 1 - 1e-6))
+            beta[0] = np.log(rate / (1 - rate))
+            self._store(beta, converged=True, iterations=0)
+            return self
+
+        for iteration in range(1, self.max_iter + 1):
+            linear = design @ beta
+            probabilities = np.clip(_sigmoid(linear), 1e-9, 1 - 1e-9)
+            weights = probabilities * (1.0 - probabilities)
+            gradient = design.T @ (labels - probabilities) - penalty * beta
+            hessian = (design * weights[:, None]).T @ design + np.diag(penalty + 1e-12)
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                step = np.linalg.lstsq(hessian, gradient, rcond=None)[0]
+            beta = beta + step
+            if np.max(np.abs(step)) < self.tol:
+                self._store(beta, converged=True, iterations=iteration)
+                return self
+        self._store(beta, converged=False, iterations=self.max_iter)
+        return self
+
+    def _store(self, beta: np.ndarray, converged: bool, iterations: int) -> None:
+        self.intercept_ = float(beta[0])
+        self.coefficients_ = beta[1:].copy()
+        self.converged_ = converged
+        self.n_iterations_ = iterations
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        if self.coefficients_ is None:
+            raise MissingDataError("LogisticRegression.predict_proba called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        return _sigmoid(self.intercept_ + features @ self.coefficients_)
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+
+def one_hot_encode_codes(code_arrays: List[np.ndarray]) -> np.ndarray:
+    """One-hot encode a list of integer code arrays into a dense feature matrix.
+
+    Missing codes (``-1``) get an all-zero row for that variable, which acts
+    as its own implicit "missing" category once the intercept absorbs the
+    baseline.  Used to turn the fully observed dataset attributes into
+    features for the selection model.
+    """
+    if not code_arrays:
+        raise MissingDataError("one_hot_encode_codes requires at least one code array")
+    n = len(code_arrays[0])
+    blocks = []
+    for codes in code_arrays:
+        codes = np.asarray(codes, dtype=np.int64)
+        if len(codes) != n:
+            raise MissingDataError("code arrays have different lengths")
+        n_categories = int(codes.max()) + 1 if codes.max() >= 0 else 0
+        if n_categories == 0:
+            continue
+        block = np.zeros((n, n_categories), dtype=np.float64)
+        present = codes >= 0
+        block[np.arange(n)[present], codes[present]] = 1.0
+        # Drop the first category as the reference level to limit collinearity.
+        if n_categories > 1:
+            block = block[:, 1:]
+        blocks.append(block)
+    if not blocks:
+        return np.zeros((n, 0), dtype=np.float64)
+    return np.hstack(blocks)

@@ -1,0 +1,67 @@
+"""Missingness injectors used by the robustness experiment (Figure 3).
+
+Two removal regimes are studied in the paper:
+
+* *missing at random* — a uniformly random fraction of an attribute's values
+  is removed;
+* *biased removal* — the top-``x`` highest values of the attribute are
+  removed, the missing-not-at-random situation in which complete-case
+  analysis becomes selection-biased.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import MissingDataError
+from repro.table.table import Table
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_probability
+
+
+def inject_mcar(table: Table, columns: Sequence[str], fraction: float,
+                seed: SeedLike = 0) -> Table:
+    """Remove a uniformly random ``fraction`` of the values of each column.
+
+    Only currently-present cells are counted: injecting 30 % missingness into
+    a column that already has missing values removes 30 % of the *present*
+    cells.
+    """
+    require_probability(fraction, "fraction", MissingDataError)
+    rng = make_rng(seed)
+    result = table
+    for column_name in columns:
+        column = table.column(column_name)
+        present_indices = np.where(~column.missing_mask)[0]
+        n_remove = int(round(fraction * len(present_indices)))
+        if n_remove == 0:
+            continue
+        chosen = rng.choice(present_indices, size=n_remove, replace=False)
+        extra = np.zeros(len(column), dtype=bool)
+        extra[chosen] = True
+        result = result.with_column(column.with_missing(extra))
+    return result
+
+
+def inject_biased_removal(table: Table, columns: Sequence[str], fraction: float) -> Table:
+    """Remove the top-``fraction`` highest values of each (numeric) column.
+
+    For a categorical column the removal is applied to the lexicographically
+    largest values, which keeps the injector total and deterministic.
+    """
+    require_probability(fraction, "fraction", MissingDataError)
+    result = table
+    for column_name in columns:
+        column = table.column(column_name)
+        present_indices = [i for i in range(len(column)) if not column.missing_mask[i]]
+        n_remove = int(round(fraction * len(present_indices)))
+        if n_remove == 0:
+            continue
+        ordered = sorted(present_indices, key=lambda i: column[i], reverse=True)
+        chosen = ordered[:n_remove]
+        extra = np.zeros(len(column), dtype=bool)
+        extra[chosen] = True
+        result = result.with_column(column.with_missing(extra))
+    return result

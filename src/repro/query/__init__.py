@@ -1,0 +1,13 @@
+"""Aggregate group-by queries: the objects MESA explains.
+
+A query names an exposure (grouping attribute ``T``), an outcome
+(aggregated attribute ``O``), an aggregate function and an optional context
+``C`` (the WHERE clause).  :func:`repro.query.parser.parse_query` accepts the
+SQL-ish textual form used in the paper's examples.
+"""
+
+from repro.query.aggregate_query import AggregateQuery
+from repro.query.parser import parse_query
+from repro.query.result import QueryResult
+
+__all__ = ["AggregateQuery", "parse_query", "QueryResult"]

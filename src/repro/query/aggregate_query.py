@@ -1,0 +1,116 @@
+"""The :class:`AggregateQuery` model.
+
+Following Section 2.1 of the paper, a query
+
+.. code-block:: sql
+
+    SELECT Country, avg(Salary)
+    FROM SO
+    WHERE Continent = 'Europe'
+    GROUP BY Country
+
+is represented by ``AggregateQuery(exposure="Country", outcome="Salary",
+aggregate="avg", context=Eq("Continent", "Europe"), table_name="SO")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.exceptions import QueryError
+from repro.table.aggregates import AGGREGATE_FUNCTIONS
+from repro.table.expressions import Predicate, TRUE
+from repro.table.table import Table
+from repro.query.result import QueryResult
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """An aggregate group-by query comparing subgroups of the exposure.
+
+    Attributes
+    ----------
+    exposure:
+        The grouping attribute ``T`` whose groups are compared.
+    outcome:
+        The aggregated attribute ``O``.
+    aggregate:
+        Name of the aggregate function (``avg``, ``sum``, ``count`` ...).
+    context:
+        The WHERE-clause predicate ``C``; defaults to the always-true
+        predicate (no filtering).
+    table_name:
+        Name of the table the query runs over (informational).
+    name:
+        Optional short identifier used by the benchmark harness
+        (e.g. ``"SO-Q1"``).
+    """
+
+    exposure: str
+    outcome: str
+    aggregate: str = "avg"
+    context: Predicate = TRUE
+    table_name: str = "table"
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate.lower() not in AGGREGATE_FUNCTIONS:
+            raise QueryError(
+                f"Unknown aggregate {self.aggregate!r}; supported: {sorted(AGGREGATE_FUNCTIONS)}"
+            )
+        if self.exposure == self.outcome:
+            raise QueryError("The exposure and outcome attributes must be different")
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def validate_against(self, table: Table) -> None:
+        """Raise :class:`QueryError` if the query references columns absent from ``table``."""
+        needed = {self.exposure, self.outcome} | set(self.context.columns())
+        missing = [column for column in needed if column not in table]
+        if missing:
+            raise QueryError(
+                f"Query {self.label()} references missing column(s) {sorted(missing)}; "
+                f"table has {table.column_names}"
+            )
+
+    def apply_context(self, table: Table) -> Table:
+        """Return the table restricted to rows satisfying the context ``C``."""
+        self.validate_against(table)
+        return table.filter(self.context)
+
+    def execute(self, table: Table) -> QueryResult:
+        """Execute the query and return its :class:`QueryResult`."""
+        restricted = self.apply_context(table)
+        grouped = restricted.group_by([self.exposure]).aggregate(
+            {self._output_column(): (self.aggregate, self.outcome)}
+        )
+        return QueryResult(query=self, table=grouped, n_input_rows=restricted.n_rows)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _output_column(self) -> str:
+        return f"{self.aggregate.lower()}_{self.outcome}"
+
+    def label(self) -> str:
+        """Short, human-readable identifier for reports."""
+        return self.name or f"{self.aggregate}({self.outcome}) by {self.exposure}"
+
+    def with_context(self, context: Predicate) -> "AggregateQuery":
+        """A copy of this query with a different context."""
+        return replace(self, context=context)
+
+    def with_name(self, name: str) -> "AggregateQuery":
+        """A copy of this query with a benchmark identifier."""
+        return replace(self, name=name)
+
+    def to_sql(self) -> str:
+        """Render the query as the SQL string form used in the paper."""
+        sql = (f"SELECT {self.exposure}, {self.aggregate}({self.outcome})\n"
+               f"FROM {self.table_name}")
+        if self.context is not TRUE:
+            sql += f"\nWHERE {self.context!r}"
+        sql += f"\nGROUP BY {self.exposure}"
+        return sql

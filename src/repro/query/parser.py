@@ -1,0 +1,101 @@
+"""A small parser for the SQL-ish aggregate queries used in the paper.
+
+Only the query shape MESA explains is supported::
+
+    SELECT <exposure>, <agg>(<outcome>)
+    FROM <table>
+    [WHERE <column> = <value> [AND <column> = <value> ...]]
+    GROUP BY <exposure>
+
+The parser exists so that examples and tests can state queries in the same
+form as the paper's figures; programmatic users construct
+:class:`~repro.query.aggregate_query.AggregateQuery` objects directly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List
+
+from repro.exceptions import QueryError
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.expressions import And, Eq, Predicate, TRUE
+
+_QUERY_RE = re.compile(
+    r"""
+    ^\s*SELECT\s+(?P<exposure>[\w\.\s]+?)\s*,\s*
+    (?P<aggregate>\w+)\s*\(\s*(?P<outcome>[\w\.\s]+?)\s*\)\s+
+    FROM\s+(?P<table>[\w\.]+)\s*
+    (?:WHERE\s+(?P<where>.+?)\s*)?
+    GROUP\s+BY\s+(?P<groupby>[\w\.\s]+?)\s*;?\s*$
+    """,
+    re.IGNORECASE | re.VERBOSE | re.DOTALL,
+)
+
+_CONDITION_RE = re.compile(r"^\s*(?P<column>[\w\.\s]+?)\s*=\s*(?P<value>.+?)\s*$")
+
+
+def _parse_value(raw: str) -> Any:
+    """Parse a literal WHERE-clause value (quoted string, int, float or bare word)."""
+    raw = raw.strip()
+    if (raw.startswith("'") and raw.endswith("'")) or (raw.startswith('"') and raw.endswith('"')):
+        return raw[1:-1]
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _parse_where(where: str) -> Predicate:
+    """Parse a conjunction of equality conditions."""
+    parts: List[str] = re.split(r"\s+AND\s+", where, flags=re.IGNORECASE)
+    predicates = []
+    for part in parts:
+        match = _CONDITION_RE.match(part)
+        if match is None:
+            raise QueryError(
+                f"Cannot parse WHERE condition {part!r}: only '<column> = <value>' "
+                "conditions joined by AND are supported"
+            )
+        predicates.append(Eq(match.group("column").strip(), _parse_value(match.group("value"))))
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(*predicates)
+
+
+def parse_query(sql: str, name: str = None) -> AggregateQuery:
+    """Parse a SQL string into an :class:`AggregateQuery`.
+
+    Raises :class:`QueryError` if the statement does not match the supported
+    ``SELECT T, agg(O) FROM ... [WHERE ...] GROUP BY T`` shape, or if the
+    grouping attribute differs from the selected exposure.
+    """
+    match = _QUERY_RE.match(sql)
+    if match is None:
+        raise QueryError(
+            "Cannot parse query; expected the form "
+            "'SELECT <T>, <agg>(<O>) FROM <table> [WHERE ...] GROUP BY <T>'.\n"
+            f"Got: {sql!r}"
+        )
+    exposure = match.group("exposure").strip()
+    groupby = match.group("groupby").strip()
+    if exposure.lower() != groupby.lower():
+        raise QueryError(
+            f"The selected grouping attribute {exposure!r} must match the GROUP BY "
+            f"attribute {groupby!r}"
+        )
+    where = match.group("where")
+    context = _parse_where(where) if where else TRUE
+    return AggregateQuery(
+        exposure=exposure,
+        outcome=match.group("outcome").strip(),
+        aggregate=match.group("aggregate").lower(),
+        context=context,
+        table_name=match.group("table"),
+        name=name,
+    )

@@ -1,0 +1,71 @@
+"""Results of executing an :class:`~repro.query.aggregate_query.AggregateQuery`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The grouped result of an aggregate query plus bookkeeping.
+
+    Attributes
+    ----------
+    query:
+        The query that produced this result.
+    table:
+        One row per exposure group: the exposure value followed by the
+        aggregated outcome.
+    n_input_rows:
+        Number of rows that satisfied the context (used by benchmarks to
+        check the ">10% of the tuples" constraint of the random-query
+        generator in Section 5.1).
+    """
+
+    query: "Any"
+    table: Table
+    n_input_rows: int
+
+    @property
+    def n_groups(self) -> int:
+        """Number of exposure groups in the result."""
+        return self.table.n_rows
+
+    def value_column(self) -> str:
+        """Name of the aggregated output column."""
+        return [name for name in self.table.column_names
+                if name != self.query.exposure][0]
+
+    def as_pairs(self) -> List[Tuple[Any, Any]]:
+        """List of (exposure value, aggregated outcome) pairs."""
+        value_column = self.value_column()
+        return [(row[self.query.exposure], row[value_column]) for row in self.table.iter_rows()]
+
+    def as_dict(self) -> Dict[Any, Any]:
+        """Mapping from exposure value to aggregated outcome."""
+        return dict(self.as_pairs())
+
+    def spread(self) -> float:
+        """Max minus min of the aggregated outcome across groups.
+
+        A large spread is what makes a query result "surprising": the
+        exposure appears to have a substantial effect on the outcome.
+        """
+        values = [value for _, value in self.as_pairs() if value is not None]
+        if not values:
+            return 0.0
+        return float(max(values) - min(values))
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """A small textual rendering for examples and reports."""
+        lines = [f"{self.query.label()} ({self.n_groups} groups)"]
+        for index, (group, value) in enumerate(self.as_pairs()):
+            if index >= max_rows:
+                lines.append(f"  ... {self.n_groups - max_rows} more groups")
+                break
+            rendered = "NULL" if value is None else f"{value:.3f}" if isinstance(value, float) else str(value)
+            lines.append(f"  {group}: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""A small in-memory columnar table engine.
+
+The paper's implementation sits on top of pandas; this package provides the
+equivalent substrate from scratch: typed columns with explicit missing-value
+masks, relational operators (filter, project, join, group-by with
+aggregation), CSV input/output and numeric discretisation.  Everything the
+core algorithms need — and nothing else — which keeps the behaviour easy to
+verify in tests.
+"""
+
+from repro.table.aggregates import AGGREGATE_FUNCTIONS, aggregate_values
+from repro.table.column import Column, DType, infer_dtype
+from repro.table.discretize import (
+    discretize_column,
+    discretize_table,
+    equal_frequency_bins,
+    equal_width_bins,
+)
+from repro.table.expressions import (
+    And,
+    Between,
+    Condition,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotNull,
+    Or,
+    Predicate,
+    TRUE,
+)
+from repro.table.io import read_csv, write_csv
+from repro.table.schema import Schema
+from repro.table.table import GroupBy, Table
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "aggregate_values",
+    "Column",
+    "DType",
+    "infer_dtype",
+    "discretize_column",
+    "discretize_table",
+    "equal_frequency_bins",
+    "equal_width_bins",
+    "And",
+    "Between",
+    "Condition",
+    "Eq",
+    "Ge",
+    "Gt",
+    "In",
+    "IsNull",
+    "Le",
+    "Lt",
+    "Ne",
+    "Not",
+    "NotNull",
+    "Or",
+    "Predicate",
+    "TRUE",
+    "read_csv",
+    "write_csv",
+    "Schema",
+    "GroupBy",
+    "Table",
+]

@@ -1,0 +1,119 @@
+"""Aggregate functions for group-by queries.
+
+The paper's query class supports "different aggregations" over the outcome
+attribute; the functions here implement the usual SQL aggregates over a
+column slice, skipping missing values the way SQL aggregates skip NULLs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Sequence
+
+from repro.exceptions import QueryError
+
+
+def _present(values: Sequence[Any]) -> list:
+    return [v for v in values if v is not None and not (isinstance(v, float) and math.isnan(v))]
+
+
+def agg_mean(values: Sequence[Any]) -> float:
+    """Arithmetic mean of the present values (None if no value is present)."""
+    present = _present(values)
+    if not present:
+        return None
+    return float(sum(present)) / len(present)
+
+
+def agg_sum(values: Sequence[Any]) -> float:
+    """Sum of present values (0.0 when empty, matching SQL's SUM over no rows as NULL→0 convention
+    used throughout the benchmarks)."""
+    present = _present(values)
+    if not present:
+        return None
+    return float(sum(present))
+
+
+def agg_count(values: Sequence[Any]) -> int:
+    """Count of present (non-missing) values."""
+    return len(_present(values))
+
+
+def agg_count_all(values: Sequence[Any]) -> int:
+    """Count of rows, including rows whose value is missing (SQL COUNT(*))."""
+    return len(values)
+
+
+def agg_min(values: Sequence[Any]) -> Any:
+    """Minimum of the present values."""
+    present = _present(values)
+    if not present:
+        return None
+    return min(present)
+
+
+def agg_max(values: Sequence[Any]) -> Any:
+    """Maximum of the present values."""
+    present = _present(values)
+    if not present:
+        return None
+    return max(present)
+
+
+def agg_median(values: Sequence[Any]) -> float:
+    """Median of the present values."""
+    present = sorted(_present(values))
+    if not present:
+        return None
+    n = len(present)
+    mid = n // 2
+    if n % 2 == 1:
+        return float(present[mid])
+    return (float(present[mid - 1]) + float(present[mid])) / 2.0
+
+
+def agg_std(values: Sequence[Any]) -> float:
+    """Population standard deviation of the present values."""
+    present = _present(values)
+    if not present:
+        return None
+    mean = sum(present) / len(present)
+    variance = sum((v - mean) ** 2 for v in present) / len(present)
+    return math.sqrt(variance)
+
+
+def agg_first(values: Sequence[Any]) -> Any:
+    """First present value (used for one-to-many KG aggregation)."""
+    present = _present(values)
+    if not present:
+        return None
+    return present[0]
+
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable[[Sequence[Any]], Any]] = {
+    "avg": agg_mean,
+    "mean": agg_mean,
+    "sum": agg_sum,
+    "count": agg_count,
+    "count_all": agg_count_all,
+    "min": agg_min,
+    "max": agg_max,
+    "median": agg_median,
+    "std": agg_std,
+    "first": agg_first,
+}
+
+
+def aggregate_values(name: str, values: Sequence[Any]) -> Any:
+    """Apply the named aggregate to a sequence of values.
+
+    Raises :class:`QueryError` for an unknown aggregate name so that a typo
+    in a query surfaces as a query error, not a ``KeyError``.
+    """
+    try:
+        function = AGGREGATE_FUNCTIONS[name.lower()]
+    except KeyError as exc:
+        raise QueryError(
+            f"Unknown aggregate {name!r}; supported: {sorted(AGGREGATE_FUNCTIONS)}"
+        ) from exc
+    return function(values)

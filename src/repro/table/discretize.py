@@ -1,0 +1,108 @@
+"""Discretisation of numeric attributes.
+
+The paper assumes numeric exposures and numeric candidate attributes are
+binned before information-theoretic quantities are estimated ("To handle a
+numerical exposure, one may bin this attribute", Section 2.1; "numerical
+attributes are assumed to be binned", Section 4.3).  This module provides
+equal-width and equal-frequency binning over columns and whole tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.table.column import Column, DType
+from repro.table.table import Table
+
+DEFAULT_BINS = 8
+
+
+def equal_width_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Bin edges dividing [min, max] of the finite values into equal widths."""
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return np.array([0.0, 1.0])
+    low, high = float(finite.min()), float(finite.max())
+    if low == high:
+        high = low + 1.0
+    return np.linspace(low, high, n_bins + 1)
+
+
+def equal_frequency_bins(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Bin edges placing (approximately) the same number of values per bin."""
+    finite = np.sort(values[np.isfinite(values)])
+    if finite.size == 0:
+        return np.array([0.0, 1.0])
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.quantile(finite, quantiles)
+    edges = np.unique(edges)
+    if edges.size < 2:
+        edges = np.array([float(finite.min()), float(finite.min()) + 1.0])
+    return edges
+
+
+def _bin_labels(edges: np.ndarray) -> List[str]:
+    labels = []
+    for i in range(len(edges) - 1):
+        labels.append(f"[{edges[i]:.4g}, {edges[i + 1]:.4g}]")
+    return labels
+
+
+def discretize_column(column: Column, n_bins: int = DEFAULT_BINS,
+                      strategy: str = "frequency") -> Tuple[Column, List[str]]:
+    """Discretise a numeric column into labelled string bins.
+
+    Returns ``(binned_column, labels)``.  Missing cells stay missing.  A
+    non-numeric column is returned unchanged (with its unique values as
+    labels) so that callers can discretise a heterogeneous attribute list
+    without special-casing.
+    """
+    if not column.is_numeric():
+        return column, [str(value) for value in column.unique()]
+    if n_bins < 1:
+        raise SchemaError(f"n_bins must be >= 1, got {n_bins}")
+    values = column.numeric_array()
+    if strategy == "width":
+        edges = equal_width_bins(values, n_bins)
+    elif strategy == "frequency":
+        edges = equal_frequency_bins(values, n_bins)
+    else:
+        raise SchemaError(f"Unknown binning strategy {strategy!r}; use 'width' or 'frequency'")
+    labels = _bin_labels(edges)
+    # np.digitize assigns indices in 1..len(edges); clip so the max value
+    # falls into the last bin rather than an overflow bin.
+    bin_index = np.digitize(values, edges[1:-1], right=True)
+    bin_index = np.clip(bin_index, 0, len(labels) - 1)
+    out_values: List[Optional[str]] = []
+    for i in range(len(column)):
+        if column.missing_mask[i]:
+            out_values.append(None)
+        else:
+            out_values.append(labels[int(bin_index[i])])
+    return Column(column.name, out_values, dtype=DType.STRING), labels
+
+
+def discretize_table(table: Table, columns: Optional[Sequence[str]] = None,
+                     n_bins: int = DEFAULT_BINS, strategy: str = "frequency",
+                     skip: Sequence[str] = ()) -> Table:
+    """Discretise every numeric column of a table (or a chosen subset).
+
+    ``skip`` lists columns that must be left untouched (typically the outcome
+    attribute, whose raw numeric values are needed for aggregation).
+    """
+    if columns is None:
+        columns = table.schema.numeric_names()
+    skip_set = set(skip)
+    result = table
+    for column_name in columns:
+        if column_name in skip_set:
+            continue
+        column = table.column(column_name)
+        if not column.is_numeric():
+            continue
+        binned, _ = discretize_column(column, n_bins=n_bins, strategy=strategy)
+        result = result.with_column(binned)
+    return result

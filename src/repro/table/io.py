@@ -1,0 +1,79 @@
+"""CSV input/output for :class:`repro.table.Table`.
+
+The paper's datasets ship as CSV files; this module provides a small,
+dependency-free reader/writer with automatic type inference so that the
+synthetic datasets can be exported, inspected and re-loaded in examples and
+tests.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.table.column import DType
+from repro.table.table import Table
+
+PathLike = Union[str, Path]
+
+_MISSING_TOKENS = {"", "na", "n/a", "nan", "null", "none"}
+
+
+def _parse_cell(raw: str) -> Any:
+    """Parse a CSV cell into None / int / float / str."""
+    stripped = raw.strip()
+    if stripped.lower() in _MISSING_TOKENS:
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    if stripped.lower() == "true":
+        return True
+    if stripped.lower() == "false":
+        return False
+    return stripped
+
+
+def read_csv(path: PathLike, name: Optional[str] = None,
+             columns: Optional[Sequence[str]] = None) -> Table:
+    """Read a CSV file into a table, inferring column types.
+
+    ``columns`` optionally restricts and orders the loaded columns.
+    """
+    path = Path(path)
+    rows: List[Dict[str, Any]] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        field_names = reader.fieldnames or []
+        for record in reader:
+            rows.append({key: _parse_cell(value) if value is not None else None
+                         for key, value in record.items()})
+    if columns is None:
+        columns = field_names
+    return Table.from_rows(rows, columns=list(columns), name=name or path.stem)
+
+
+def write_csv(table: Table, path: PathLike) -> None:
+    """Write a table to a CSV file, with empty cells for missing values."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            output = []
+            for column_name in table.column_names:
+                value = row[column_name]
+                if value is None:
+                    output.append("")
+                elif table.column(column_name).dtype is DType.INT:
+                    output.append(str(int(value)))
+                else:
+                    output.append(str(value))
+            writer.writerow(output)

@@ -1,0 +1,79 @@
+"""Table schemas: ordered column names with logical types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.exceptions import SchemaError
+from repro.table.column import DType
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered mapping from column name to :class:`DType`.
+
+    Schemas are value objects: comparing two schemas compares both the
+    names, the order and the types, which the tests use to assert that
+    relational operators preserve or transform schemas correctly.
+    """
+
+    fields: Tuple[Tuple[str, DType], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[str, DType]]) -> "Schema":
+        """Build a schema from (name, dtype) pairs, checking for duplicates."""
+        pairs = tuple((str(name), DType(dtype)) for name, dtype in pairs)
+        names = [name for name, _ in pairs]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise SchemaError(f"Duplicate column name(s) in schema: {sorted(duplicates)}")
+        return cls(pairs)
+
+    @property
+    def names(self) -> List[str]:
+        """Column names in schema order."""
+        return [name for name, _ in self.fields]
+
+    @property
+    def types(self) -> Dict[str, DType]:
+        """Mapping from column name to its dtype."""
+        return {name: dtype for name, dtype in self.fields}
+
+    def dtype(self, name: str) -> DType:
+        """The dtype of column ``name``; raises :class:`SchemaError` if absent."""
+        for field_name, dtype in self.fields:
+            if field_name == name:
+                return dtype
+        raise SchemaError(f"Column {name!r} not in schema; available: {self.names}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(field_name == name for field_name, _ in self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names``, in the requested order."""
+        types = self.types
+        missing = [name for name in names if name not in types]
+        if missing:
+            raise SchemaError(f"Column(s) {missing} not in schema; available: {self.names}")
+        return Schema(tuple((name, types[name]) for name in names))
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """Schema without the columns in ``names``."""
+        drop_set = set(names)
+        return Schema(tuple((name, dtype) for name, dtype in self.fields if name not in drop_set))
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas, raising on duplicate column names."""
+        return Schema.from_pairs(tuple(self.fields) + tuple(other.fields))
+
+    def numeric_names(self) -> List[str]:
+        """Names of the numeric columns."""
+        return [name for name, dtype in self.fields if dtype.is_numeric]
+
+    def categorical_names(self) -> List[str]:
+        """Names of the non-numeric columns."""
+        return [name for name, dtype in self.fields if not dtype.is_numeric]

@@ -1,0 +1,380 @@
+"""The columnar :class:`Table` and its relational operators.
+
+This is the dataframe substitute the rest of the library is built on.  A
+table is an ordered collection of equally long :class:`~repro.table.column.Column`
+objects.  Operations never mutate an existing table; they return new tables,
+which keeps the explanation-search algorithms free of aliasing surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.table.aggregates import aggregate_values
+from repro.table.column import Column, DType
+from repro.table.expressions import Predicate
+from repro.table.schema import Schema
+
+
+class Table:
+    """An immutable, in-memory columnar table."""
+
+    def __init__(self, columns: Sequence[Column], name: str = "table"):
+        names = [column.name for column in columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"Duplicate column name(s): {sorted(duplicates)}")
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise SchemaError(f"Columns have differing lengths: {sorted(lengths)}")
+        self.name = name
+        self._columns: Dict[str, Column] = {column.name: column for column in columns}
+        self._order: List[str] = names
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_columns(cls, data: Mapping[str, Sequence[Any]], name: str = "table") -> "Table":
+        """Build a table from a mapping of column name to raw values."""
+        columns = [Column(column_name, values) for column_name, values in data.items()]
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]] = None,
+                  name: str = "table") -> "Table":
+        """Build a table from a list of row dictionaries.
+
+        Column order follows ``columns`` when given, otherwise the key order
+        of the first row (with any extra keys from later rows appended).
+        Missing keys become missing cells.
+        """
+        if columns is None:
+            ordered: List[str] = []
+            seen = set()
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        ordered.append(key)
+                        seen.add(key)
+            columns = ordered
+        data = {column: [row.get(column) for row in rows] for column in columns}
+        return cls.from_columns(data, name=name)
+
+    @classmethod
+    def empty(cls, schema: Schema, name: str = "table") -> "Table":
+        """A zero-row table with the given schema."""
+        columns = [Column(field_name, [], dtype=dtype) for field_name, dtype in schema.fields]
+        return cls(columns, name=name)
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns."""
+        return len(self._order)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in table order."""
+        return list(self._order)
+
+    @property
+    def schema(self) -> Schema:
+        """The table's schema as a value object."""
+        return Schema(tuple((name, self._columns[name].dtype) for name in self._order))
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def column(self, name: str) -> Column:
+        """Return the named column; raises :class:`SchemaError` if absent."""
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"Column {name!r} not found in table {self.name!r}; "
+                f"available: {self._order}"
+            ) from exc
+
+    def __getitem__(self, name: str) -> Column:
+        return self.column(name)
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """Return row ``index`` as a dict (None for missing cells)."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError(f"Row index {index} out of range for table with {self._n_rows} rows")
+        return {name: self._columns[name][index] for name in self._order}
+
+    def iter_rows(self) -> Iterable[Dict[str, Any]]:
+        """Iterate over rows as dictionaries."""
+        for index in range(self._n_rows):
+            yield self.row(index)
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Materialise all rows as a list of dictionaries."""
+        return list(self.iter_rows())
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, n_rows={self._n_rows}, columns={self._order})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._order != other._order:
+            return False
+        return all(self._columns[name] == other._columns[name] for name in self._order)
+
+    # ------------------------------------------------------------------ #
+    # projection / column manipulation
+    # ------------------------------------------------------------------ #
+    def select(self, columns: Sequence[str], name: Optional[str] = None) -> "Table":
+        """Project onto the given columns (in the given order)."""
+        selected = [self.column(column_name) for column_name in columns]
+        return Table(selected, name=name or self.name)
+
+    def drop(self, columns: Iterable[str], name: Optional[str] = None) -> "Table":
+        """Return a table without the given columns (absent names are ignored)."""
+        drop_set = set(columns)
+        kept = [self._columns[column_name] for column_name in self._order
+                if column_name not in drop_set]
+        return Table(kept, name=name or self.name)
+
+    def with_column(self, column: Column, name: Optional[str] = None) -> "Table":
+        """Add (or replace) a column."""
+        if len(column) != self._n_rows and self._n_rows > 0:
+            raise SchemaError(
+                f"Cannot add column {column.name!r} of length {len(column)} "
+                f"to a table with {self._n_rows} rows"
+            )
+        columns = [self._columns[existing] for existing in self._order
+                   if existing != column.name]
+        columns.append(column)
+        return Table(columns, name=name or self.name)
+
+    def rename(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "Table":
+        """Rename columns according to ``mapping`` (old name -> new name)."""
+        columns = []
+        for column_name in self._order:
+            column = self._columns[column_name]
+            if column_name in mapping:
+                column = column.rename(mapping[column_name])
+            columns.append(column)
+        return Table(columns, name=name or self.name)
+
+    def with_name(self, name: str) -> "Table":
+        """Return the same table under a different name."""
+        return Table([self._columns[column_name] for column_name in self._order], name=name)
+
+    # ------------------------------------------------------------------ #
+    # row selection
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate_or_mask, name: Optional[str] = None) -> "Table":
+        """Keep only the rows selected by a predicate or boolean mask."""
+        if isinstance(predicate_or_mask, Predicate):
+            mask = predicate_or_mask.mask(self)
+        else:
+            mask = np.asarray(predicate_or_mask, dtype=bool)
+            if len(mask) != self._n_rows:
+                raise SchemaError(
+                    f"Filter mask length {len(mask)} does not match table with {self._n_rows} rows"
+                )
+        columns = [self._columns[column_name].filter(mask) for column_name in self._order]
+        return Table(columns, name=name or self.name)
+
+    def take(self, indices: Sequence[int], name: Optional[str] = None) -> "Table":
+        """Return the rows at ``indices`` (in that order)."""
+        columns = [self._columns[column_name].take(indices) for column_name in self._order]
+        return Table(columns, name=name or self.name)
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        n = max(0, min(n, self._n_rows))
+        return self.take(list(range(n)))
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Table":
+        """A uniform random sample of ``n`` rows without replacement."""
+        n = min(n, self._n_rows)
+        indices = rng.choice(self._n_rows, size=n, replace=False)
+        return self.take(sorted(int(i) for i in indices))
+
+    def sort_by(self, column: str, descending: bool = False) -> "Table":
+        """Sort rows by a column (missing values sort last)."""
+        col = self.column(column)
+        keyed = []
+        for index in range(self._n_rows):
+            value = col[index]
+            missing = value is None
+            keyed.append((missing, value, index))
+        keyed.sort(key=lambda item: (item[0], item[1] if not item[0] else 0),
+                   reverse=descending)
+        # Missing rows must stay last even in descending order.
+        present = [item for item in keyed if not item[0]]
+        absent = [item for item in keyed if item[0]]
+        ordered = [item[2] for item in present + absent]
+        return self.take(ordered)
+
+    # ------------------------------------------------------------------ #
+    # grouping and joining
+    # ------------------------------------------------------------------ #
+    def group_by(self, keys: Sequence[str]) -> "GroupBy":
+        """Start a group-by over the given key columns."""
+        return GroupBy(self, list(keys))
+
+    def join(self, other: "Table", on: str, right_on: Optional[str] = None,
+             how: str = "left", name: Optional[str] = None) -> "Table":
+        """Join this table with ``other`` on equality of a key column.
+
+        ``how`` may be ``"left"`` (keep all left rows; unmatched right columns
+        become missing) or ``"inner"`` (keep only matching rows).  When the
+        right key matches several right rows, the first match is used — the
+        one-to-many handling of the paper is performed upstream by the
+        knowledge-graph extractor, which aggregates multi-valued properties
+        before the join.
+        """
+        right_key = right_on or on
+        if how not in ("left", "inner"):
+            raise SchemaError(f"Unsupported join type {how!r}; use 'left' or 'inner'")
+        left_key_column = self.column(on)
+        right_key_column = other.column(right_key)
+
+        right_index: Dict[Any, int] = {}
+        for row_index in range(other.n_rows):
+            value = right_key_column[row_index]
+            if value is None:
+                continue
+            right_index.setdefault(value, row_index)
+
+        matches: List[Optional[int]] = []
+        keep_rows: List[int] = []
+        for row_index in range(self._n_rows):
+            value = left_key_column[row_index]
+            match = right_index.get(value) if value is not None else None
+            if how == "inner" and match is None:
+                continue
+            keep_rows.append(row_index)
+            matches.append(match)
+
+        left_part = self.take(keep_rows)
+        right_columns = []
+        taken_names = set(self._order)
+        for column_name in other.column_names:
+            if column_name == right_key and right_key == on:
+                continue
+            column = other.column(column_name)
+            values = [column[m] if m is not None else None for m in matches]
+            out_name = column_name
+            if out_name in taken_names:
+                out_name = f"{other.name}.{column_name}"
+            right_columns.append(Column(out_name, values, dtype=column.dtype))
+        columns = [left_part.column(column_name) for column_name in left_part.column_names]
+        columns.extend(right_columns)
+        return Table(columns, name=name or self.name)
+
+    def concat_rows(self, other: "Table", name: Optional[str] = None) -> "Table":
+        """Stack another table with the same schema below this one."""
+        if self._order != other._order:
+            raise SchemaError(
+                f"Cannot concatenate tables with different columns: {self._order} vs {other._order}"
+            )
+        columns = [self._columns[column_name].concat(other.column(column_name))
+                   for column_name in self._order]
+        return Table(columns, name=name or self.name)
+
+    # ------------------------------------------------------------------ #
+    # summaries
+    # ------------------------------------------------------------------ #
+    def missing_report(self) -> Dict[str, float]:
+        """Fraction of missing cells per column."""
+        return {column_name: self._columns[column_name].missing_fraction()
+                for column_name in self._order}
+
+    def describe(self) -> Dict[str, Dict[str, Any]]:
+        """A light-weight per-column summary used by the MESA report."""
+        summary: Dict[str, Dict[str, Any]] = {}
+        for column_name in self._order:
+            column = self._columns[column_name]
+            entry: Dict[str, Any] = {
+                "dtype": column.dtype.value,
+                "missing_fraction": column.missing_fraction(),
+                "n_unique": column.n_unique(),
+            }
+            if column.is_numeric():
+                present = [v for v in column.non_missing_values()]
+                if present:
+                    entry["min"] = min(present)
+                    entry["max"] = max(present)
+                    entry["mean"] = sum(present) / len(present)
+            summary[column_name] = entry
+        return summary
+
+
+class GroupBy:
+    """Deferred group-by over a table; call :meth:`aggregate` to evaluate."""
+
+    def __init__(self, table: Table, keys: List[str]):
+        for key in keys:
+            table.column(key)  # validates existence
+        self.table = table
+        self.keys = keys
+
+    def groups(self) -> Dict[Tuple[Any, ...], List[int]]:
+        """Mapping from key tuple to the list of row indices in that group.
+
+        Rows whose key value is missing in any key column are excluded, the
+        way SQL GROUP BY places NULLs in their own group — the explanation
+        algorithms never want a "missing exposure" group.
+        """
+        key_columns = [self.table.column(key) for key in self.keys]
+        result: Dict[Tuple[Any, ...], List[int]] = {}
+        for row_index in range(self.table.n_rows):
+            key_values = tuple(column[row_index] for column in key_columns)
+            if any(value is None for value in key_values):
+                continue
+            result.setdefault(key_values, []).append(row_index)
+        return result
+
+    def aggregate(self, aggregations: Mapping[str, Tuple[str, str]],
+                  name: Optional[str] = None) -> Table:
+        """Aggregate each group.
+
+        ``aggregations`` maps output column name to ``(aggregate_name,
+        input_column)``, e.g. ``{"avg_salary": ("avg", "Salary")}``.  The
+        result has one row per group with the key columns first.
+        """
+        groups = self.groups()
+        ordered_keys = sorted(groups.keys(), key=lambda key: tuple(str(part) for part in key))
+        rows: List[Dict[str, Any]] = []
+        for key_values in ordered_keys:
+            indices = groups[key_values]
+            row: Dict[str, Any] = dict(zip(self.keys, key_values))
+            for output_name, (aggregate_name, input_column) in aggregations.items():
+                column = self.table.column(input_column)
+                values = [column[i] for i in indices]
+                row[output_name] = aggregate_values(aggregate_name, values)
+            rows.append(row)
+        output_columns = self.keys + list(aggregations.keys())
+        return Table.from_rows(rows, columns=output_columns,
+                               name=name or f"{self.table.name}_grouped")
+
+    def sizes(self) -> Dict[Tuple[Any, ...], int]:
+        """Number of rows in each group."""
+        return {key: len(indices) for key, indices in self.groups().items()}
+
+    def apply(self, function: Callable[[Table], Any]) -> Dict[Tuple[Any, ...], Any]:
+        """Apply a function to the sub-table of each group."""
+        return {key: function(self.table.take(indices))
+                for key, indices in self.groups().items()}

@@ -1,0 +1,21 @@
+"""Small shared utilities: random-number helpers, validation, timing."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    require,
+    require_columns,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "Timer",
+    "timed",
+    "require",
+    "require_columns",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,49 @@
+"""Lightweight timing utilities for the benchmark harness and MESA reports."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock durations.
+
+    Used by :class:`repro.mesa.system.MESA` to report how long each phase of
+    the pipeline (extraction, pruning, selection) took, mirroring the
+    efficiency experiments in Section 5.3 of the paper.
+    """
+
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        """Context manager adding the elapsed time under ``label``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.durations[label] = self.durations.get(label, 0.0) + elapsed
+
+    def total(self) -> float:
+        """Total time across all recorded labels, in seconds."""
+        return sum(self.durations.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the recorded durations."""
+        return dict(self.durations)
+
+
+@contextmanager
+def timed() -> Iterator[Dict[str, float]]:
+    """Context manager yielding a dict whose ``"seconds"`` key is filled on exit."""
+    result: Dict[str, float] = {}
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result["seconds"] = time.perf_counter() - start

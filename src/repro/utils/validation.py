@@ -1,0 +1,53 @@
+"""Argument validation helpers used across the library.
+
+These helpers raise the library's own exceptions (see
+:mod:`repro.exceptions`) with readable messages instead of letting bare
+``KeyError`` / ``AssertionError`` escape from deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Type
+
+from repro.exceptions import ReproError, SchemaError
+
+
+def require(condition: bool, message: str, exc: Type[Exception] = ReproError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def require_positive(value: float, name: str, exc: Type[Exception] = ReproError) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise exc(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str, exc: Type[Exception] = ReproError) -> None:
+    """Raise unless ``value`` is zero or positive."""
+    if value < 0:
+        raise exc(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str, exc: Type[Exception] = ReproError) -> None:
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise exc(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def require_columns(available: Iterable[str], needed: Sequence[str]) -> None:
+    """Raise :class:`SchemaError` if any column in ``needed`` is absent."""
+    available_set = set(available)
+    missing = [column for column in needed if column not in available_set]
+    if missing:
+        raise SchemaError(
+            f"Missing column(s) {missing}; available columns are {sorted(available_set)}"
+        )
+
+
+def require_same_length(name_a: str, a: Sequence, name_b: str, b: Sequence,
+                        exc: Type[Exception] = ReproError) -> None:
+    """Raise unless the two sequences have the same length."""
+    if len(a) != len(b):
+        raise exc(f"{name_a} (length {len(a)}) and {name_b} (length {len(b)}) must have equal length")

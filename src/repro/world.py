@@ -1,0 +1,550 @@
+"""The shared synthetic world model.
+
+Every entity used by the synthetic datasets and the synthetic knowledge
+graph is defined here exactly once: countries with their economic and
+demographic facts, US cities and states with climate and population facts,
+airlines with financial facts, and celebrities with career facts.
+
+The facts serve two purposes:
+
+* the knowledge-graph builder (:mod:`repro.kg.synthetic`) turns them into
+  triples (the "DBpedia" the extractor mines), and
+* the dataset generators (:mod:`repro.datasets.stackoverflow` and friends)
+  use a *subset* of them as the hidden drivers of the outcomes — those
+  drivers are deliberately *not* placed in the generated tables, so the only
+  way for an algorithm to explain the resulting correlations is to mine the
+  KG, exactly as in the paper's motivating examples.
+
+The numbers are plausible (2020-era magnitudes) but are not intended to be
+exact statistics; only their relative ordering and co-variation matter for
+reproducing the paper's experimental behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+# --------------------------------------------------------------------------- #
+# Countries
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CountryFacts:
+    """Ground facts about one country."""
+
+    name: str
+    aliases: Tuple[str, ...]
+    continent: str
+    who_region: str
+    hdi: float                 # Human Development Index, 0..1
+    gdp_per_capita: float      # thousands of USD
+    gini: float                # Gini index, 0..100
+    density: float             # people per km^2
+    population_millions: float
+    area_thousand_km2: float
+    currency: str
+    language: str
+    established_year: int
+    time_zone: str
+
+
+# name, aliases, continent, WHO region, HDI, GDP/cap(k$), Gini, density, pop(M), area(k km2), currency, language, established, tz
+_COUNTRY_ROWS: List[Tuple] = [
+    ("United States", ("USA", "US", "United States of America"), "North America", "Americas",
+     0.926, 63.5, 41.4, 36.0, 331.0, 9834.0, "US Dollar", "English", 1776, "UTC-5"),
+    ("Germany", (), "Europe", "Europe", 0.947, 46.2, 31.9, 240.0, 83.1, 357.0,
+     "Euro", "German", 1871, "UTC+1"),
+    ("France", (), "Europe", "Europe", 0.901, 39.0, 32.4, 119.0, 67.4, 551.0,
+     "Euro", "French", 843, "UTC+1"),
+    ("Italy", (), "Europe", "Europe", 0.892, 31.7, 35.9, 206.0, 60.4, 301.0,
+     "Euro", "Italian", 1861, "UTC+1"),
+    ("Spain", (), "Europe", "Europe", 0.904, 27.0, 34.7, 94.0, 47.4, 506.0,
+     "Euro", "Spanish", 1479, "UTC+1"),
+    ("United Kingdom", ("UK", "Great Britain"), "Europe", "Europe", 0.932, 40.3, 34.8, 281.0,
+     67.2, 244.0, "Pound Sterling", "English", 1707, "UTC+0"),
+    ("Switzerland", (), "Europe", "Europe", 0.955, 86.6, 33.1, 219.0, 8.6, 41.0,
+     "Swiss Franc", "German", 1291, "UTC+1"),
+    ("Denmark", (), "Europe", "Europe", 0.940, 60.2, 28.2, 137.0, 5.8, 43.0,
+     "Danish Krone", "Danish", 1849, "UTC+1"),
+    ("Norway", (), "Europe", "Europe", 0.957, 67.2, 27.6, 15.0, 5.4, 385.0,
+     "Norwegian Krone", "Norwegian", 1814, "UTC+1"),
+    ("Sweden", (), "Europe", "Europe", 0.945, 52.0, 30.0, 25.0, 10.4, 450.0,
+     "Swedish Krona", "Swedish", 1523, "UTC+1"),
+    ("Netherlands", ("Holland",), "Europe", "Europe", 0.944, 52.3, 28.5, 508.0, 17.4, 42.0,
+     "Euro", "Dutch", 1581, "UTC+1"),
+    ("Poland", (), "Europe", "Europe", 0.880, 15.7, 30.2, 124.0, 38.0, 313.0,
+     "Zloty", "Polish", 1025, "UTC+1"),
+    ("Romania", (), "Europe", "Europe", 0.828, 12.9, 34.8, 84.0, 19.2, 238.0,
+     "Romanian Leu", "Romanian", 1859, "UTC+2"),
+    ("Ukraine", (), "Europe", "Europe", 0.779, 3.7, 26.6, 75.0, 44.1, 604.0,
+     "Hryvnia", "Ukrainian", 1991, "UTC+2"),
+    ("Russia", ("Russian Federation",), "Europe", "Europe", 0.824, 10.1, 37.5, 9.0, 144.1,
+     17098.0, "Russian Ruble", "Russian", 862, "UTC+3"),
+    ("Greece", (), "Europe", "Europe", 0.888, 17.7, 34.4, 81.0, 10.7, 132.0,
+     "Euro", "Greek", 1821, "UTC+2"),
+    ("Portugal", (), "Europe", "Europe", 0.864, 22.2, 33.8, 111.0, 10.3, 92.0,
+     "Euro", "Portuguese", 1143, "UTC+0"),
+    ("Ireland", (), "Europe", "Europe", 0.955, 85.3, 32.8, 72.0, 5.0, 70.0,
+     "Euro", "English", 1922, "UTC+0"),
+    ("Czech Republic", ("Czechia",), "Europe", "Europe", 0.900, 22.9, 25.0, 139.0, 10.7, 79.0,
+     "Czech Koruna", "Czech", 1993, "UTC+1"),
+    ("Austria", (), "Europe", "Europe", 0.922, 48.1, 30.8, 109.0, 8.9, 84.0,
+     "Euro", "German", 1955, "UTC+1"),
+    ("China", ("People's Republic of China", "PRC"), "Asia", "Western Pacific",
+     0.761, 10.5, 38.5, 153.0, 1402.0, 9597.0, "Renminbi", "Mandarin", -221, "UTC+8"),
+    ("India", (), "Asia", "South-East Asia", 0.645, 1.9, 35.7, 464.0, 1380.0, 3287.0,
+     "Indian Rupee", "Hindi", 1947, "UTC+5:30"),
+    ("Japan", (), "Asia", "Western Pacific", 0.919, 40.1, 32.9, 347.0, 125.8, 378.0,
+     "Yen", "Japanese", 660, "UTC+9"),
+    ("South Korea", ("Republic of Korea", "Korea"), "Asia", "Western Pacific",
+     0.916, 31.5, 31.4, 527.0, 51.8, 100.0, "South Korean Won", "Korean", 1948, "UTC+9"),
+    ("Israel", (), "Asia", "Europe", 0.919, 43.6, 39.0, 400.0, 9.2, 22.0,
+     "New Shekel", "Hebrew", 1948, "UTC+2"),
+    ("Turkey", (), "Asia", "Europe", 0.820, 8.5, 41.9, 109.0, 84.3, 784.0,
+     "Turkish Lira", "Turkish", 1923, "UTC+3"),
+    ("Iran", ("Islamic Republic of Iran",), "Asia", "Eastern Mediterranean",
+     0.783, 5.9, 40.8, 52.0, 84.0, 1648.0, "Iranian Rial", "Persian", 1979, "UTC+3:30"),
+    ("Pakistan", (), "Asia", "Eastern Mediterranean", 0.557, 1.2, 33.5, 287.0, 220.9, 796.0,
+     "Pakistani Rupee", "Urdu", 1947, "UTC+5"),
+    ("Bangladesh", (), "Asia", "South-East Asia", 0.632, 2.0, 32.4, 1265.0, 164.7, 148.0,
+     "Taka", "Bengali", 1971, "UTC+6"),
+    ("Indonesia", (), "Asia", "South-East Asia", 0.718, 3.9, 38.2, 151.0, 273.5, 1905.0,
+     "Rupiah", "Indonesian", 1945, "UTC+7"),
+    ("Vietnam", ("Viet Nam",), "Asia", "Western Pacific", 0.704, 2.8, 35.7, 314.0, 97.3, 331.0,
+     "Dong", "Vietnamese", 1945, "UTC+7"),
+    ("Singapore", (), "Asia", "Western Pacific", 0.938, 59.8, 45.9, 8358.0, 5.7, 0.73,
+     "Singapore Dollar", "English", 1965, "UTC+8"),
+    ("Brazil", (), "South America", "Americas", 0.765, 6.8, 53.4, 25.0, 212.6, 8516.0,
+     "Brazilian Real", "Portuguese", 1822, "UTC-3"),
+    ("Argentina", (), "South America", "Americas", 0.845, 8.4, 42.9, 17.0, 45.4, 2780.0,
+     "Argentine Peso", "Spanish", 1816, "UTC-3"),
+    ("Colombia", (), "South America", "Americas", 0.767, 5.3, 51.3, 46.0, 50.9, 1142.0,
+     "Colombian Peso", "Spanish", 1810, "UTC-5"),
+    ("Mexico", (), "North America", "Americas", 0.779, 8.3, 45.4, 66.0, 128.9, 1964.0,
+     "Mexican Peso", "Spanish", 1821, "UTC-6"),
+    ("Canada", (), "North America", "Americas", 0.929, 43.2, 33.3, 4.0, 38.0, 9985.0,
+     "Canadian Dollar", "English", 1867, "UTC-5"),
+    ("South Africa", (), "Africa", "Africa", 0.709, 5.1, 63.0, 49.0, 59.3, 1221.0,
+     "Rand", "Zulu", 1961, "UTC+2"),
+    ("Nigeria", (), "Africa", "Africa", 0.539, 2.1, 35.1, 226.0, 206.1, 924.0,
+     "Naira", "English", 1960, "UTC+1"),
+    ("Egypt", (), "Africa", "Eastern Mediterranean", 0.707, 3.6, 31.5, 103.0, 102.3, 1010.0,
+     "Egyptian Pound", "Arabic", 1922, "UTC+2"),
+    ("Kenya", (), "Africa", "Africa", 0.601, 1.8, 40.8, 94.0, 53.8, 580.0,
+     "Kenyan Shilling", "Swahili", 1963, "UTC+3"),
+    ("Ethiopia", (), "Africa", "Africa", 0.485, 0.9, 35.0, 115.0, 115.0, 1104.0,
+     "Birr", "Amharic", -980, "UTC+3"),
+    ("Morocco", (), "Africa", "Eastern Mediterranean", 0.686, 3.2, 39.5, 83.0, 36.9, 447.0,
+     "Moroccan Dirham", "Arabic", 788, "UTC+1"),
+    ("Australia", (), "Oceania", "Western Pacific", 0.944, 51.8, 34.4, 3.0, 25.7, 7692.0,
+     "Australian Dollar", "English", 1901, "UTC+10"),
+    ("New Zealand", (), "Oceania", "Western Pacific", 0.931, 41.2, 36.2, 19.0, 5.1, 268.0,
+     "New Zealand Dollar", "English", 1907, "UTC+12"),
+]
+
+
+def countries() -> List[CountryFacts]:
+    """All countries of the world model."""
+    return [CountryFacts(*row) for row in _COUNTRY_ROWS]
+
+
+def country_index() -> Dict[str, CountryFacts]:
+    """Mapping from country name to its facts."""
+    return {facts.name: facts for facts in countries()}
+
+
+def _rank(values: Dict[str, float], descending: bool = True) -> Dict[str, int]:
+    """Rank entity names by a value (1 = largest when descending)."""
+    ordered = sorted(values, key=lambda name: values[name], reverse=descending)
+    return {name: position + 1 for position, name in enumerate(ordered)}
+
+
+def country_derived_properties() -> Dict[str, Dict[str, object]]:
+    """Derived per-country properties (ranks, census counts, nominal GDP).
+
+    The derived properties are what DBpedia-style graphs typically carry in
+    addition to the base statistic (e.g. both ``HDI`` and ``HDI Rank``);
+    having both lets the redundancy-related behaviour of the paper (Top-K
+    picking ``Year Low F`` *and* ``Year Avg F``) show up naturally.
+    """
+    facts = country_index()
+    hdi_rank = _rank({name: c.hdi for name, c in facts.items()})
+    gdp_rank = _rank({name: c.gdp_per_capita for name, c in facts.items()})
+    gini_rank = _rank({name: c.gini for name, c in facts.items()})
+    area_rank = _rank({name: c.area_thousand_km2 for name, c in facts.items()})
+    population_rank = _rank({name: c.population_millions for name, c in facts.items()})
+    derived: Dict[str, Dict[str, object]] = {}
+    for name, country in facts.items():
+        census = round(country.population_millions * 1_000_000)
+        derived[name] = {
+            "HDI Rank": hdi_rank[name],
+            "GDP Rank": gdp_rank[name],
+            "Gini Rank": gini_rank[name],
+            "Area Rank": area_rank[name],
+            "Population Rank": population_rank[name],
+            "Population Census": census,
+            "Population Estimate": round(census * 1.012),
+            "GDP Nominal": round(country.gdp_per_capita * country.population_millions, 1),
+            "Area Km": country.area_thousand_km2 * 1000.0,
+        }
+    return derived
+
+
+# --------------------------------------------------------------------------- #
+# US cities and states (Flights dataset)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CityFacts:
+    """Ground facts about one US city."""
+
+    name: str
+    state: str
+    state_code: str
+    population_thousands: float
+    metro_population_thousands: float
+    density: float
+    median_household_income: float   # thousands of USD
+    year_low_f: float                # average annual low temperature (F)
+    year_avg_f: float
+    december_low_f: float
+    precipitation_days: int
+    year_snow_inches: float
+    year_uv_index: float
+    december_percent_sun: int
+
+
+# name, state, code, pop(k), metro pop(k), density, income(k$), year low F, year avg F, dec low F,
+# precip days, snow(in), uv, dec % sun
+_CITY_ROWS: List[Tuple] = [
+    ("New York", "New York", "NY", 8336.0, 19216.0, 11000.0, 67.0, 47.0, 55.0, 32.0, 122, 29.8, 4.1, 51),
+    ("Los Angeles", "California", "CA", 3979.0, 13200.0, 3300.0, 65.0, 56.0, 64.0, 49.0, 36, 0.0, 6.3, 72),
+    ("Chicago", "Illinois", "IL", 2693.0, 9458.0, 4600.0, 58.0, 42.0, 50.0, 22.0, 125, 36.7, 3.9, 41),
+    ("Houston", "Texas", "TX", 2320.0, 7066.0, 1400.0, 52.0, 61.0, 70.0, 44.0, 104, 0.1, 5.6, 52),
+    ("Phoenix", "Arizona", "AZ", 1680.0, 4948.0, 1200.0, 57.0, 63.0, 75.0, 45.0, 36, 0.0, 6.8, 77),
+    ("Philadelphia", "Pennsylvania", "PA", 1584.0, 6102.0, 4600.0, 46.0, 46.0, 55.0, 28.0, 118, 22.4, 4.0, 49),
+    ("San Antonio", "Texas", "TX", 1547.0, 2550.0, 1200.0, 52.0, 58.0, 69.0, 41.0, 88, 0.3, 5.8, 53),
+    ("San Diego", "California", "CA", 1423.0, 3338.0, 1700.0, 79.0, 57.0, 64.0, 49.0, 38, 0.0, 6.2, 72),
+    ("Dallas", "Texas", "TX", 1343.0, 7573.0, 1500.0, 52.0, 57.0, 67.0, 38.0, 81, 1.5, 5.7, 56),
+    ("San Jose", "California", "CA", 1021.0, 1990.0, 2300.0, 109.0, 50.0, 60.0, 42.0, 60, 0.0, 5.9, 68),
+    ("Austin", "Texas", "TX", 978.0, 2227.0, 1200.0, 71.0, 58.0, 68.0, 41.0, 88, 0.6, 5.8, 54),
+    ("Jacksonville", "Florida", "FL", 911.0, 1559.0, 470.0, 54.0, 58.0, 69.0, 44.0, 114, 0.0, 6.0, 58),
+    ("Fort Worth", "Texas", "TX", 909.0, 7573.0, 1100.0, 59.0, 56.0, 66.0, 37.0, 80, 1.8, 5.7, 56),
+    ("Columbus", "Ohio", "OH", 898.0, 2122.0, 1500.0, 53.0, 44.0, 53.0, 25.0, 137, 27.5, 3.8, 34),
+    ("Charlotte", "North Carolina", "NC", 885.0, 2636.0, 1100.0, 62.0, 50.0, 60.0, 33.0, 110, 4.3, 4.7, 53),
+    ("San Francisco", "California", "CA", 881.0, 4731.0, 7200.0, 112.0, 51.0, 58.0, 46.0, 68, 0.0, 5.5, 59),
+    ("Indianapolis", "Indiana", "IN", 876.0, 2074.0, 930.0, 47.0, 44.0, 53.0, 23.0, 126, 25.9, 3.9, 39),
+    ("Seattle", "Washington", "WA", 753.0, 3979.0, 3400.0, 92.0, 45.0, 52.0, 37.0, 152, 6.3, 3.5, 20),
+    ("Denver", "Colorado", "CO", 727.0, 2967.0, 1800.0, 68.0, 37.0, 51.0, 19.0, 87, 56.5, 5.3, 59),
+    ("Boston", "Massachusetts", "MA", 692.0, 4873.0, 5400.0, 71.0, 44.0, 52.0, 25.0, 126, 48.0, 3.9, 49),
+    ("Detroit", "Michigan", "MI", 670.0, 4319.0, 1900.0, 31.0, 41.0, 50.0, 21.0, 135, 42.5, 3.6, 29),
+    ("Nashville", "Tennessee", "TN", 670.0, 1934.0, 570.0, 59.0, 49.0, 60.0, 30.0, 119, 4.7, 4.6, 43),
+    ("Washington", "District of Columbia", "DC", 705.0, 6280.0, 4500.0, 86.0, 49.0, 58.0, 30.0, 115, 13.7, 4.3, 47),
+    ("Las Vegas", "Nevada", "NV", 651.0, 2266.0, 1800.0, 56.0, 56.0, 69.0, 39.0, 26, 0.3, 6.5, 74),
+    ("Portland", "Oregon", "OR", 654.0, 2492.0, 1900.0, 71.0, 46.0, 55.0, 36.0, 156, 4.3, 3.6, 22),
+    ("Memphis", "Tennessee", "TN", 651.0, 1346.0, 800.0, 41.0, 53.0, 63.0, 33.0, 107, 3.8, 4.8, 47),
+    ("Baltimore", "Maryland", "MD", 593.0, 2800.0, 2900.0, 50.0, 46.0, 56.0, 28.0, 116, 20.1, 4.2, 48),
+    ("Milwaukee", "Wisconsin", "WI", 590.0, 1575.0, 2400.0, 41.0, 40.0, 48.0, 19.0, 126, 46.9, 3.7, 38),
+    ("Atlanta", "Georgia", "GA", 507.0, 6020.0, 1400.0, 65.0, 53.0, 62.0, 35.0, 113, 2.2, 4.9, 52),
+    ("Miami", "Florida", "FL", 468.0, 6167.0, 4900.0, 42.0, 70.0, 77.0, 62.0, 135, 0.0, 6.8, 65),
+    ("Minneapolis", "Minnesota", "MN", 429.0, 3640.0, 3100.0, 62.0, 37.0, 47.0, 9.0, 114, 51.2, 3.5, 44),
+    ("Salt Lake City", "Utah", "UT", 200.0, 1232.0, 700.0, 60.0, 41.0, 53.0, 24.0, 91, 56.2, 5.2, 46),
+    ("Anchorage", "Alaska", "AK", 288.0, 396.0, 66.0, 84.0, 30.0, 38.0, 13.0, 114, 74.5, 2.4, 27),
+    ("Honolulu", "Hawaii", "HI", 345.0, 974.0, 2200.0, 72.0, 71.0, 78.0, 66.0, 93, 0.0, 7.4, 63),
+    ("Orlando", "Florida", "FL", 287.0, 2608.0, 980.0, 51.0, 61.0, 73.0, 51.0, 117, 0.0, 6.3, 59),
+]
+
+
+def cities() -> List[CityFacts]:
+    """All US cities of the world model."""
+    return [CityFacts(*row) for row in _CITY_ROWS]
+
+
+def city_index() -> Dict[str, CityFacts]:
+    """Mapping from city name to its facts."""
+    return {facts.name: facts for facts in cities()}
+
+
+def city_derived_properties() -> Dict[str, Dict[str, object]]:
+    """Derived per-city properties (ranks, urban population)."""
+    facts = city_index()
+    population_rank = _rank({name: c.population_thousands for name, c in facts.items()})
+    derived: Dict[str, Dict[str, object]] = {}
+    for name, city in facts.items():
+        derived[name] = {
+            "Population Total": round(city.population_thousands * 1000),
+            "Population Urban": round(city.population_thousands * 1000 * 0.93),
+            "Population Metropolitan": round(city.metro_population_thousands * 1000),
+            "Population Ranking": population_rank[name],
+        }
+    return derived
+
+
+@dataclass(frozen=True)
+class StateFacts:
+    """Ground facts about one US state."""
+
+    name: str
+    code: str
+    population_millions: float
+    density: float
+    median_household_income: float
+    year_low_f: float
+    record_low_f: float
+    december_record_low_f: float
+    year_snow_inches: float
+    precipitation_days: int
+
+
+_STATE_ROWS: List[Tuple] = [
+    ("New York", "NY", 19.5, 161.0, 72.0, 41.0, -52.0, -34.0, 62.0, 124),
+    ("California", "CA", 39.5, 97.0, 80.0, 50.0, -45.0, -25.0, 5.0, 52),
+    ("Illinois", "IL", 12.7, 89.0, 69.0, 42.0, -38.0, -25.0, 27.0, 115),
+    ("Texas", "TX", 29.0, 42.0, 64.0, 57.0, -23.0, -10.0, 1.5, 84),
+    ("Arizona", "AZ", 7.3, 25.0, 62.0, 52.0, -40.0, -20.0, 2.0, 44),
+    ("Pennsylvania", "PA", 12.8, 110.0, 63.0, 43.0, -42.0, -28.0, 36.0, 130),
+    ("Florida", "FL", 21.5, 145.0, 59.0, 62.0, -2.0, 8.0, 0.0, 120),
+    ("Ohio", "OH", 11.7, 109.0, 58.0, 43.0, -39.0, -25.0, 28.0, 134),
+    ("North Carolina", "NC", 10.5, 80.0, 57.0, 48.0, -34.0, -20.0, 5.0, 112),
+    ("Indiana", "IN", 6.7, 73.0, 57.0, 43.0, -36.0, -23.0, 25.0, 124),
+    ("Washington", "WA", 7.6, 44.0, 78.0, 42.0, -48.0, -30.0, 12.0, 149),
+    ("Colorado", "CO", 5.8, 21.0, 77.0, 34.0, -61.0, -42.0, 60.0, 89),
+    ("Massachusetts", "MA", 6.9, 336.0, 85.0, 42.0, -35.0, -22.0, 49.0, 127),
+    ("Michigan", "MI", 10.0, 68.0, 59.0, 39.0, -51.0, -35.0, 51.0, 137),
+    ("Tennessee", "TN", 6.8, 64.0, 56.0, 49.0, -32.0, -17.0, 4.5, 118),
+    ("District of Columbia", "DC", 0.7, 4500.0, 92.0, 49.0, -15.0, -5.0, 14.0, 115),
+    ("Nevada", "NV", 3.1, 11.0, 63.0, 44.0, -50.0, -29.0, 21.0, 29),
+    ("Oregon", "OR", 4.2, 17.0, 67.0, 42.0, -54.0, -33.0, 5.0, 154),
+    ("Maryland", "MD", 6.0, 238.0, 87.0, 46.0, -40.0, -24.0, 20.0, 116),
+    ("Wisconsin", "WI", 5.8, 42.0, 64.0, 37.0, -55.0, -40.0, 46.0, 125),
+    ("Georgia", "GA", 10.6, 69.0, 62.0, 52.0, -17.0, -5.0, 2.0, 113),
+    ("Minnesota", "MN", 5.6, 27.0, 74.0, 35.0, -60.0, -45.0, 54.0, 116),
+    ("Utah", "UT", 3.2, 15.0, 75.0, 40.0, -69.0, -40.0, 56.0, 92),
+    ("Alaska", "AK", 0.73, 0.5, 78.0, 28.0, -80.0, -62.0, 74.0, 113),
+    ("Hawaii", "HI", 1.4, 87.0, 83.0, 70.0, 12.0, 23.0, 0.0, 95),
+    ("Minnesota2", "MN2", 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0),  # placeholder, removed below
+]
+
+# Drop the placeholder row kept only to make diffs of the table easy to read.
+_STATE_ROWS = [row for row in _STATE_ROWS if row[0] != "Minnesota2"]
+
+
+def states() -> List[StateFacts]:
+    """All US states of the world model."""
+    return [StateFacts(*row) for row in _STATE_ROWS]
+
+
+def state_index() -> Dict[str, StateFacts]:
+    """Mapping from state name to its facts."""
+    return {facts.name: facts for facts in states()}
+
+
+def state_derived_properties() -> Dict[str, Dict[str, object]]:
+    """Derived per-state properties (population estimate / rank)."""
+    facts = state_index()
+    population_rank = _rank({name: s.population_millions for name, s in facts.items()})
+    derived: Dict[str, Dict[str, object]] = {}
+    for name, state in facts.items():
+        derived[name] = {
+            "Population estimation": round(state.population_millions * 1_000_000),
+            "Population Rank": population_rank[name],
+            "Population Urban": round(state.population_millions * 1_000_000 * 0.8),
+        }
+    return derived
+
+
+# --------------------------------------------------------------------------- #
+# Airlines (Flights dataset)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AirlineFacts:
+    """Ground facts about one US airline."""
+
+    name: str
+    iata_code: str
+    fleet_size: int
+    equity_billion: float
+    net_income_billion: float
+    revenue_billion: float
+    num_employees_thousand: float
+    founded_year: int
+
+
+_AIRLINE_ROWS: List[Tuple] = [
+    ("American Airlines", "AA", 914, -0.1, 1.7, 45.8, 133.7, 1930),
+    ("Delta Air Lines", "DL", 880, 15.4, 4.8, 47.0, 91.0, 1925),
+    ("United Airlines", "UA", 857, 11.5, 3.0, 43.3, 96.0, 1926),
+    ("Southwest Airlines", "WN", 747, 9.8, 2.3, 22.4, 60.8, 1967),
+    ("Alaska Airlines", "AS", 332, 4.3, 0.77, 8.8, 23.0, 1932),
+    ("JetBlue Airways", "B6", 270, 4.8, 0.57, 8.1, 22.0, 1998),
+    ("Spirit Airlines", "NK", 157, 2.2, 0.34, 3.8, 9.0, 1983),
+    ("Frontier Airlines", "F9", 110, 0.6, 0.25, 2.5, 5.6, 1994),
+    ("Hawaiian Airlines", "HA", 61, 1.0, 0.22, 2.8, 7.4, 1929),
+    ("Allegiant Air", "G4", 92, 1.8, 0.23, 1.8, 4.4, 1997),
+    ("SkyWest Airlines", "OO", 483, 2.1, 0.34, 3.0, 14.0, 1972),
+    ("Envoy Air", "MQ", 185, 0.5, 0.08, 1.9, 18.0, 1998),
+    ("Virgin America", "VX", 67, 1.2, 0.20, 1.5, 9.0, 2004),
+    ("US Airways", "US", 340, 2.0, 0.7, 13.0, 32.0, 1937),
+]
+
+
+def airlines() -> List[AirlineFacts]:
+    """All airlines of the world model."""
+    return [AirlineFacts(*row) for row in _AIRLINE_ROWS]
+
+
+def airline_index() -> Dict[str, AirlineFacts]:
+    """Mapping from airline name to its facts."""
+    return {facts.name: facts for facts in airlines()}
+
+
+# --------------------------------------------------------------------------- #
+# Celebrities (Forbes dataset)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CelebrityFacts:
+    """Ground facts about one celebrity of the Forbes-like dataset.
+
+    Career fields that do not apply to a category are ``None``: athletes have
+    ``cups`` and ``draft_pick`` but no ``awards``; actors and directors have
+    ``awards`` but no ``cups``.  This is the per-category property sparsity
+    the paper highlights for Forbes (73 % missing values).
+    """
+
+    name: str
+    aliases: Tuple[str, ...]
+    category: str
+    gender: str
+    age: int
+    net_worth_million: float
+    citizenship: str
+    years_active: int
+    awards: Optional[int]
+    honors: Optional[int]
+    cups: Optional[int]
+    national_cups: Optional[int]
+    draft_pick: Optional[int]
+
+
+def _actor(name, gender, age, net_worth, citizenship, years_active, awards, honors,
+           aliases=()):
+    return (name, tuple(aliases), "Actors", gender, age, net_worth, citizenship,
+            years_active, awards, honors, None, None, None)
+
+
+def _director(name, gender, age, net_worth, citizenship, years_active, awards, honors,
+              aliases=()):
+    return (name, tuple(aliases), "Directors/Producers", gender, age, net_worth, citizenship,
+            years_active, awards, honors, None, None, None)
+
+
+def _athlete(name, gender, age, net_worth, citizenship, years_active, cups, national_cups,
+             draft_pick, aliases=()):
+    return (name, tuple(aliases), "Athletes", gender, age, net_worth, citizenship,
+            years_active, None, None, cups, national_cups, draft_pick)
+
+
+def _musician(name, gender, age, net_worth, citizenship, years_active, awards, honors,
+              aliases=()):
+    return (name, tuple(aliases), "Musicians", gender, age, net_worth, citizenship,
+            years_active, awards, honors, None, None, None)
+
+
+_CELEBRITY_ROWS: List[Tuple] = [
+    # Actors: pay driven mostly by net worth (experience) with a gender pay gap.
+    _actor("Dwayne Johnson", "Male", 48, 320.0, "United States", 24, 9, 4, aliases=("The Rock",)),
+    _actor("Ryan Reynolds", "Male", 44, 150.0, "Canada", 28, 7, 2),
+    _actor("Robert Downey Jr.", "Male", 55, 300.0, "United States", 40, 12, 5),
+    _actor("Tom Cruise", "Male", 58, 570.0, "United States", 40, 10, 6),
+    _actor("Leonardo DiCaprio", "Male", 46, 260.0, "United States", 31, 14, 7),
+    _actor("Brad Pitt", "Male", 57, 300.0, "United States", 33, 13, 6),
+    _actor("Will Smith", "Male", 52, 350.0, "United States", 35, 8, 4),
+    _actor("Jackie Chan", "Male", 66, 400.0, "China", 58, 11, 9),
+    _actor("Adam Sandler", "Male", 54, 420.0, "United States", 33, 6, 2),
+    _actor("Mark Wahlberg", "Male", 49, 300.0, "United States", 32, 7, 3),
+    _actor("Ben Affleck", "Male", 48, 150.0, "United States", 39, 8, 4),
+    _actor("Chris Hemsworth", "Male", 37, 130.0, "Australia", 18, 5, 1),
+    _actor("Vin Diesel", "Male", 53, 225.0, "United States", 30, 4, 1),
+    _actor("Akshay Kumar", "Male", 53, 325.0, "India", 33, 9, 5),
+    _actor("George Clooney", "Male", 59, 500.0, "United States", 42, 12, 8),
+    _actor("Scarlett Johansson", "Female", 36, 165.0, "United States", 26, 10, 3),
+    _actor("Sofia Vergara", "Female", 48, 180.0, "Colombia", 25, 6, 2),
+    _actor("Angelina Jolie", "Female", 45, 120.0, "United States", 29, 11, 5),
+    _actor("Jennifer Aniston", "Female", 51, 300.0, "United States", 32, 8, 3),
+    _actor("Jennifer Lawrence", "Female", 30, 160.0, "United States", 14, 9, 4),
+    _actor("Emma Stone", "Female", 32, 40.0, "United States", 16, 7, 2),
+    _actor("Julia Roberts", "Female", 53, 250.0, "United States", 33, 10, 6),
+    _actor("Meryl Streep", "Female", 71, 160.0, "United States", 49, 21, 12),
+    _actor("Charlize Theron", "Female", 45, 170.0, "South Africa", 25, 9, 4),
+    _actor("Gal Gadot", "Female", 35, 30.0, "Israel", 13, 4, 1),
+    _actor("Margot Robbie", "Female", 30, 40.0, "Australia", 13, 6, 2),
+    _actor("Nicole Kidman", "Female", 53, 250.0, "Australia", 37, 12, 7),
+    _actor("Reese Witherspoon", "Female", 44, 300.0, "United States", 29, 8, 3),
+    # Directors / producers: pay driven by net worth and awards (experience).
+    _director("Steven Spielberg", "Male", 74, 3700.0, "United States", 51, 22, 15),
+    _director("George Lucas", "Male", 76, 10000.0, "United States", 50, 15, 12),
+    _director("James Cameron", "Male", 66, 700.0, "Canada", 42, 16, 10),
+    _director("Peter Jackson", "Male", 59, 1500.0, "New Zealand", 34, 14, 9),
+    _director("Christopher Nolan", "Male", 50, 250.0, "United Kingdom", 22, 11, 6),
+    _director("Martin Scorsese", "Male", 78, 200.0, "United States", 53, 20, 14),
+    _director("Quentin Tarantino", "Male", 57, 120.0, "United States", 28, 12, 7),
+    _director("Ridley Scott", "Male", 83, 400.0, "United Kingdom", 44, 13, 9),
+    _director("Tyler Perry", "Male", 51, 1000.0, "United States", 22, 6, 3),
+    _director("Michael Bay", "Male", 55, 430.0, "United States", 25, 5, 2),
+    _director("Kathryn Bigelow", "Female", 69, 120.0, "United States", 39, 10, 6),
+    _director("Greta Gerwig", "Female", 37, 10.0, "United States", 14, 5, 2),
+    _director("Ava DuVernay", "Female", 48, 50.0, "United States", 14, 6, 3),
+    _director("Shonda Rhimes", "Female", 50, 140.0, "United States", 25, 8, 4),
+    _director("Jerry Bruckheimer", "Male", 77, 1000.0, "United States", 45, 9, 5),
+    # Athletes: pay driven by performance (cups, draft pick) and experience.
+    _athlete("Cristiano Ronaldo", "Male", 35, 500.0, "Portugal", 19, 32, 7, None,
+             aliases=("Ronaldo",)),
+    _athlete("Lionel Messi", "Male", 33, 400.0, "Argentina", 17, 35, 10, None),
+    _athlete("Neymar", "Male", 28, 200.0, "Brazil", 12, 20, 5, None, aliases=("Neymar Jr",)),
+    _athlete("LeBron James", "Male", 36, 500.0, "United States", 17, 4, 4, 1),
+    _athlete("Stephen Curry", "Male", 32, 160.0, "United States", 11, 3, 3, 7),
+    _athlete("Kevin Durant", "Male", 32, 200.0, "United States", 13, 2, 2, 2),
+    _athlete("Roger Federer", "Male", 39, 450.0, "Switzerland", 22, 20, 8, None),
+    _athlete("Rafael Nadal", "Male", 34, 200.0, "Spain", 19, 20, 12, None),
+    _athlete("Novak Djokovic", "Male", 33, 220.0, "Serbia", 17, 17, 9, None),
+    _athlete("Tiger Woods", "Male", 45, 800.0, "United States", 24, 15, 11, None),
+    _athlete("Tom Brady", "Male", 43, 250.0, "United States", 20, 7, 5, 199),
+    _athlete("Aaron Rodgers", "Male", 37, 120.0, "United States", 15, 1, 1, 24),
+    _athlete("Russell Wilson", "Male", 32, 135.0, "United States", 8, 1, 1, 75),
+    _athlete("Kirk Cousins", "Male", 32, 70.0, "United States", 8, 0, 0, 102),
+    _athlete("Canelo Alvarez", "Male", 30, 140.0, "Mexico", 15, 4, 2, None),
+    _athlete("Conor McGregor", "Male", 32, 200.0, "Ireland", 12, 2, 1, None),
+    _athlete("Lewis Hamilton", "Male", 36, 285.0, "United Kingdom", 14, 7, 4, None),
+    _athlete("Serena Williams", "Female", 39, 225.0, "United States", 25, 23, 14, None),
+    _athlete("Naomi Osaka", "Female", 23, 45.0, "Japan", 7, 4, 2, None),
+    _athlete("Alex Morgan", "Female", 31, 22.0, "United States", 11, 2, 2, 1),
+    # Musicians: kept in the data so Forbes has a category without planted
+    # confounders usable as a control group.
+    _musician("Taylor Swift", "Female", 31, 400.0, "United States", 15, 11, 6),
+    _musician("Beyonce", "Female", 39, 440.0, "United States", 23, 28, 10, aliases=("Beyoncé",)),
+    _musician("Ed Sheeran", "Male", 29, 200.0, "United Kingdom", 16, 7, 3),
+    _musician("Kanye West", "Male", 43, 1300.0, "United States", 24, 21, 8),
+    _musician("Jay-Z", "Male", 51, 1000.0, "United States", 31, 23, 9, aliases=("Jay Z",)),
+    _musician("Rihanna", "Female", 32, 550.0, "Barbados", 17, 9, 4),
+    _musician("Elton John", "Male", 73, 500.0, "United Kingdom", 51, 12, 7),
+    _musician("Paul McCartney", "Male", 78, 1200.0, "United Kingdom", 63, 18, 11),
+    _musician("Bruce Springsteen", "Male", 71, 500.0, "United States", 48, 20, 9),
+    _musician("Ariana Grande", "Female", 27, 180.0, "United States", 12, 6, 2),
+]
+
+
+def celebrities() -> List[CelebrityFacts]:
+    """All celebrities of the world model."""
+    return [CelebrityFacts(*row) for row in _CELEBRITY_ROWS]
+
+
+def celebrity_index() -> Dict[str, CelebrityFacts]:
+    """Mapping from celebrity name to their facts."""
+    return {facts.name: facts for facts in celebrities()}

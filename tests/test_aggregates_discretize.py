@@ -1,0 +1,88 @@
+"""Unit tests for aggregate functions and discretisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError, SchemaError
+from repro.table.aggregates import aggregate_values
+from repro.table.column import Column
+from repro.table.discretize import (
+    discretize_column, discretize_table, equal_frequency_bins, equal_width_bins,
+)
+from repro.table.table import Table
+
+
+class TestAggregates:
+    def test_mean_skips_missing(self):
+        assert aggregate_values("avg", [1.0, None, 3.0]) == pytest.approx(2.0)
+
+    def test_sum_count_min_max(self):
+        values = [2, 4, None, 6]
+        assert aggregate_values("sum", values) == 12
+        assert aggregate_values("count", values) == 3
+        assert aggregate_values("count_all", values) == 4
+        assert aggregate_values("min", values) == 2
+        assert aggregate_values("max", values) == 6
+
+    def test_median_even_and_odd(self):
+        assert aggregate_values("median", [1, 3, 2]) == 2
+        assert aggregate_values("median", [1, 2, 3, 4]) == pytest.approx(2.5)
+
+    def test_std(self):
+        assert aggregate_values("std", [2.0, 2.0, 2.0]) == 0.0
+
+    def test_first(self):
+        assert aggregate_values("first", [None, "x", "y"]) == "x"
+
+    def test_empty_returns_none(self):
+        assert aggregate_values("avg", []) is None
+        assert aggregate_values("max", [None]) is None
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(QueryError):
+            aggregate_values("frobnicate", [1])
+
+
+class TestBinning:
+    def test_equal_width_edges(self):
+        edges = equal_width_bins(np.array([0.0, 10.0]), 5)
+        assert edges[0] == 0.0 and edges[-1] == 10.0
+        assert len(edges) == 6
+
+    def test_equal_frequency_handles_ties(self):
+        edges = equal_frequency_bins(np.array([1.0] * 50 + [2.0] * 50), 4)
+        assert len(edges) >= 2
+
+    def test_constant_column(self):
+        edges = equal_width_bins(np.array([3.0, 3.0]), 4)
+        assert edges[0] < edges[-1]
+
+    def test_discretize_column_keeps_missing(self):
+        column = Column("x", [1.0, None, 2.0, 3.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+        binned, labels = discretize_column(column, n_bins=3)
+        assert binned[1] is None
+        assert binned.n_unique() <= 3
+        assert len(labels) <= 3
+
+    def test_discretize_non_numeric_is_identity(self):
+        column = Column("x", ["a", "b"])
+        binned, labels = discretize_column(column)
+        assert binned.to_list() == ["a", "b"]
+        assert labels == ["a", "b"]
+
+    def test_invalid_bins_raise(self):
+        with pytest.raises(SchemaError):
+            discretize_column(Column("x", [1.0, 2.0]), n_bins=0)
+        with pytest.raises(SchemaError):
+            discretize_column(Column("x", [1.0, 2.0]), strategy="bogus")
+
+    def test_discretize_table_skips_outcome(self):
+        table = Table.from_columns({
+            "a": list(np.linspace(0, 1, 30)),
+            "outcome": list(np.linspace(5, 9, 30)),
+            "label": ["x"] * 30,
+        })
+        binned = discretize_table(table, n_bins=4, skip=["outcome"])
+        assert binned.column("a").n_unique() <= 4
+        assert binned.column("outcome").n_unique() == 30
+        assert binned.column("label").to_list() == ["x"] * 30

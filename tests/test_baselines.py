@@ -1,0 +1,114 @@
+"""Unit tests for the baseline explanation algorithms."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force
+from repro.baselines.cajade import cajade
+from repro.baselines.hypdb import hypdb
+from repro.baselines.linear_regression import linear_regression, ols_with_pvalues
+from repro.baselines.top_k import top_k
+from repro.exceptions import ExplanationError
+
+
+class TestBruteForce:
+    def test_finds_planted_confounder(self, confounded_problem):
+        explanation = brute_force(confounded_problem, k=2)
+        assert "Wealth" in explanation.attributes
+        assert explanation.method == "brute_force"
+        # Brute force is optimal for the Def. 2.1 objective: nothing beats it.
+        assert explanation.objective <= confounded_problem.objective(["Noise"]) + 1e-9
+        assert explanation.objective <= confounded_problem.objective(["Wealth"]) + 1e-9
+
+    def test_refuses_huge_candidate_sets(self, confounded_problem):
+        with pytest.raises(ExplanationError):
+            brute_force(confounded_problem, candidates=[f"c{i}" for i in range(100)],
+                        max_candidates=10)
+
+    def test_empty_when_nothing_helps(self, confounded_problem):
+        explanation = brute_force(confounded_problem, k=1, candidates=["Flag"])
+        # Conditioning on an irrelevant attribute cannot beat the empty explanation
+        # by the size-weighted objective unless it reduces CMI.
+        assert explanation.objective <= confounded_problem.baseline_cmi() + 1e-9
+
+
+class TestTopK:
+    def test_ranks_by_individual_relevance(self, confounded_problem):
+        explanation = top_k(confounded_problem, k=1)
+        assert explanation.attributes == ("Wealth",)
+
+    def test_respects_k(self, confounded_problem):
+        explanation = top_k(confounded_problem, k=2)
+        assert explanation.size == 2
+
+
+class TestLinearRegression:
+    def test_ols_pvalues_flag_signal(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 2))
+        y = 3.0 * x[:, 0] + rng.normal(0, 0.5, size=300)
+        coefficients, p_values = ols_with_pvalues(x, y)
+        assert p_values[0] < 0.01
+        assert p_values[1] > 0.05
+        assert coefficients[0] == pytest.approx(3.0, abs=0.2)
+
+    def test_selects_numeric_confounder(self, confounded_problem):
+        explanation = linear_regression(confounded_problem, k=2)
+        assert "Wealth" in explanation.attributes
+        assert explanation.method == "linear_regression"
+
+    def test_handles_no_significant_attributes(self, confounded_problem):
+        explanation = linear_regression(confounded_problem, k=2, candidates=["Flag"])
+        assert explanation.attributes == ()
+        assert explanation.explainability == pytest.approx(explanation.baseline_cmi)
+
+
+class TestHypDB:
+    def test_finds_confounder(self, confounded_problem):
+        explanation = hypdb(confounded_problem, k=2)
+        assert "Wealth" in explanation.attributes
+
+    def test_attribute_cap_is_applied(self, confounded_problem):
+        explanation = hypdb(confounded_problem, k=2, max_attributes=1, seed=3)
+        assert explanation.size <= 1
+
+    def test_ignores_outcome_independent_attributes(self, confounded_problem):
+        explanation = hypdb(confounded_problem, k=3, candidates=["Flag"])
+        assert "Flag" not in explanation.attributes
+
+
+class TestCajaDE:
+    def test_prefers_group_skewed_attributes(self, confounded_problem):
+        explanation = cajade(confounded_problem, k=1)
+        # Wealth is the most unevenly distributed attribute across groups
+        # (it is what separates them); CajaDE picks it for that reason alone.
+        assert explanation.attributes == ("Wealth",)
+
+    def test_outcome_independence_of_selection(self, confounded_problem):
+        # CajaDE's ranking never looks at the outcome: scoring is unchanged
+        # if we swap the outcome for pure noise.
+        import numpy as np
+        from repro.core.problem import CorrelationExplanationProblem
+        from repro.query.aggregate_query import AggregateQuery
+        from repro.table.column import Column
+
+        table = confounded_problem.full_table
+        rng = np.random.default_rng(0)
+        shuffled = table.with_column(
+            Column("Outcome", list(rng.permutation(table.column("Outcome").to_list()))))
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        scrambled_problem = CorrelationExplanationProblem(
+            shuffled, query, ["Wealth", "Noise", "Flag"])
+        assert cajade(scrambled_problem, k=1).attributes == \
+            cajade(confounded_problem, k=1).attributes
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("method", [brute_force, top_k, linear_regression, hypdb, cajade])
+    def test_explanations_report_consistent_scores(self, confounded_problem, method):
+        explanation = method(confounded_problem, k=2)
+        assert explanation.baseline_cmi == pytest.approx(confounded_problem.baseline_cmi())
+        if explanation.attributes:
+            assert explanation.explainability == pytest.approx(
+                confounded_problem.explanation_score(explanation.attributes))
+        assert explanation.runtime_seconds >= 0.0

@@ -1,0 +1,235 @@
+"""Unit tests for the core algorithms: problem, MCIMR, responsibility, pruning, subgroups."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import build_candidate_set
+from repro.core.explanation import Explanation
+from repro.core.mcimr import mcimr, next_best_attribute
+from repro.core.problem import CorrelationExplanationProblem
+from repro.core.pruning import offline_prune, online_prune, prune
+from repro.core.responsibility import marginal_contributions, responsibilities, responsibility_test
+from repro.core.subgroups import top_k_unexplained_groups
+from repro.exceptions import ExplanationError
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.expressions import Condition, Eq
+from repro.table.table import Table
+from tests.conftest import make_confounded_table
+
+
+class TestProblem:
+    def test_baseline_and_explanation_score(self, confounded_problem):
+        baseline = confounded_problem.baseline_cmi()
+        assert baseline > 0.3
+        explained = confounded_problem.explanation_score(["Wealth"])
+        assert explained < 0.3 * baseline
+        noise = confounded_problem.explanation_score(["Noise"])
+        assert noise > explained
+
+    def test_objective_scales_with_size(self, confounded_problem):
+        single = confounded_problem.objective(["Wealth"])
+        double = confounded_problem.objective(["Wealth", "Flag"])
+        assert double >= single
+
+    def test_cmi_is_cached(self, confounded_problem):
+        first = confounded_problem.cmi(["Wealth"])
+        assert confounded_problem.cmi(["Wealth"]) == first
+        assert ("Wealth",) in confounded_problem._cmi_cache
+
+    def test_pairwise_mi_symmetry(self, confounded_problem):
+        assert confounded_problem.pairwise_mi("Wealth", "Noise") == \
+            confounded_problem.pairwise_mi("Noise", "Wealth")
+
+    def test_candidate_validation(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        with pytest.raises(ExplanationError):
+            CorrelationExplanationProblem(confounded_table, query, ["Missing"])
+        with pytest.raises(ExplanationError):
+            CorrelationExplanationProblem(confounded_table, query, ["Group"])
+
+    def test_empty_context_raises(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome",
+                               context=Eq("Flag", "nothing-matches"))
+        with pytest.raises(ExplanationError):
+            CorrelationExplanationProblem(confounded_table, query, ["Wealth"])
+
+    def test_weight_length_validation(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        with pytest.raises(ExplanationError):
+            CorrelationExplanationProblem(confounded_table, query, ["Wealth"],
+                                          attribute_weights={"Wealth": np.ones(3)})
+
+    def test_restricted_to_subset(self, confounded_problem):
+        mask = np.zeros(confounded_problem.n_rows, dtype=bool)
+        mask[:100] = True
+        restricted = confounded_problem.restricted_to(mask)
+        assert restricted.n_rows == 100
+        assert restricted.baseline_cmi() >= 0.0
+
+    def test_subset_candidates_shares_cache(self, confounded_problem):
+        clone = confounded_problem.subset_candidates(["Wealth"])
+        assert clone.candidates == ["Wealth"]
+        assert clone._cmi_cache is confounded_problem._cmi_cache
+
+
+class TestMCIMR:
+    def test_selects_planted_confounder_first(self, confounded_problem):
+        explanation = mcimr(confounded_problem, k=2)
+        assert explanation.attributes[0] == "Wealth"
+        assert explanation.explainability < 0.5 * explanation.baseline_cmi
+        assert explanation.method == "mcimr"
+
+    def test_stops_before_adding_noise(self, confounded_problem):
+        explanation = mcimr(confounded_problem, k=3)
+        assert "Noise" not in explanation.attributes or \
+            explanation.responsibilities.get("Noise", 0) <= 0.2
+
+    def test_k_bounds_size(self, confounded_problem):
+        explanation = mcimr(confounded_problem, k=1, use_responsibility_test=False)
+        assert explanation.size == 1
+
+    def test_invalid_k_raises(self, confounded_problem):
+        with pytest.raises(ExplanationError):
+            mcimr(confounded_problem, k=0)
+
+    def test_next_best_attribute_returns_none_when_exhausted(self, confounded_problem):
+        assert next_best_attribute(confounded_problem, ["Wealth", "Noise", "Flag"]) is None
+
+    def test_trace_matches_selection(self, confounded_problem):
+        explanation = mcimr(confounded_problem, k=2, use_responsibility_test=False)
+        assert len(explanation.trace) == explanation.size
+        assert explanation.trace[0][0] == explanation.attributes[0]
+
+
+class TestResponsibility:
+    def test_responsibilities_sum_to_one(self, confounded_problem):
+        values = responsibilities(confounded_problem, ["Wealth", "Flag"])
+        assert sum(values.values()) == pytest.approx(1.0)
+        assert values["Wealth"] > values["Flag"]
+
+    def test_single_attribute_responsibility(self, confounded_problem):
+        assert responsibilities(confounded_problem, ["Wealth"]) == {"Wealth": 1.0}
+        assert responsibilities(confounded_problem, []) == {}
+
+    def test_marginal_contributions(self, confounded_problem):
+        contributions = marginal_contributions(confounded_problem, ["Wealth", "Noise"])
+        assert contributions["Wealth"] > contributions["Noise"]
+
+    def test_responsibility_test_detects_irrelevant_candidate(self, confounded_problem):
+        # Flag is independent of the outcome, so the test should allow stopping.
+        assert responsibility_test(confounded_problem, "Flag", ["Wealth"], n_permutations=30)
+        # Wealth is strongly associated with the outcome: test must not fire.
+        assert not responsibility_test(confounded_problem, "Wealth", [], n_permutations=30)
+
+
+class TestExplanationObject:
+    def test_improvement_and_ranking(self):
+        explanation = Explanation(attributes=("a", "b"), explainability=0.2, baseline_cmi=1.0,
+                                  objective=0.4, responsibilities={"a": 0.3, "b": 0.7})
+        assert explanation.improvement == pytest.approx(0.8)
+        assert explanation.relative_improvement == pytest.approx(0.8)
+        assert explanation.ranked_attributes() == ["b", "a"]
+        assert "b" in explanation.describe()
+        assert explanation.to_dict()["attributes"] == ["a", "b"]
+
+    def test_empty_explanation(self):
+        explanation = Explanation(attributes=(), explainability=0.5, baseline_cmi=0.5,
+                                  objective=0.5)
+        assert explanation.size == 0
+        assert explanation.relative_improvement == 0.0
+        assert "no explanation" in explanation.describe()
+
+
+class TestCandidates:
+    def test_build_candidate_set_excludes_query_columns(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome",
+                               context=Eq("Flag", "yes"))
+        candidates = build_candidate_set(confounded_table, query,
+                                         extracted_attributes=["Wealth"])
+        assert "Group" not in candidates and "Outcome" not in candidates
+        assert "Flag" not in candidates          # context column dropped
+        assert candidates.is_extracted("Wealth")
+        assert "Noise" in candidates.from_dataset
+        assert len(candidates) == len(candidates.all)
+
+
+class TestPruning:
+    @pytest.fixture()
+    def prunable_table(self) -> Table:
+        rng = np.random.default_rng(0)
+        n = 150
+        base = make_confounded_table(n_per_group=50, seed=1)
+        table = base.with_column(base.column("Wealth").rename("KeepMe"))
+        data = {name: table.column(name).to_list() for name in table.column_names}
+        data["Constant"] = ["same"] * n
+        data["Identifier"] = [f"row-{i}" for i in range(n)]
+        data["MostlyMissing"] = [None] * 145 + [1.0, 2.0, 3.0, 4.0, 5.0]
+        data["GroupCopy"] = data["Group"]
+        data["Irrelevant"] = list(rng.integers(0, 3, size=n))
+        return Table.from_columns(data, name="prunable")
+
+    def test_offline_rules(self, prunable_table):
+        candidates = ["KeepMe", "Constant", "Identifier", "MostlyMissing", "Irrelevant"]
+        result = offline_prune(prunable_table, candidates)
+        assert result.dropped["Constant"] == "constant"
+        assert result.dropped["Identifier"] == "high_entropy"
+        assert result.dropped["MostlyMissing"] == "missing"
+        assert "KeepMe" in result.kept and "Irrelevant" in result.kept
+        assert result.drop_fraction() == pytest.approx(3 / 5)
+        assert result.dropped_by_rule()["constant"] == 1
+
+    def test_online_rules(self, prunable_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        problem = CorrelationExplanationProblem(
+            prunable_table, query, ["KeepMe", "GroupCopy", "Irrelevant", "Wealth"])
+        result = online_prune(problem)
+        assert result.dropped["GroupCopy"] == "logical_dependency_exposure"
+        assert result.dropped["Irrelevant"] == "low_relevance"
+        assert "Wealth" in result.kept
+
+    def test_prune_wrapper_combines_phases(self, prunable_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        problem = CorrelationExplanationProblem(
+            prunable_table, query,
+            ["KeepMe", "GroupCopy", "Irrelevant", "Wealth", "Constant", "Identifier"])
+        result = prune(problem)
+        assert set(result.kept) == {"KeepMe", "Wealth"}
+
+
+class TestSubgroups:
+    def test_finds_group_with_different_mechanism(self):
+        # Outcome depends on Wealth only inside segment "x"; inside segment
+        # "y" it depends directly on the group, so {Wealth} cannot explain it.
+        # Wealth distributions overlap across groups so that Wealth does not
+        # simply determine the group.
+        rng = np.random.default_rng(0)
+        rows = []
+        group_wealth = {"A": 10.0, "B": 14.0, "C": 18.0}
+        group_effect = {"A": 0.0, "B": 25.0, "C": 50.0}
+        for segment in ["x", "y"]:
+            for group, wealth in group_wealth.items():
+                for _ in range(80):
+                    w = wealth + rng.normal(0, 4.0)
+                    outcome = 2.0 * w if segment == "x" else group_effect[group]
+                    rows.append({"Group": group, "Segment": segment,
+                                 "Wealth": round(w, 2),
+                                 "Outcome": round(outcome + rng.normal(0, 1.5), 2)})
+        table = Table.from_rows(rows, name="segmented")
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        problem = CorrelationExplanationProblem(table, query, ["Wealth", "Segment"])
+        groups = top_k_unexplained_groups(problem, ["Wealth"], k=2, threshold=0.3,
+                                          refine_attributes=["Segment"], min_group_size=20)
+        assert groups, "expected at least one unexplained subgroup"
+        assert groups[0].condition == Condition([("Segment", "y")])
+        assert groups[0].explanation_score > 0.3
+        assert "Segment" in groups[0].describe()
+
+    def test_respects_threshold(self, confounded_problem):
+        groups = top_k_unexplained_groups(confounded_problem, ["Wealth"], k=3,
+                                          threshold=10.0, refine_attributes=["Flag"],
+                                          min_group_size=10)
+        assert groups == []
+
+    def test_invalid_k(self, confounded_problem):
+        with pytest.raises(ExplanationError):
+            top_k_unexplained_groups(confounded_problem, ["Wealth"], k=0)

@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic datasets, queries and registry."""
+
+import pytest
+
+from repro.datasets.covid import expected_death_rate, generate_covid_dataset
+from repro.datasets.flights import expected_departure_delay, generate_flights_dataset
+from repro.datasets.forbes import expected_pay, generate_forbes_dataset
+from repro.datasets.queries import (
+    EQUIVALENCE_GROUPS, expand_equivalents, random_queries, representative_queries,
+)
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.datasets.stackoverflow import expected_salary, generate_so_dataset
+from repro.exceptions import ConfigurationError
+from repro import world
+
+
+class TestWorldModel:
+    def test_country_index_contains_majors(self):
+        index = world.country_index()
+        assert "United States" in index and "Germany" in index
+        assert index["Switzerland"].hdi > index["Ethiopia"].hdi
+
+    def test_derived_country_ranks_are_consistent(self):
+        derived = world.country_derived_properties()
+        hdi_ranks = {name: props["HDI Rank"] for name, props in derived.items()}
+        best = min(hdi_ranks, key=hdi_ranks.get)
+        assert world.country_index()[best].hdi == max(c.hdi for c in world.countries())
+
+    def test_city_and_state_indices(self):
+        assert world.city_index()["Seattle"].precipitation_days > 100
+        assert world.state_index()["California"].population_millions > 30
+
+    def test_celebrity_categories_have_expected_fields(self):
+        for celebrity in world.celebrities():
+            if celebrity.category == "Athletes":
+                assert celebrity.cups is not None
+                assert celebrity.awards is None
+            if celebrity.category == "Actors":
+                assert celebrity.awards is not None
+                assert celebrity.cups is None
+
+
+class TestGenerators:
+    def test_so_dataset_shape_and_determinism(self):
+        table = generate_so_dataset(n_rows=200, seed=1)
+        assert table.n_rows == 200
+        assert {"Country", "Continent", "Salary", "Gender"} <= set(table.column_names)
+        again = generate_so_dataset(n_rows=200, seed=1)
+        assert table.column("Salary").to_list() == again.column("Salary").to_list()
+
+    def test_so_salary_reflects_economy(self):
+        rich = world.country_index()["Switzerland"]
+        poor = world.country_index()["Ethiopia"]
+        assert expected_salary(rich, 10, "Back-end", "Master", "Male") > \
+            expected_salary(poor, 10, "Back-end", "Master", "Male") + 30
+
+    def test_covid_death_rate_decreases_with_development(self):
+        rich = world.country_index()["Norway"]
+        poor = world.country_index()["Nigeria"]
+        assert expected_death_rate(rich, 5000) < expected_death_rate(poor, 5000)
+
+    def test_covid_dataset_monthly_rows(self):
+        table = generate_covid_dataset(seed=2)
+        assert table.n_rows == 12 * len(world.countries())
+        assert table.column("Deaths_per_100_cases").missing_count() == 0
+
+    def test_flights_delay_drivers(self):
+        seattle = world.city_index()["Seattle"]
+        phoenix = world.city_index()["Phoenix"]
+        airline = world.airline_index()["Delta Air Lines"]
+        assert expected_departure_delay(seattle, airline, 1) > \
+            expected_departure_delay(phoenix, airline, 7)
+
+    def test_flights_dataset_no_self_loops(self):
+        table = generate_flights_dataset(n_rows=300, seed=3)
+        assert table.n_rows == 300
+        for row in table.iter_rows():
+            assert row["Origin_City"] != row["Destination_City"]
+
+    def test_forbes_pay_structure(self):
+        actors = [c for c in world.celebrities() if c.category == "Actors"]
+        male = next(c for c in actors if c.gender == "Male")
+        female = next(c for c in actors if c.gender == "Female"
+                      and abs(c.net_worth_million - male.net_worth_million) < 200)
+        assert expected_pay(male) > expected_pay(female) - 20
+        table = generate_forbes_dataset(seed=4)
+        assert table.n_rows == 11 * len(world.celebrities())
+
+
+class TestQueries:
+    def test_fourteen_representative_queries(self):
+        queries = representative_queries()
+        assert len(queries) == 14
+        assert len({q.query_id for q in queries}) == 14
+        for query in queries:
+            assert query.ground_truth, f"{query.query_id} has no ground truth"
+
+    def test_per_dataset_filter(self):
+        assert {q.dataset for q in representative_queries("SO")} == {"SO"}
+        assert len(representative_queries("Flights")) == 5
+
+    def test_coverage_and_precision(self):
+        query = representative_queries("Covid-19")[0]
+        assert query.coverage(["HDI", "Nonsense"]) == pytest.approx(1 / 3)
+        assert query.precision(["HDI", "Nonsense"]) == pytest.approx(0.5)
+        assert query.coverage([]) == 0.0 and query.precision([]) == 0.0
+
+    def test_equivalence_expansion(self):
+        assert "HDI Rank" in expand_equivalents("HDI")
+        assert expand_equivalents("SomethingUnique") == frozenset({"SomethingUnique"})
+        for group in EQUIVALENCE_GROUPS:
+            assert len(group) >= 2
+
+    def test_random_queries_respect_context_fraction(self, so_bundle):
+        queries = random_queries(so_bundle.table, ["Country", "Continent"], n_queries=5, seed=1)
+        assert len(queries) == 5
+        for query in queries:
+            restricted = so_bundle.table.filter(query.context.mask(so_bundle.table))
+            assert restricted.n_rows >= 0.1 * so_bundle.table.n_rows
+            assert query.exposure in ("Country", "Continent")
+
+
+class TestRegistry:
+    def test_dataset_names(self):
+        assert set(DATASET_NAMES) == {"SO", "Covid-19", "Flights", "Forbes"}
+
+    def test_load_dataset_bundles(self, so_bundle):
+        assert so_bundle.name == "SO"
+        assert so_bundle.n_rows == 600
+        assert so_bundle.extraction_columns() == ["Country"]
+        assert len(so_bundle.queries) == 3
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ConfigurationError):
+            load_dataset("Nope")
+
+    def test_flights_bundle_excludes_alternative_outcome(self, small_kg):
+        bundle = load_dataset("Flights", n_rows=100, knowledge_graph=small_kg)
+        assert "Arrival_Delay" in bundle.id_columns
+        assert len(bundle.extraction_specs) == 3

@@ -1,0 +1,85 @@
+"""Tests for the evaluation harness and the simulated user study."""
+
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.datasets.queries import representative_queries
+from repro.evaluation.harness import ALL_METHODS, run_methods_for_query
+from repro.evaluation.scoring import (
+    explanation_quality, redundancy_penalty, simulate_user_study,
+)
+from repro.exceptions import ExplanationError
+from repro.mesa.config import MESAConfig
+
+
+def _explanation(attributes, explainability, baseline=1.0, method="mesa"):
+    return Explanation(attributes=tuple(attributes), explainability=explainability,
+                       baseline_cmi=baseline, objective=explainability * max(1, len(attributes)),
+                       method=method)
+
+
+class TestScoringOracle:
+    def test_redundancy_penalty(self):
+        assert redundancy_penalty(["HDI", "HDI Rank"]) == pytest.approx(1.0)
+        assert redundancy_penalty(["HDI", "Gini"]) == 0.0
+        assert redundancy_penalty(["HDI"]) == 0.0
+
+    def test_quality_prefers_ground_truth(self):
+        query = representative_queries("Covid-19")[0]   # GT: HDI, GDP, Confirmed_cases
+        good = _explanation(["HDI", "GDP", "Confirmed_cases"], 0.05)
+        bad = _explanation(["Area Rank", "Currency"], 0.8)
+        empty = _explanation([], 1.0)
+        assert explanation_quality(good, query) > explanation_quality(bad, query)
+        assert explanation_quality(bad, query) >= explanation_quality(empty, query)
+
+    def test_redundant_explanation_scores_lower(self):
+        query = representative_queries("SO")[0]
+        non_redundant = _explanation(["HDI", "Gini"], 0.1)
+        redundant = _explanation(["HDI", "HDI Rank"], 0.1)
+        assert explanation_quality(non_redundant, query) > explanation_quality(redundant, query)
+
+    def test_simulated_study_scale_and_determinism(self):
+        query = representative_queries("Covid-19")[0]
+        explanations = {
+            "mesa": _explanation(["HDI", "GDP", "Confirmed_cases"], 0.05),
+            "lr": _explanation([], 1.0, method="lr"),
+        }
+        first = simulate_user_study(explanations, query, n_subjects=100, seed=1)
+        second = simulate_user_study(explanations, query, n_subjects=100, seed=1)
+        assert first["mesa"].mean_score == second["mesa"].mean_score
+        assert 1.0 <= first["lr"].mean_score <= first["mesa"].mean_score <= 5.0
+        assert first["mesa"].n_subjects == 100
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def run(self, covid_bundle):
+        query = covid_bundle.queries[0]
+        return run_methods_for_query(
+            covid_bundle, query,
+            methods=("mesa", "top_k", "linear_regression", "hypdb", "brute_force"),
+            k=3, config=MESAConfig(k=3, excluded_columns=covid_bundle.id_columns))
+
+    def test_all_requested_methods_ran(self, run):
+        assert set(run.explanations) == {"mesa", "top_k", "linear_regression", "hypdb",
+                                         "brute_force"}
+        assert run.mesa_result is not None
+
+    def test_mesa_close_to_brute_force(self, run):
+        distances = run.explainability_distance_from("brute_force")
+        assert distances["mesa"] <= distances["linear_regression"] + 1e-9
+
+    def test_unknown_method_rejected(self, covid_bundle):
+        with pytest.raises(ExplanationError):
+            run_methods_for_query(covid_bundle, covid_bundle.queries[0], methods=("bogus",))
+
+    def test_unknown_reference_rejected(self, run):
+        with pytest.raises(ExplanationError):
+            run.explainability_distance_from("cajade")
+
+    def test_user_study_ranks_mesa_above_lr(self, run, covid_bundle):
+        scores = simulate_user_study(run.explanations, covid_bundle.queries[0], seed=0)
+        assert scores["mesa"].mean_score >= scores["linear_regression"].mean_score
+
+    def test_all_methods_constant_is_consistent(self):
+        assert "mesa" in ALL_METHODS and "cajade" in ALL_METHODS

@@ -1,0 +1,84 @@
+"""Unit tests for predicates and context conditions."""
+
+import pytest
+
+from repro.table.expressions import (
+    And, Between, Condition, Eq, Ge, Gt, In, IsNull, Le, Lt, Ne, Not, NotNull, Or, TRUE,
+)
+
+
+class TestPredicates:
+    def test_true_selects_everything(self, people_table):
+        assert TRUE.mask(people_table).all()
+        assert TRUE.columns() == frozenset()
+
+    def test_eq_and_ne(self, people_table):
+        assert Eq("Continent", "EU").mask(people_table).sum() == 4
+        assert Ne("Continent", "EU").mask(people_table).sum() == 2
+
+    def test_eq_never_matches_missing(self, people_table):
+        assert Eq("Country", None).mask(people_table).sum() == 0
+
+    def test_in(self, people_table):
+        assert In("Country", ["US", "FR"]).mask(people_table).sum() == 3
+
+    def test_numeric_comparisons(self, people_table):
+        assert Gt("Salary", 90.0).mask(people_table).sum() == 2
+        assert Ge("Salary", 95.0).mask(people_table).sum() == 2
+        assert Lt("Age", 30).mask(people_table).sum() == 1
+        assert Le("Age", 31).mask(people_table).sum() == 2
+        assert Between("Salary", 55, 70).mask(people_table).sum() == 4
+
+    def test_null_checks(self, people_table):
+        assert IsNull("Country").mask(people_table).sum() == 1
+        assert NotNull("Country").mask(people_table).sum() == 5
+
+    def test_boolean_composition(self, people_table):
+        predicate = Eq("Continent", "EU") & Gt("Salary", 60.0)
+        assert predicate.mask(people_table).sum() == 2
+        either = Eq("Country", "US") | Eq("Country", "FR")
+        assert either.mask(people_table).sum() == 3
+        negated = ~Eq("Continent", "EU")
+        assert negated.mask(people_table).sum() == 2
+
+    def test_and_flattens_and_ignores_true(self, people_table):
+        combined = And(TRUE, And(Eq("Continent", "EU"), Eq("Country", "DE")))
+        assert len(combined.operands) == 2
+        assert combined.columns() == frozenset({"Continent", "Country"})
+
+    def test_repr_is_readable(self):
+        assert "Continent" in repr(Eq("Continent", "EU"))
+        assert ">" in repr(Gt("Age", 3))
+
+
+class TestCondition:
+    def test_from_predicate_and_mask(self, people_table):
+        condition = Condition.from_predicate(Eq("Continent", "EU"))
+        assert condition.mask(people_table).sum() == 4
+
+    def test_from_true(self):
+        assert len(Condition.from_predicate(TRUE)) == 0
+
+    def test_from_unsupported_predicate_raises(self):
+        with pytest.raises(ValueError):
+            Condition.from_predicate(Gt("Age", 3))
+
+    def test_refinement_relation(self):
+        base = Condition([("Continent", "EU")])
+        refined = base.refine("Country", "DE")
+        assert refined.is_refinement_of(base)
+        assert not base.is_refinement_of(refined)
+
+    def test_duplicate_assignment_raises(self):
+        with pytest.raises(ValueError):
+            Condition([("a", 1), ("a", 2)])
+
+    def test_hash_and_equality_are_order_independent(self):
+        left = Condition([("a", 1), ("b", 2)])
+        right = Condition([("b", 2), ("a", 1)])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_to_predicate_round_trip(self, people_table):
+        condition = Condition([("Continent", "EU"), ("Country", "DE")])
+        assert (condition.to_predicate().mask(people_table) == condition.mask(people_table)).all()

@@ -1,0 +1,190 @@
+"""Unit tests for the knowledge-graph substrate: graph, linking, extraction."""
+
+import pytest
+
+from repro.exceptions import EntityLinkingError, ExtractionError
+from repro.kg.entity_linking import EntityLinker, normalize_label
+from repro.kg.extraction import AttributeExtractor
+from repro.kg.graph import Entity, KnowledgeGraph
+from repro.table.table import Table
+
+
+@pytest.fixture()
+def tiny_kg() -> KnowledgeGraph:
+    graph = KnowledgeGraph(name="tiny")
+    graph.add_entity(Entity("c:us", "United States", "Country", aliases=("USA", "US")))
+    graph.add_entity(Entity("c:de", "Germany", "Country"))
+    graph.add_entity(Entity("p:leader_us", "Leader of US", "Person"))
+    graph.add_fact("c:us", "HDI", 0.92)
+    graph.add_fact("c:us", "GDP", 63.5)
+    graph.add_fact("c:de", "HDI", 0.94)
+    graph.add_fact("c:us", "Leader", "p:leader_us", is_entity_ref=True)
+    graph.add_fact("p:leader_us", "Age", 78)
+    graph.add_fact("c:us", "Ethnic Group Size", 100)
+    graph.add_fact("c:us", "Ethnic Group Size", 300)
+    return graph
+
+
+class TestKnowledgeGraph:
+    def test_counts_and_lookup(self, tiny_kg):
+        assert tiny_kg.n_entities == 3
+        assert tiny_kg.n_facts == 7
+        assert tiny_kg.entity("c:us").label == "United States"
+        assert {e.label for e in tiny_kg.entities_of_class("Country")} == {"United States", "Germany"}
+
+    def test_duplicate_entity_raises(self, tiny_kg):
+        with pytest.raises(ExtractionError):
+            tiny_kg.add_entity(Entity("c:us", "Dup", "Country"))
+
+    def test_fact_with_unknown_subject_raises(self, tiny_kg):
+        with pytest.raises(ExtractionError):
+            tiny_kg.add_fact("c:unknown", "HDI", 1.0)
+
+    def test_fact_with_unknown_entity_ref_raises(self, tiny_kg):
+        with pytest.raises(ExtractionError):
+            tiny_kg.add_fact("c:us", "Leader", "p:nobody", is_entity_ref=True)
+
+    def test_none_values_are_skipped(self, tiny_kg):
+        before = tiny_kg.n_facts
+        tiny_kg.add_fact("c:de", "GDP", None)
+        assert tiny_kg.n_facts == before
+
+    def test_properties_group_multivalued(self, tiny_kg):
+        grouped = tiny_kg.properties_of("c:us")
+        assert len(grouped["Ethnic Group Size"]) == 2
+
+    def test_property_names_per_class(self, tiny_kg):
+        assert "HDI" in tiny_kg.property_names("Country")
+        assert "Age" not in tiny_kg.property_names("Country")
+
+    def test_to_networkx(self, tiny_kg):
+        graph = tiny_kg.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 1
+        assert graph.nodes["c:us"]["HDI"] == 0.92
+
+    def test_describe(self, tiny_kg):
+        summary = tiny_kg.describe()
+        assert summary["entities_per_class"]["Country"] == 2
+
+
+class TestEntityLinker:
+    def test_normalize(self):
+        assert normalize_label("  Russian Federation! ") == "russian federation"
+        assert normalize_label("São Paulo") == "sao paulo"
+
+    def test_exact_and_alias_match(self, tiny_kg):
+        linker = EntityLinker(tiny_kg, entity_class="Country")
+        assert linker.link("Germany").entity_id == "c:de"
+        assert linker.link("USA").entity_id == "c:us"
+
+    def test_fuzzy_match(self, tiny_kg):
+        linker = EntityLinker(tiny_kg, entity_class="Country")
+        assert linker.link("Germany ").entity_id == "c:de"
+        assert linker.link("Germny").entity_id == "c:de"
+
+    def test_unmatched_and_none(self, tiny_kg):
+        linker = EntityLinker(tiny_kg)
+        assert not linker.link("Atlantis").linked
+        assert not linker.link(None).linked
+
+    def test_invalid_threshold_raises(self, tiny_kg):
+        with pytest.raises(EntityLinkingError):
+            EntityLinker(tiny_kg, fuzzy_threshold=0.0)
+
+    def test_ambiguous_alias(self, small_kg):
+        linker = EntityLinker(small_kg, entity_class="Person")
+        result = linker.link("Ronaldo")
+        assert result.ambiguous and not result.linked
+        assert len(result.candidates) >= 2
+
+    def test_linking_report(self, tiny_kg):
+        linker = EntityLinker(tiny_kg, entity_class="Country")
+        report = linker.linking_report(["USA", "Germany", "Atlantis"])
+        assert report["n_values"] == 3
+        assert report["linked"] == pytest.approx(2 / 3)
+
+
+class TestExtraction:
+    def test_extract_builds_universal_relation(self, tiny_kg):
+        table = Table.from_columns({"Country": ["United States", "Germany", "Atlantis"],
+                                    "Deaths": [1.0, 2.0, 3.0]})
+        extractor = AttributeExtractor(tiny_kg)
+        result = extractor.extract(table, "Country", entity_class="Country")
+        assert result.n_attributes >= 2
+        assert result.table.n_rows == 3
+        assert "Atlantis" in result.linking_failures()
+        hdi = {row["Country"]: row["HDI"] for row in result.table.iter_rows()}
+        assert hdi["United States"] == 0.92
+        assert hdi["Atlantis"] is None
+
+    def test_one_to_many_aggregation(self, tiny_kg):
+        table = Table.from_columns({"Country": ["United States"]})
+        result = AttributeExtractor(tiny_kg).extract(table, "Country")
+        row = result.table.row(0)
+        assert row["Ethnic Group Size"] == pytest.approx(200.0)
+
+    def test_multi_hop_adds_flattened_properties(self, tiny_kg):
+        table = Table.from_columns({"Country": ["United States"]})
+        one_hop = AttributeExtractor(tiny_kg).extract(table, "Country", hops=1)
+        two_hop = AttributeExtractor(tiny_kg).extract(table, "Country", hops=2)
+        assert "Leader Age" not in one_hop.attribute_names
+        assert "Leader Age" in two_hop.attribute_names
+        assert two_hop.table.row(0)["Leader Age"] == 78
+
+    def test_last_hop_entity_ref_becomes_label(self, tiny_kg):
+        table = Table.from_columns({"Country": ["United States"]})
+        result = AttributeExtractor(tiny_kg).extract(table, "Country", hops=1)
+        assert result.table.row(0)["Leader"] == "Leader of US"
+
+    def test_augment_joins_attributes(self, tiny_kg):
+        table = Table.from_columns({"Country": ["United States", "Germany", "Germany"],
+                                    "Deaths": [1.0, 2.0, 2.5]})
+        augmented, result = AttributeExtractor(tiny_kg).augment(table, "Country")
+        assert augmented.n_rows == 3
+        assert augmented.column("HDI")[2] == 0.94
+
+    def test_prefix_is_applied(self, tiny_kg):
+        table = Table.from_columns({"Country": ["Germany"]})
+        result = AttributeExtractor(tiny_kg).extract(table, "Country", attribute_prefix="KG ")
+        assert all(name.startswith("KG ") for name in result.attribute_names)
+
+    def test_invalid_arguments(self, tiny_kg):
+        table = Table.from_columns({"Country": ["Germany"]})
+        extractor = AttributeExtractor(tiny_kg)
+        with pytest.raises(ExtractionError):
+            extractor.extract(table, "Nope")
+        with pytest.raises(ExtractionError):
+            extractor.extract(table, "Country", hops=0)
+
+    def test_missing_fractions(self, tiny_kg):
+        table = Table.from_columns({"Country": ["United States", "Germany"]})
+        result = AttributeExtractor(tiny_kg).extract(table, "Country")
+        fractions = result.missing_fractions()
+        assert fractions["GDP"] == pytest.approx(0.5)   # Germany has no GDP fact
+
+
+class TestSyntheticKG:
+    def test_expected_entity_classes(self, small_kg):
+        assert {"Country", "City", "State", "Airline", "Person"} <= set(small_kg.entity_classes())
+
+    def test_planted_confounders_present(self, small_kg):
+        names = small_kg.property_names("Country")
+        for needed in ("HDI", "GDP", "Gini", "Density", "Population Census"):
+            assert needed in names
+
+    def test_constant_and_identifier_properties_exist(self, small_kg):
+        names = small_kg.property_names("Country")
+        assert "Type" in names and "wikiID" in names
+
+    def test_deterministic_given_seed(self):
+        from repro.kg.synthetic import SyntheticKGConfig, build_world_knowledge_graph
+        config = SyntheticKGConfig(seed=11, n_noise_properties=3)
+        assert build_world_knowledge_graph(config).n_facts == \
+            build_world_knowledge_graph(config).n_facts
+
+    def test_entity_class_restriction(self):
+        from repro.kg.synthetic import SyntheticKGConfig, build_world_knowledge_graph
+        graph = build_world_knowledge_graph(SyntheticKGConfig(seed=1, n_noise_properties=2),
+                                            entity_classes=["Airline"])
+        assert graph.entity_classes() == ["Airline"]

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for core data structures and estimators."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.infotheory.encoding import joint_codes
+from repro.infotheory.entropy import conditional_entropy, entropy
+from repro.infotheory.mutual_information import conditional_mutual_information, mutual_information
+from repro.table.column import Column
+from repro.table.table import Table
+
+codes_arrays = st.lists(st.integers(min_value=-1, max_value=5), min_size=2, max_size=200)
+
+
+@st.composite
+def paired_codes(draw, max_value=4):
+    """Two equally long code arrays (with occasional missing values)."""
+    n = draw(st.integers(min_value=2, max_value=120))
+    x = draw(st.lists(st.integers(-1, max_value), min_size=n, max_size=n))
+    y = draw(st.lists(st.integers(-1, max_value), min_size=n, max_size=n))
+    return np.array(x), np.array(y)
+
+
+class TestInformationInequalities:
+    @given(codes=codes_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_entropy_non_negative_and_bounded(self, codes):
+        array = np.array(codes)
+        value = entropy(array)
+        assert value >= 0.0
+        present = array[array >= 0]
+        if present.size:
+            assert value <= np.log2(len(set(present.tolist()))) + 1e-9
+
+    @given(pair=paired_codes())
+    @settings(max_examples=60, deadline=None)
+    def test_mutual_information_symmetric_and_bounded(self, pair):
+        x, y = pair
+        forward = mutual_information(x, y)
+        backward = mutual_information(y, x)
+        assert forward >= 0.0
+        assert abs(forward - backward) < 1e-9
+        # The bound holds over the complete cases the estimate is based on.
+        both_present = (x >= 0) & (y >= 0)
+        assert forward <= min(entropy(x[both_present]), entropy(y[both_present])) + 1e-9
+
+    @given(pair=paired_codes())
+    @settings(max_examples=60, deadline=None)
+    def test_conditioning_reduces_entropy(self, pair):
+        x, y = pair
+        assert conditional_entropy(x, [y]) <= entropy(x) + 1e-9
+
+    @given(pair=paired_codes(), z=st.lists(st.integers(0, 3), min_size=2, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_cmi_non_negative(self, pair, z):
+        x, y = pair
+        z = np.array((z * ((len(x) // len(z)) + 1))[:len(x)])
+        assert conditional_mutual_information(x, y, [z]) >= 0.0
+
+    @given(pair=paired_codes())
+    @settings(max_examples=40, deadline=None)
+    def test_joint_codes_cardinality(self, pair):
+        x, y = pair
+        joint = joint_codes([x, y])
+        present = joint[joint >= 0]
+        x_present = x[(x >= 0) & (y >= 0)]
+        y_present = y[(x >= 0) & (y >= 0)]
+        if present.size:
+            n_joint = len(set(present.tolist()))
+            assert n_joint <= len(set(x_present.tolist())) * len(set(y_present.tolist()))
+
+
+class TestTableProperties:
+    @given(values=st.lists(st.one_of(st.integers(-100, 100), st.none()),
+                           min_size=0, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_column_round_trip(self, values):
+        column = Column("x", values)
+        assert column.to_list() == [None if v is None else v for v in values]
+        assert column.missing_count() == sum(1 for v in values if v is None)
+
+    @given(values=st.lists(st.integers(0, 5), min_size=1, max_size=60),
+           threshold=st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_filter_preserves_row_content(self, values, threshold):
+        table = Table.from_columns({"x": values, "row": list(range(len(values)))})
+        mask = [v <= threshold for v in values]
+        filtered = table.filter(np.array(mask))
+        assert filtered.n_rows == sum(mask)
+        for row in filtered.iter_rows():
+            assert values[row["row"]] == row["x"]
+            assert row["x"] <= threshold
+
+    @given(values=st.lists(st.integers(0, 3), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_group_sizes_partition_rows(self, values):
+        table = Table.from_columns({"g": values})
+        sizes = table.group_by(["g"]).sizes()
+        assert sum(sizes.values()) == len(values)

@@ -1,0 +1,89 @@
+"""Unit tests for the aggregate-query model and its SQL parser."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query.aggregate_query import AggregateQuery
+from repro.query.parser import parse_query
+from repro.table.expressions import And, Eq, TRUE
+
+
+class TestAggregateQuery:
+    def test_execute_groups_and_averages(self, people_table, salary_query):
+        result = salary_query.execute(people_table)
+        values = result.as_dict()
+        assert values["US"] == pytest.approx(107.5)
+        assert result.n_groups == 3
+        assert result.n_input_rows == people_table.n_rows
+
+    def test_context_is_applied(self, people_table, salary_query_europe):
+        result = salary_query_europe.execute(people_table)
+        assert set(result.as_dict()) == {"DE", "FR"}
+        assert result.n_input_rows == 4
+
+    def test_spread(self, people_table, salary_query):
+        assert salary_query.execute(people_table).spread() > 0
+
+    def test_validation_errors(self, people_table):
+        query = AggregateQuery(exposure="Nope", outcome="Salary")
+        with pytest.raises(QueryError):
+            query.execute(people_table)
+
+    def test_same_exposure_outcome_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(exposure="x", outcome="x")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateQuery(exposure="a", outcome="b", aggregate="frobnicate")
+
+    def test_to_sql_mentions_all_parts(self, salary_query_europe):
+        sql = salary_query_europe.to_sql()
+        assert "GROUP BY Country" in sql and "WHERE" in sql and "avg(Salary)" in sql
+
+    def test_with_context_and_name(self, salary_query):
+        renamed = salary_query.with_name("Q1").with_context(Eq("Continent", "EU"))
+        assert renamed.name == "Q1"
+        assert renamed.context == Eq("Continent", "EU")
+
+    def test_result_to_text(self, people_table, salary_query):
+        text = salary_query.execute(people_table).to_text()
+        assert "US" in text
+
+
+class TestParser:
+    def test_basic_query(self):
+        query = parse_query("SELECT Country, avg(Salary) FROM SO GROUP BY Country")
+        assert query.exposure == "Country"
+        assert query.outcome == "Salary"
+        assert query.aggregate == "avg"
+        assert query.context is TRUE
+        assert query.table_name == "SO"
+
+    def test_where_clause_single(self):
+        query = parse_query(
+            "SELECT Country, avg(Salary) FROM SO WHERE Continent = 'Europe' GROUP BY Country")
+        assert query.context == Eq("Continent", "Europe")
+
+    def test_where_clause_conjunction_and_numbers(self):
+        query = parse_query(
+            "SELECT City, max(Delay) FROM Flights WHERE Month = 12 AND Airline = 'Delta' "
+            "GROUP BY City")
+        assert isinstance(query.context, And)
+        assert Eq("Month", 12) in query.context.operands
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select Country, AVG(Salary) from SO group by Country")
+        assert query.aggregate == "avg"
+
+    def test_groupby_mismatch_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT Country, avg(Salary) FROM SO GROUP BY Continent")
+
+    def test_unparseable_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("DELETE FROM SO")
+
+    def test_unsupported_where_raises(self):
+        with pytest.raises(QueryError):
+            parse_query("SELECT a, avg(b) FROM t WHERE c > 3 GROUP BY a")

@@ -1,0 +1,119 @@
+"""Additional coverage: report rendering, registry helpers, encoding details."""
+
+import numpy as np
+import pytest
+
+from repro.core.explanation import Explanation
+from repro.core.problem import CorrelationExplanationProblem
+from repro.core.candidates import CandidateSet
+from repro.core.pruning import PruningResult
+from repro.infotheory.encoding import encode_table
+from repro.infotheory.independence import IndependenceResult
+from repro.mesa.report import render_report
+from repro.mesa.system import MESAResult
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.discretize import discretize_column
+from repro.table.column import Column
+from repro.table.table import Table
+
+
+class TestRenderReport:
+    def _result(self, attributes=("Wealth",), problem=None):
+        query = AggregateQuery(exposure="Group", outcome="Outcome", table_name="confounded")
+        explanation = Explanation(attributes=tuple(attributes), explainability=0.1,
+                                  baseline_cmi=1.0, objective=0.1,
+                                  responsibilities={a: 1.0 / max(1, len(attributes))
+                                                    for a in attributes})
+        return MESAResult(
+            query=query, explanation=explanation,
+            candidate_set=CandidateSet(from_dataset=("Flag",), from_knowledge_source=("Wealth",)),
+            pruning=PruningResult(kept=list(attributes), dropped={"Constant": "constant"}),
+            timings={"mcimr": 0.5}, problem=problem, n_candidates_after_pruning=2,
+        )
+
+    def test_report_with_explanation(self):
+        text = render_report(self._result())
+        assert "Wealth" in text and "KG" in text
+        assert "dropped 1" in text
+
+    def test_report_without_explanation(self):
+        text = render_report(self._result(attributes=()))
+        assert "No explanation found" in text
+
+    def test_report_lists_subgroups_when_given(self, confounded_problem):
+        from repro.core.subgroups import Subgroup
+        from repro.table.expressions import Condition
+
+        subgroup = Subgroup(condition=Condition([("Flag", "yes")]), size=10,
+                            explanation_score=0.4)
+        text = render_report(self._result(), subgroups=[subgroup])
+        assert "Flag = yes" in text
+
+
+class TestRegistryExtras:
+    def test_load_all_datasets_shares_graph(self):
+        from repro.datasets.registry import load_all_datasets
+        from repro.kg.synthetic import SyntheticKGConfig
+
+        bundles = load_all_datasets(seed=3, n_rows={"SO": 120, "Flights": 150},
+                                    kg_config=SyntheticKGConfig(seed=3, n_noise_properties=2))
+        assert set(bundles) == {"SO", "Covid-19", "Flights", "Forbes"}
+        graphs = {id(bundle.knowledge_graph) for bundle in bundles.values()}
+        assert len(graphs) == 1
+        assert bundles["SO"].n_rows == 120
+
+    def test_extraction_spec_defaults(self):
+        from repro.datasets.registry import ExtractionSpec
+
+        spec = ExtractionSpec(column="Country")
+        assert spec.entity_class is None and spec.prefix == ""
+
+
+class TestEncodingExtras:
+    def test_categories_align_with_codes(self, people_table):
+        frame = encode_table(people_table)
+        codes = frame.codes("Country")
+        categories = frame.categories("Country")
+        for i, code in enumerate(codes):
+            if code >= 0:
+                assert categories[code] == people_table.column("Country")[i]
+
+    def test_width_binning_strategy(self):
+        column = Column("x", [float(v) for v in range(100)])
+        binned, labels = discretize_column(column, n_bins=4, strategy="width")
+        assert binned.n_unique() == 4
+        assert len(labels) == 4
+
+    def test_independence_result_fields(self):
+        result = IndependenceResult(independent=True, cmi=0.001, p_value=1.0, n_permutations=0)
+        assert result.independent and result.n_permutations == 0
+
+
+class TestProblemWeighted:
+    def test_ipw_weights_change_the_estimate(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        plain = CorrelationExplanationProblem(confounded_table, query, ["Wealth"])
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.2, 3.0, size=plain.n_rows)
+        weighted = CorrelationExplanationProblem(confounded_table, query, ["Wealth"],
+                                                 attribute_weights={"Wealth": weights})
+        assert weighted.has_selection_bias("Wealth")
+        assert not plain.has_selection_bias("Wealth")
+        assert weighted.cmi(["Wealth"]) != pytest.approx(plain.cmi(["Wealth"]), abs=1e-6)
+
+    def test_missing_conditioning_values_form_a_stratum(self):
+        # A conditioning attribute that is missing for half the rows cannot
+        # explain more than the half it is observed on.
+        rng = np.random.default_rng(1)
+        rows = []
+        for group, wealth in (("A", 10.0), ("B", 30.0)):
+            for i in range(200):
+                w = wealth + rng.normal(0, 1)
+                rows.append({"Group": group,
+                             "Wealth": None if i % 2 else round(w, 2),
+                             "Outcome": round(2 * w + rng.normal(0, 1), 2)})
+        table = Table.from_rows(rows)
+        query = AggregateQuery(exposure="Group", outcome="Outcome")
+        problem = CorrelationExplanationProblem(table, query, ["Wealth"])
+        residual = problem.cmi(["Wealth"])
+        assert residual > 0.25 * problem.baseline_cmi()

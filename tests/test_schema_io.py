@@ -1,0 +1,66 @@
+"""Unit tests for schemas and CSV IO."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.table.column import DType
+from repro.table.io import read_csv, write_csv
+from repro.table.schema import Schema
+from repro.table.table import Table
+
+
+class TestSchema:
+    def test_from_pairs_and_lookup(self):
+        schema = Schema.from_pairs([("a", DType.INT), ("b", DType.STRING)])
+        assert schema.names == ["a", "b"]
+        assert schema.dtype("b") is DType.STRING
+        assert "a" in schema and "z" not in schema
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(SchemaError):
+            Schema.from_pairs([("a", DType.INT), ("a", DType.INT)])
+
+    def test_missing_lookup_raises(self):
+        schema = Schema.from_pairs([("a", DType.INT)])
+        with pytest.raises(SchemaError):
+            schema.dtype("b")
+
+    def test_select_drop_merge(self):
+        schema = Schema.from_pairs([("a", DType.INT), ("b", DType.FLOAT), ("c", DType.STRING)])
+        assert schema.select(["c", "a"]).names == ["c", "a"]
+        assert schema.drop(["b"]).names == ["a", "c"]
+        merged = schema.drop(["b", "c"]).merge(Schema.from_pairs([("d", DType.BOOL)]))
+        assert merged.names == ["a", "d"]
+
+    def test_numeric_and_categorical_names(self, people_table):
+        schema = people_table.schema
+        assert set(schema.numeric_names()) == {"Age", "Salary"}
+        assert "Country" in schema.categorical_names()
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path, people_table):
+        path = tmp_path / "people.csv"
+        write_csv(people_table, path)
+        loaded = read_csv(path, name="people")
+        assert loaded.n_rows == people_table.n_rows
+        assert loaded.column("Salary").to_list() == people_table.column("Salary").to_list()
+        assert loaded.column("Country").to_list() == people_table.column("Country").to_list()
+        # Missing numeric cells survive the round trip as missing.
+        assert loaded.column("Age").missing_count() == 1
+
+    def test_read_csv_type_inference(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c,d\n1,2.5,hello,true\n2,,world,false\n")
+        table = read_csv(path)
+        assert table.column("a").dtype is DType.INT
+        assert table.column("b").dtype is DType.FLOAT
+        assert table.column("b").missing_count() == 1
+        assert table.column("c").dtype is DType.STRING
+        assert table.column("d").dtype is DType.BOOL
+
+    def test_read_csv_column_selection(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n")
+        table = read_csv(path, columns=["b"])
+        assert table.column_names == ["b"]

@@ -1,0 +1,144 @@
+"""Unit tests for repro.table.table (Table and GroupBy)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.table.column import Column, DType
+from repro.table.expressions import Eq, Gt
+from repro.table.table import Table
+
+
+class TestConstruction:
+    def test_from_columns_and_rows_agree(self, people_table):
+        rebuilt = Table.from_rows(people_table.to_rows(), columns=people_table.column_names)
+        assert rebuilt == people_table
+
+    def test_duplicate_column_names_raise(self):
+        with pytest.raises(SchemaError):
+            Table([Column("x", [1]), Column("x", [2])])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SchemaError):
+            Table([Column("x", [1]), Column("y", [1, 2])])
+
+    def test_from_rows_fills_missing_keys(self):
+        table = Table.from_rows([{"a": 1}, {"a": 2, "b": "x"}])
+        assert table.column("b").to_list() == [None, "x"]
+
+    def test_empty_table(self):
+        table = Table.from_columns({"a": []})
+        assert table.n_rows == 0
+
+
+class TestProjectionAndRows(object):
+    def test_select_and_drop(self, people_table):
+        selected = people_table.select(["Name", "Salary"])
+        assert selected.column_names == ["Name", "Salary"]
+        dropped = people_table.drop(["Age"])
+        assert "Age" not in dropped.column_names
+
+    def test_select_missing_column_raises(self, people_table):
+        with pytest.raises(SchemaError):
+            people_table.select(["Nope"])
+
+    def test_row_access(self, people_table):
+        row = people_table.row(0)
+        assert row["Name"] == "Ann"
+        with pytest.raises(IndexError):
+            people_table.row(99)
+
+    def test_with_column_replaces(self, people_table):
+        doubled = Column("Salary", [s * 2 for s in people_table.column("Salary").to_list()])
+        updated = people_table.with_column(doubled)
+        assert updated.column("Salary")[0] == 240.0
+        assert updated.n_columns == people_table.n_columns
+
+    def test_rename(self, people_table):
+        renamed = people_table.rename({"Salary": "Pay"})
+        assert "Pay" in renamed.column_names
+        assert "Salary" not in renamed.column_names
+
+
+class TestFilterSortSample:
+    def test_filter_with_predicate(self, people_table):
+        europe = people_table.filter(Eq("Continent", "EU"))
+        assert europe.n_rows == 4
+
+    def test_filter_with_mask(self, people_table):
+        mask = np.array([True, False, True, False, True, False])
+        assert people_table.filter(mask).n_rows == 3
+
+    def test_filter_mask_length_mismatch(self, people_table):
+        with pytest.raises(SchemaError):
+            people_table.filter([True])
+
+    def test_numeric_predicate_ignores_missing(self, people_table):
+        older = people_table.filter(Gt("Age", 30))
+        assert all(age is None or age > 30 for age in older.column("Age").to_list())
+        assert older.n_rows == 4
+
+    def test_sort_by_missing_last(self, people_table):
+        by_age = people_table.sort_by("Age")
+        ages = by_age.column("Age").to_list()
+        assert ages[-1] is None
+        assert ages[:-1] == sorted(a for a in ages if a is not None)
+
+    def test_head_and_sample(self, people_table):
+        assert people_table.head(2).n_rows == 2
+        sampled = people_table.sample(3, np.random.default_rng(0))
+        assert sampled.n_rows == 3
+
+
+class TestJoin:
+    def test_left_join_fills_missing(self, people_table):
+        gdp = Table.from_columns({"Country": ["US", "DE"], "GDP": [63.0, 46.0]}, name="gdp")
+        joined = people_table.join(gdp, on="Country")
+        assert joined.n_rows == people_table.n_rows
+        by_name = {row["Name"]: row for row in joined.iter_rows()}
+        assert by_name["Ann"]["GDP"] == 63.0
+        assert by_name["Eve"]["GDP"] is None   # FR not in right table
+        assert by_name["Fay"]["GDP"] is None   # missing key
+
+    def test_inner_join_drops_unmatched(self, people_table):
+        gdp = Table.from_columns({"Country": ["US"], "GDP": [63.0]}, name="gdp")
+        joined = people_table.join(gdp, on="Country", how="inner")
+        assert joined.n_rows == 2
+
+    def test_join_name_collision_is_prefixed(self, people_table):
+        other = Table.from_columns({"Country": ["US"], "Age": [250]}, name="meta")
+        joined = people_table.join(other, on="Country")
+        assert "meta.Age" in joined.column_names
+
+    def test_unknown_join_type_raises(self, people_table):
+        with pytest.raises(SchemaError):
+            people_table.join(people_table, on="Country", how="outer")
+
+
+class TestGroupBy:
+    def test_aggregate_mean(self, people_table):
+        grouped = people_table.group_by(["Country"]).aggregate({"avg_salary": ("avg", "Salary")})
+        values = {row["Country"]: row["avg_salary"] for row in grouped.iter_rows()}
+        assert values["US"] == pytest.approx(107.5)
+        assert values["DE"] == pytest.approx(67.0)
+        # The missing-country row is excluded from grouping entirely.
+        assert None not in values
+
+    def test_group_sizes(self, people_table):
+        sizes = people_table.group_by(["Country"]).sizes()
+        assert sizes[("US",)] == 2
+
+    def test_apply(self, people_table):
+        spans = people_table.group_by(["Continent"]).apply(lambda t: t.n_rows)
+        assert spans[("EU",)] == 4
+
+    def test_concat_rows(self, people_table):
+        doubled = people_table.concat_rows(people_table)
+        assert doubled.n_rows == 2 * people_table.n_rows
+
+    def test_describe_and_missing_report(self, people_table):
+        report = people_table.missing_report()
+        assert report["Country"] == pytest.approx(1 / 6)
+        description = people_table.describe()
+        assert description["Salary"]["dtype"] == "float"
+        assert description["Salary"]["min"] == 55.0

@@ -1,0 +1,85 @@
+"""Tests for the shared utilities (rng, validation, timing) and exceptions."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError, SchemaError
+from repro.utils.rng import derive_seed, make_rng, maybe_seed, spawn_rng
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    require, require_columns, require_non_negative, require_positive, require_probability,
+    require_same_length,
+)
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_spawn_rng_reproducible(self):
+        assert spawn_rng(3, "x").random() == spawn_rng(3, "x").random()
+
+    def test_maybe_seed(self):
+        assert maybe_seed(None, 5) == 5
+        assert maybe_seed(9, 5) == 9
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ReproError):
+            require(False, "nope")
+
+    def test_numeric_guards(self):
+        require_positive(1, "x")
+        require_non_negative(0, "x")
+        require_probability(0.5, "x")
+        with pytest.raises(ReproError):
+            require_positive(0, "x")
+        with pytest.raises(ReproError):
+            require_non_negative(-1, "x")
+        with pytest.raises(ReproError):
+            require_probability(1.5, "x")
+
+    def test_require_columns(self):
+        require_columns(["a", "b"], ["a"])
+        with pytest.raises(SchemaError):
+            require_columns(["a"], ["a", "b"])
+
+    def test_require_same_length(self):
+        require_same_length("a", [1], "b", [2])
+        with pytest.raises(ReproError):
+            require_same_length("a", [1], "b", [2, 3])
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer()
+        with timer.measure("step"):
+            time.sleep(0.01)
+        with timer.measure("step"):
+            pass
+        assert timer.durations["step"] >= 0.01
+        assert timer.total() == pytest.approx(sum(timer.as_dict().values()))
+
+    def test_timed_contextmanager(self):
+        with timed() as result:
+            time.sleep(0.01)
+        assert result["seconds"] >= 0.01
+
+
+class TestPublicAPI:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
