@@ -10,7 +10,7 @@ statistic with a smaller query budget per dataset.
 from __future__ import annotations
 
 from repro.datasets.queries import random_queries
-from repro.mesa.system import MESA
+from repro.engine import ExplanationPipeline
 
 from .conftest import bench_config, print_table
 
@@ -22,18 +22,19 @@ def _useful_fraction(bundles):
     useful = 0
     total = 0
     for name, bundle in bundles.items():
-        mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
-                    config=bench_config(bundle, k=3))
+        pipeline = ExplanationPipeline(
+            bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+            config=bench_config(bundle, k=3))
         queries = random_queries(bundle.table, bundle.extraction_columns(),
                                  n_queries=QUERIES_PER_DATASET, seed=11)
         dataset_useful = 0
-        for query in queries:
-            result = mesa.explain(query)
+        for result in pipeline.explain_many(queries):
             reduced = result.explainability < result.explanation.baseline_cmi - 1e-6
             has_extracted = any(result.candidate_set.is_extracted(a)
                                 for a in result.attributes)
             if reduced and has_extracted:
                 dataset_useful += 1
+        assert pipeline.context.counters["extraction_runs"] == 1
         useful += dataset_useful
         total += len(queries)
         rows.append([name, len(queries), dataset_useful,

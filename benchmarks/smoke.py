@@ -1,0 +1,87 @@
+"""Smoke benchmark: a small end-to-end engine run that writes a timing artifact.
+
+Runs the batch API over every representative Covid-19 query plus one MESA-
+variant, and writes ``BENCH_smoke.json`` with per-stage cumulative seconds,
+per-query timings and the cross-query cache counters.  CI uploads the file
+on every push so the performance trajectory of the engine accumulates over
+time; it is deliberately laptop-sized (a few seconds).
+
+Run with:  PYTHONPATH=src python benchmarks/smoke.py [--out BENCH_smoke.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro import __version__
+from repro.datasets.registry import load_dataset
+from repro.engine import ExplanationPipeline, get_explainer
+from repro.kg.synthetic import SyntheticKGConfig, build_world_knowledge_graph
+from repro.mesa.config import MESAConfig
+
+SMOKE_KG_CONFIG = SyntheticKGConfig(seed=3, n_noise_properties=6, missing_rate=0.10)
+
+
+def run_smoke() -> dict:
+    """Run the smoke workload and return the timing payload."""
+    started = time.perf_counter()
+    graph = build_world_knowledge_graph(SMOKE_KG_CONFIG)
+    bundle = load_dataset("Covid-19", seed=5, knowledge_graph=graph)
+    pipeline = ExplanationPipeline(
+        bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+        config=MESAConfig(excluded_columns=bundle.id_columns))
+
+    queries = [q.query for q in bundle.queries]
+    batch_start = time.perf_counter()
+    results = pipeline.explain_many(queries, k=3)
+    batch_seconds = time.perf_counter() - batch_start
+
+    # One registry-driven variant run, to keep the explainer path timed too.
+    variant_start = time.perf_counter()
+    pipeline.run_explainer(get_explainer("top_k"), queries[0], k=3)
+    variant_seconds = time.perf_counter() - variant_start
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "dataset": bundle.name,
+        "n_rows": bundle.table.n_rows,
+        "n_queries": len(queries),
+        "total_seconds": time.perf_counter() - started,
+        "batch_seconds": batch_seconds,
+        "explainer_seconds": variant_seconds,
+        "stage_seconds": {name: round(seconds, 6)
+                          for name, seconds in pipeline.context.stage_seconds.items()},
+        "counters": dict(pipeline.context.counters),
+        "per_query": [
+            {
+                "query": result.query.label(),
+                "n_candidates": result.n_candidates_after_pruning,
+                "n_attributes": len(result.attributes),
+                "timings": {name: round(seconds, 6)
+                            for name, seconds in result.timings.items()},
+            }
+            for result in results
+        ],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_smoke.json",
+                        help="Path of the JSON timing artifact")
+    args = parser.parse_args()
+    payload = run_smoke()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"Wrote {args.out}: batch of {payload['n_queries']} queries in "
+          f"{payload['batch_seconds']:.2f}s "
+          f"(extraction x{payload['counters']['extraction_runs']}, "
+          f"offline pruning x{payload['counters']['offline_pruning_runs']})")
+
+
+if __name__ == "__main__":
+    main()

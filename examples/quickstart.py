@@ -1,9 +1,15 @@
-"""Quickstart: explain a confounded aggregate query with MESA.
+"""Quickstart: explain a confounded aggregate query with the explanation engine.
 
 Builds the synthetic Covid-19 dataset and its DBpedia-like knowledge graph,
-runs the paper's motivating query (average deaths per 100 cases by country),
-and asks MESA for the confounding attributes that explain the observed
-correlation.
+runs the paper's motivating query (average deaths per 100 cases by country)
+through the staged :class:`ExplanationPipeline`, and prints the confounding
+attributes that explain the observed correlation — then shows the batch API
+and the JSON-serializable result envelope.
+
+Migration note: the historical ``MESA`` facade still works unchanged
+(``MESA(table, kg, specs).explain(query)``); it is now a thin shim over the
+pipeline used below, so switching is a rename, not a rewrite.  The facade
+is still the home of ``unexplained_subgroups``.
 
 Run with:  python examples/quickstart.py
 """
@@ -11,6 +17,7 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import MESA, MESAConfig, load_dataset
+from repro.engine import ExplanationPipeline
 from repro.mesa.report import render_report
 from repro.query.parser import parse_query
 
@@ -30,17 +37,36 @@ def main() -> None:
     print("\nQuery result (first groups):")
     print(query.execute(bundle.table).to_text(max_rows=8))
 
-    # 3. Ask MESA for an explanation of the Country <-> death-rate correlation.
-    mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
-                config=MESAConfig(k=5, excluded_columns=bundle.id_columns))
-    result = mesa.explain(query)
+    # 3. Build the engine pipeline and explain the Country <-> death-rate
+    #    correlation.  The pipeline's context caches extraction and offline
+    #    pruning, so follow-up queries skip the pre-processing.
+    pipeline = ExplanationPipeline(
+        bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+        config=MESAConfig(k=5, excluded_columns=bundle.id_columns))
+    result = pipeline.explain(query)
 
-    # 4. Identify data subgroups for which the explanation is not satisfactory.
+    # 4. Identify data subgroups for which the explanation is not satisfactory
+    #    (the subgroup analysis lives on the MESA facade, which shares the
+    #    engine underneath).
+    mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+                config=pipeline.config)
     subgroups = mesa.unexplained_subgroups(result, k=3)
 
     print()
     print(render_report(result, subgroups))
 
+    # 5. Batch + serving: explain every representative query in one call —
+    #    extraction/offline pruning run once for the whole batch — and ship
+    #    a result across a process boundary as a JSON envelope.
+    batch = pipeline.explain_many([q.query for q in bundle.queries], k=3)
+    print(f"Batch: explained {len(batch)} queries; "
+          f"extraction ran {pipeline.context.counters['extraction_runs']}x, "
+          f"offline pruning ran {pipeline.context.counters['offline_pruning_runs']}x")
+    envelope = result.to_envelope()
+    print(f"Envelope: {len(envelope.to_json())} bytes of JSON, "
+          f"attributes={list(envelope.explanation.attributes)}")
+
+    print()
     print("Interpretation: the death-rate differences between countries are")
     print("largely explained by country development (HDI / GDP, mined from the")
     print("knowledge graph) together with the confirmed-case load already in")

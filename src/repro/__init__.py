@@ -8,29 +8,65 @@ relies on (a columnar table engine, discrete information-theoretic
 estimators, a synthetic DBpedia-like knowledge graph and synthetic versions
 of the four evaluation datasets).
 
+The public API is the **explanation engine** (:mod:`repro.engine`): a
+staged pipeline over a shared cross-query context, a string-keyed registry
+of interchangeable explainers, and JSON-serializable result envelopes.
+
 Quickstart
 ----------
 
->>> from repro import MESA, MESAConfig, load_dataset
+>>> from repro import ExplanationPipeline, load_dataset
 >>> from repro.datasets import representative_queries
 >>> bundle = load_dataset("Covid-19")
->>> mesa = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs)
->>> result = mesa.explain(representative_queries("Covid-19")[0].query)
+>>> pipeline = ExplanationPipeline(bundle.table, bundle.knowledge_graph,
+...                                bundle.extraction_specs)
+>>> result = pipeline.explain(representative_queries("Covid-19")[0].query)
 >>> result.attributes          # doctest: +SKIP
 ('HDI', 'Confirmed_cases', ...)
+
+Batches reuse the cross-query caches (extraction and offline pruning run
+once for the whole batch), and results serialize for process boundaries:
+
+>>> results = pipeline.explain_many([q.query for q in bundle.queries])  # doctest: +SKIP
+>>> payload = results[0].to_envelope().to_json()                        # doctest: +SKIP
+
+Any registered method runs behind the same surface:
+
+>>> from repro import get_explainer
+>>> explainer = get_explainer("top_k")
+>>> explanation = explainer.explain(result.problem, k=3)  # doctest: +SKIP
+
+Migration note
+--------------
+
+The historical ``MESA`` facade still works unchanged — it is now a thin
+shim delegating to the engine (``MESA(...).explain(query)`` is
+``ExplanationPipeline(...).explain(query)``), and ``MESAResult`` is an
+alias of :class:`repro.engine.result.ExplanationResult`.  Prefer the
+engine for new code; the facade remains for the paper-shaped examples and
+the unexplained-subgroup helper.
 """
 
 from repro.core.explanation import Explanation
 from repro.core.mcimr import mcimr
 from repro.core.problem import CorrelationExplanationProblem
 from repro.datasets.registry import DatasetBundle, load_dataset
+from repro.engine import (
+    ExplanationEnvelope,
+    ExplanationPipeline,
+    ExplanationResult,
+    PipelineContext,
+    available_explainers,
+    get_explainer,
+    register_explainer,
+)
 from repro.mesa.config import MESAConfig
 from repro.mesa.system import MESA, MESAResult
 from repro.query.aggregate_query import AggregateQuery
 from repro.query.parser import parse_query
 from repro.table.table import Table
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Explanation",
@@ -38,6 +74,13 @@ __all__ = [
     "CorrelationExplanationProblem",
     "DatasetBundle",
     "load_dataset",
+    "ExplanationEnvelope",
+    "ExplanationPipeline",
+    "ExplanationResult",
+    "PipelineContext",
+    "available_explainers",
+    "get_explainer",
+    "register_explainer",
     "MESAConfig",
     "MESA",
     "MESAResult",

@@ -14,6 +14,11 @@
 * :func:`cajade` — a CajaDE-style baseline: patterns (attribute-value pairs)
   most unevenly distributed across the exposure groups, chosen independently
   of the outcome.
+
+Every baseline is also registered with the engine's explainer registry
+(:func:`repro.engine.registry.get_explainer`), which is how the evaluation
+harness and serving code run them behind the uniform
+:class:`~repro.engine.registry.Explainer` surface.
 """
 
 from repro.baselines.brute_force import brute_force

@@ -1,0 +1,113 @@
+"""Configuration of the explanation pipeline.
+
+The class keeps its historical name ``MESAConfig`` (it configures the
+paper's MESA pipeline); it lives in the engine package because every stage,
+explainer and cache key is driven by it.  ``repro.mesa.config`` re-exports
+it for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MESAConfig:
+    """Tunable knobs of the MESA pipeline.
+
+    Attributes
+    ----------
+    k:
+        Upper bound on the explanation size (the paper uses 5).
+    hops:
+        Number of knowledge-graph hops followed during extraction (the paper
+        uses 1 by default; the multi-hop appendix experiment uses 2).
+    n_bins:
+        Number of bins for numeric attributes in the information-theoretic
+        estimates.
+    use_offline_pruning / use_online_pruning:
+        Toggles for the two pruning phases; disabling both yields the MESA-
+        variant of the experiments.
+    handle_selection_bias:
+        Whether to run the recoverability analysis and apply IPW weights.
+    min_missing_for_bias_check:
+        Attributes missing in fewer rows than this fraction skip the
+        recoverability analysis (their complete-case estimates are unbiased
+        enough and the test costs time).
+    max_missing_fraction:
+        Offline-pruning threshold: attributes with more missing values are
+        dropped.
+    high_entropy_unique_ratio:
+        Offline-pruning threshold for identifier-like attributes.
+    fd_entropy_threshold:
+        Online-pruning threshold for approximate functional dependencies.
+    relevance_cmi_threshold:
+        Online-pruning threshold for the low-relevance rule.
+    determination_ratio:
+        Online-pruning threshold for attributes that nearly determine the
+        exposure or outcome (``H(T|E)/H(T)`` below the ratio); 0 disables.
+    responsibility_threshold:
+        CMI threshold of the MCIMR stopping criterion.
+    responsibility_permutations:
+        Number of permutations of the stopping criterion's independence
+        test; permutations correct the upward small-sample bias of the
+        plug-in CMI estimate.
+    use_responsibility_test:
+        Whether MCIMR may stop early (ablation switch).
+    ipw_predictor_columns:
+        Columns used as features of the selection (logistic) model; ``None``
+        means "all fully-observed original dataset columns except the
+        outcome".
+    excluded_columns:
+        Columns never considered as candidates (identifiers).
+    """
+
+    k: int = 5
+    hops: int = 1
+    n_bins: int = 8
+    use_offline_pruning: bool = True
+    use_online_pruning: bool = True
+    handle_selection_bias: bool = True
+    min_missing_for_bias_check: float = 0.02
+    max_missing_fraction: float = 0.9
+    high_entropy_unique_ratio: float = 0.9
+    fd_entropy_threshold: float = 0.05
+    relevance_cmi_threshold: float = 0.01
+    determination_ratio: float = 0.25
+    responsibility_threshold: float = 0.01
+    responsibility_permutations: int = 20
+    use_responsibility_test: bool = True
+    ipw_predictor_columns: Optional[Tuple[str, ...]] = None
+    excluded_columns: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.hops < 1:
+            raise ConfigurationError(f"hops must be >= 1, got {self.hops}")
+        if self.n_bins < 2:
+            raise ConfigurationError(f"n_bins must be >= 2, got {self.n_bins}")
+        if not 0.0 <= self.max_missing_fraction <= 1.0:
+            raise ConfigurationError("max_missing_fraction must lie in [0, 1]")
+        if not 0.0 <= self.min_missing_for_bias_check <= 1.0:
+            raise ConfigurationError("min_missing_for_bias_check must lie in [0, 1]")
+        if self.fd_entropy_threshold < 0.0:
+            raise ConfigurationError(
+                f"fd_entropy_threshold must be >= 0, got {self.fd_entropy_threshold}"
+            )
+        if self.responsibility_permutations < 0:
+            raise ConfigurationError(
+                f"responsibility_permutations must be >= 0, "
+                f"got {self.responsibility_permutations}"
+            )
+
+    def without_pruning(self) -> "MESAConfig":
+        """The MESA- variant: no offline or online pruning."""
+        return replace(self, use_offline_pruning=False, use_online_pruning=False)
+
+    def with_overrides(self, **kwargs) -> "MESAConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,164 @@
+"""The shared per-pipeline context: cross-query caches and instrumentation.
+
+A :class:`PipelineContext` is bound to one dataset (table + knowledge source
++ extraction specification) and owns everything that is *query independent*
+and therefore reusable across queries — the paper's "across-queries"
+pre-processing phase, generalised:
+
+* the **extraction cache** — the augmented table (dataset joined with every
+  extracted attribute), keyed by the number of KG hops;
+* the **offline-pruning cache** — the query-independent pruning verdict for
+  every column of the augmented table, keyed by the pruning thresholds;
+* **counters** — how often each expensive phase actually ran (cache misses),
+  which the batch API's tests and the benchmarks assert against;
+* **stage instrumentation** — cumulative per-stage wall-clock seconds and
+  user-registered :class:`StageHook` callbacks fired around every stage.
+
+Several :class:`~repro.engine.pipeline.ExplanationPipeline` instances (for
+example the default configuration and its no-pruning MESA- variant) may
+share one context, so cache keys always include the configuration values
+the cached artefact depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pruning import PruningResult, offline_prune
+from repro.exceptions import ConfigurationError
+from repro.kg.extraction import AttributeExtractor, ExtractionResult
+from repro.kg.graph import KnowledgeGraph
+from repro.table.table import Table
+
+
+class StageHook:
+    """Instrumentation callback invoked around every pipeline stage.
+
+    Subclass and override the methods you care about, then register the
+    hook with :meth:`PipelineContext.add_hook`.  Hooks observe; they must
+    not mutate the state.
+    """
+
+    def on_stage_start(self, stage_name: str, state) -> None:
+        """Called immediately before a stage runs."""
+
+    def on_stage_end(self, stage_name: str, state, seconds: float) -> None:
+        """Called after a stage finished, with its wall-clock duration."""
+
+
+class PipelineContext:
+    """Cross-query caches and instrumentation shared by pipeline runs.
+
+    Parameters
+    ----------
+    table:
+        The input dataset ``D``.
+    knowledge_graph:
+        The knowledge source candidate attributes are mined from; ``None``
+        disables extraction.
+    extraction_specs:
+        Which columns to link against which entity classes (see
+        :class:`repro.datasets.registry.ExtractionSpec`).
+    """
+
+    def __init__(self, table: Table, knowledge_graph: Optional[KnowledgeGraph] = None,
+                 extraction_specs: Sequence = ()):
+        self.table = table
+        self.knowledge_graph = knowledge_graph
+        self.extraction_specs = tuple(extraction_specs)
+        if self.extraction_specs and knowledge_graph is None:
+            raise ConfigurationError(
+                "Extraction specs were provided but no knowledge graph was given"
+            )
+        self.counters: Dict[str, int] = {}
+        self.stage_seconds: Dict[str, float] = {}
+        self.hooks: List[StageHook] = []
+        self._extraction: Dict[int, Tuple[Table, Tuple[ExtractionResult, ...]]] = {}
+        self._offline: Dict[Tuple[int, float, float], PruningResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # counters and hooks
+    # ------------------------------------------------------------------ #
+    def count(self, name: str, increment: int = 1) -> None:
+        """Increment a named counter (cache misses, stage runs, queries)."""
+        self.counters[name] = self.counters.get(name, 0) + increment
+
+    def add_hook(self, hook: StageHook) -> None:
+        """Register an instrumentation hook fired around every stage."""
+        self.hooks.append(hook)
+
+    def notify_stage_start(self, stage_name: str, state) -> None:
+        """Fire ``on_stage_start`` on every registered hook."""
+        for hook in self.hooks:
+            hook.on_stage_start(stage_name, state)
+
+    def notify_stage_end(self, stage_name: str, state, seconds: float) -> None:
+        """Record the stage duration and fire ``on_stage_end`` hooks."""
+        self.stage_seconds[stage_name] = self.stage_seconds.get(stage_name, 0.0) + seconds
+        for hook in self.hooks:
+            hook.on_stage_end(stage_name, state, seconds)
+
+    # ------------------------------------------------------------------ #
+    # extraction cache (across queries)
+    # ------------------------------------------------------------------ #
+    def augmented_table(self, hops: int = 1) -> Table:
+        """The dataset joined with every extracted attribute (cached per hops)."""
+        return self._extraction_for(hops)[0]
+
+    def extraction_results(self, hops: int = 1) -> List[ExtractionResult]:
+        """Per-spec extraction results for the given hop count."""
+        return list(self._extraction_for(hops)[1])
+
+    def extracted_attribute_names(self, hops: int = 1) -> List[str]:
+        """All attribute names added by extraction."""
+        names: List[str] = []
+        for result in self._extraction_for(hops)[1]:
+            names.extend(result.attribute_names)
+        return names
+
+    def _extraction_for(self, hops: int) -> Tuple[Table, Tuple[ExtractionResult, ...]]:
+        if hops not in self._extraction:
+            self.count("extraction_runs")
+            augmented = self.table
+            results: List[ExtractionResult] = []
+            if self.knowledge_graph is not None and self.extraction_specs:
+                extractor = AttributeExtractor(self.knowledge_graph)
+                for spec in self.extraction_specs:
+                    augmented, result = extractor.augment(
+                        augmented, spec.column, hops=hops,
+                        entity_class=getattr(spec, "entity_class", None),
+                        attribute_prefix=getattr(spec, "prefix", ""),
+                    )
+                    results.append(result)
+            self._extraction[hops] = (augmented, tuple(results))
+        return self._extraction[hops]
+
+    # ------------------------------------------------------------------ #
+    # offline-pruning cache (across queries)
+    # ------------------------------------------------------------------ #
+    def offline_pruning(self, candidates: Sequence[str], *, hops: int = 1,
+                        max_missing_fraction: float = 0.9,
+                        high_entropy_unique_ratio: float = 0.9) -> PruningResult:
+        """The offline pruning verdict restricted to the given candidates.
+
+        Offline pruning is query independent and per-attribute, so the
+        context computes it exactly once over *every* column of the
+        augmented table and answers each query by restriction — this is
+        what lets :meth:`ExplanationPipeline.explain_many` amortise the
+        pre-processing across a whole batch of queries.
+        """
+        key = (hops, max_missing_fraction, high_entropy_unique_ratio)
+        if key not in self._offline:
+            self.count("offline_pruning_runs")
+            augmented = self.augmented_table(hops)
+            self._offline[key] = offline_prune(
+                augmented, augmented.column_names,
+                max_missing_fraction=max_missing_fraction,
+                high_entropy_unique_ratio=high_entropy_unique_ratio,
+            )
+        cached = self._offline[key]
+        kept_set = set(cached.kept)
+        kept = [name for name in candidates if name in kept_set]
+        dropped = {name: cached.dropped[name] for name in candidates
+                   if name in cached.dropped}
+        return PruningResult(kept=kept, dropped=dropped)

@@ -1,0 +1,218 @@
+"""The unified ``Explainer`` protocol and the string-keyed method registry.
+
+Every explanation method — MCIMR behind MESA, the MESA- ablation and all
+baselines of the paper's evaluation — is exposed behind one surface::
+
+    explainer = get_explainer("top_k")
+    explanation = explainer.explain(problem, k=5)
+
+which is what lets the evaluation harness, the benchmarks and any serving
+layer treat methods as interchangeable values instead of per-name branches.
+Methods register themselves under a name with :func:`register_explainer`;
+downstream code discovers them with :func:`available_explainers` and
+resolves them with :func:`get_explainer`.
+
+Two small generic hooks keep the surface uniform without special-casing:
+
+* ``config_variant(config)`` lets an explainer ask the pipeline for a
+  different preparation (MESA- prepares without pruning);
+* ``max_k`` caps the explanation size the way the paper's protocol caps the
+  baselines at 3 attributes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.baselines.brute_force import brute_force
+from repro.baselines.cajade import cajade
+from repro.baselines.hypdb import hypdb
+from repro.baselines.linear_regression import linear_regression
+from repro.baselines.top_k import top_k
+from repro.core.explanation import Explanation
+from repro.core.mcimr import mcimr
+from repro.core.problem import CorrelationExplanationProblem
+from repro.exceptions import ExplanationError
+from repro.engine.config import MESAConfig
+
+
+class Explainer(abc.ABC):
+    """One explanation method behind the uniform ``explain`` surface."""
+
+    name: str = "explainer"
+
+    @abc.abstractmethod
+    def explain(self, problem: CorrelationExplanationProblem, k: int) -> Explanation:
+        """Search the (prepared) problem for an explanation of size <= k."""
+
+    def config_variant(self, config: MESAConfig) -> MESAConfig:
+        """The pipeline configuration this method wants its problem prepared with.
+
+        The default is the caller's configuration unchanged; override to
+        request a variant (the engine memoises variant pipelines, so the
+        request is cheap when repeated).
+        """
+        return config
+
+    def bind(self, config: MESAConfig) -> "Explainer":
+        """Adopt the pipeline's configuration for options not set explicitly.
+
+        Called by ``ExplanationPipeline.run_explainer`` so that an explainer
+        resolved without a config (``get_explainer("mesa")``) searches with
+        the pipeline's knobs rather than silently falling back to defaults.
+        Returns ``self``.
+        """
+        return self
+
+    def cache_token(self, k: int) -> Optional[object]:
+        """A hashable key identifying this (deterministic) search, or ``None``.
+
+        When two invocations share a token on the same prepared query state
+        the engine returns the memoised explanation instead of re-searching.
+        ``None`` disables caching for the explainer.
+        """
+        return None
+
+
+class MCIMRExplainer(Explainer):
+    """MESA's search: MCIMR with the responsibility-test stopping criterion.
+
+    ``config`` supplies the responsibility-test knobs; leave it ``None`` to
+    adopt the pipeline's configuration when run through ``run_explainer``.
+    """
+
+    def __init__(self, config: Optional[MESAConfig] = None, name: str = "mesa"):
+        self.name = name
+        self.config = config
+
+    def explain(self, problem: CorrelationExplanationProblem, k: int) -> Explanation:
+        config = self.config or MESAConfig()
+        return mcimr(
+            problem, k=k, candidates=list(problem.candidates),
+            use_responsibility_test=config.use_responsibility_test,
+            responsibility_threshold=config.responsibility_threshold,
+            responsibility_permutations=config.responsibility_permutations,
+            method_name=self.name,
+        )
+
+    def bind(self, config: MESAConfig) -> "Explainer":
+        if self.config is None:
+            self.config = config
+        return self
+
+    def cache_token(self, k: int) -> Optional[object]:
+        return ("mcimr", self.name, k, self.config or MESAConfig())
+
+
+class MesaMinusExplainer(MCIMRExplainer):
+    """The MESA- ablation: same search, pipeline prepared without pruning."""
+
+    def __init__(self, config: Optional[MESAConfig] = None):
+        super().__init__(config=config, name="mesa_minus")
+
+    def config_variant(self, config: MESAConfig) -> MESAConfig:
+        return config.without_pruning()
+
+
+class BaselineExplainer(Explainer):
+    """Adapter putting a baseline function behind the Explainer surface.
+
+    ``max_k`` reproduces the paper's protocol of capping the baselines at
+    3 explanation attributes regardless of MESA's budget.
+    """
+
+    def __init__(self, name: str, fn: Callable[..., Explanation], max_k: int = 3,
+                 config: Optional[MESAConfig] = None):
+        self.name = name
+        self.fn = fn
+        self.max_k = max_k
+
+    def explain(self, problem: CorrelationExplanationProblem, k: int) -> Explanation:
+        return self.fn(problem, k=min(k, self.max_k), candidates=list(problem.candidates))
+
+    def cache_token(self, k: int) -> Optional[object]:
+        return (self.name, min(k, self.max_k))
+
+
+class BruteForceExplainer(Explainer):
+    """Exhaustive search, restricted to the most relevant candidates.
+
+    Brute force is exponential in the candidate count, so — as in the
+    paper, where it only runs on the small datasets — the explainer ranks
+    the candidates by individual relevance and keeps the best
+    ``max_candidates`` before enumerating.  The subset size searched is
+    ``min(k, max_k)``: the paper's 3-attribute cap, never exceeding the
+    caller's budget.
+    """
+
+    name = "brute_force"
+
+    def __init__(self, config: Optional[MESAConfig] = None, max_k: int = 3,
+                 max_candidates: int = 30):
+        self.max_k = max_k
+        self.max_candidates = max_candidates
+
+    def explain(self, problem: CorrelationExplanationProblem, k: int) -> Explanation:
+        ranked = sorted(problem.candidates, key=problem.attribute_relevance)
+        restricted = ranked[:self.max_candidates]
+        return brute_force(problem, k=min(k, self.max_k), candidates=restricted,
+                           max_candidates=self.max_candidates)
+
+    def cache_token(self, k: int) -> Optional[object]:
+        return (self.name, min(k, self.max_k), self.max_candidates)
+
+
+#: name -> factory(config=..., **options) producing an Explainer.
+_FACTORIES: Dict[str, Callable[..., Explainer]] = {}
+
+
+def register_explainer(name: str, factory: Callable[..., Explainer],
+                       overwrite: bool = False) -> None:
+    """Register an explainer factory under a method name.
+
+    The factory must accept a ``config`` keyword (a :class:`MESAConfig` or
+    ``None``) plus any method-specific options forwarded from
+    :func:`get_explainer`.
+    """
+    if name in _FACTORIES and not overwrite:
+        raise ExplanationError(
+            f"An explainer named {name!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    _FACTORIES[name] = factory
+
+
+def get_explainer(name: str, config: Optional[MESAConfig] = None,
+                  **options) -> Explainer:
+    """Resolve a registered method name to an :class:`Explainer` instance."""
+    if name not in _FACTORIES:
+        raise ExplanationError(
+            f"Unknown explainer {name!r}; available: {available_explainers()}"
+        )
+    return _FACTORIES[name](config=config, **options)
+
+
+def available_explainers() -> Tuple[str, ...]:
+    """All registered method names, in registration order."""
+    return tuple(_FACTORIES)
+
+
+def _register_builtins() -> None:
+    register_explainer("mesa", lambda config=None, **options:
+                       MCIMRExplainer(config=config, **options))
+    register_explainer("mesa_minus", lambda config=None, **options:
+                       MesaMinusExplainer(config=config, **options))
+    register_explainer("brute_force", lambda config=None, **options:
+                       BruteForceExplainer(config=config, **options))
+    for baseline_name, baseline_fn in (("top_k", top_k),
+                                       ("linear_regression", linear_regression),
+                                       ("hypdb", hypdb),
+                                       ("cajade", cajade)):
+        def factory(config=None, _fn=baseline_fn, _name=baseline_name, **options):
+            return BaselineExplainer(_name, _fn, config=config, **options)
+
+        register_explainer(baseline_name, factory)
+
+
+_register_builtins()

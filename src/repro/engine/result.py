@@ -1,0 +1,67 @@
+"""The engine's result object for one explained query.
+
+:class:`ExplanationResult` carries the explanation plus every intermediate
+artefact (pruning report, selection-bias reports, the problem instance) so
+that the benchmark harness and the unexplained-subgroup analysis can reuse
+them without re-running the pipeline.  ``repro.mesa.system.MESAResult`` is
+an alias of this class for backward compatibility.
+
+For results that must cross a process boundary (a result cache, a serving
+tier, a worker pool), convert to a JSON-safe
+:class:`~repro.engine.envelope.ExplanationEnvelope` with
+:meth:`ExplanationResult.to_envelope` — the envelope drops the live problem
+instance and keeps only plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.candidates import CandidateSet
+from repro.core.explanation import Explanation
+from repro.core.problem import CorrelationExplanationProblem
+from repro.core.pruning import PruningResult
+from repro.missingness.ipw import IPWWeights
+from repro.missingness.recoverability import RecoverabilityReport
+from repro.query.aggregate_query import AggregateQuery
+
+
+@dataclass
+class ExplanationResult:
+    """Everything the engine produces for one query."""
+
+    query: AggregateQuery
+    explanation: Explanation
+    candidate_set: CandidateSet
+    pruning: PruningResult
+    selection_bias_reports: List[RecoverabilityReport] = field(default_factory=list)
+    ipw_weights: Dict[str, IPWWeights] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    problem: Optional[CorrelationExplanationProblem] = None
+    n_candidates_after_pruning: int = 0
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """The selected explanation attributes."""
+        return self.explanation.attributes
+
+    @property
+    def explainability(self) -> float:
+        """``I(O;T | E, C)`` of the returned explanation."""
+        return self.explanation.explainability
+
+    def biased_attributes(self) -> List[str]:
+        """Candidates for which selection bias was detected."""
+        return [report.attribute for report in self.selection_bias_reports
+                if report.selection_bias]
+
+    def total_runtime(self) -> float:
+        """Total wall-clock time of the pipeline in seconds."""
+        return sum(self.timings.values())
+
+    def to_envelope(self) -> "ExplanationEnvelope":
+        """The JSON-serializable envelope of this result."""
+        from repro.engine.envelope import ExplanationEnvelope
+
+        return ExplanationEnvelope.from_result(self)

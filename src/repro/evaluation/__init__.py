@@ -5,12 +5,18 @@ Amazon MTurk study; offline, the study is replaced by a simulated-subject
 scoring oracle that rewards exactly the properties the paper argues make
 explanations convincing: coverage of the true (planted) confounders,
 precision (no irrelevant attributes), non-redundancy and explanatory power.
+
+The harness is built on the engine's explainer registry
+(:func:`repro.engine.registry.get_explainer`): every method runs behind the
+uniform :class:`~repro.engine.registry.Explainer` surface, so adding a
+method to the evaluation means registering it, not editing the harness.
 """
 
-from repro.evaluation.harness import ExperimentRun, run_methods_for_query
+from repro.evaluation.harness import ALL_METHODS, ExperimentRun, run_methods_for_query
 from repro.evaluation.scoring import SimulatedStudyResult, simulate_user_study
 
 __all__ = [
+    "ALL_METHODS",
     "ExperimentRun",
     "run_methods_for_query",
     "SimulatedStudyResult",

@@ -1,10 +1,17 @@
 """Multi-method experiment harness used by the quality benchmarks.
 
-``run_methods_for_query`` runs MESA, MESA- (no pruning) and the baselines on
-one representative query of a dataset bundle, sharing the extraction and the
-pruned candidate set the way the paper's protocol does ("for a fair
-comparison, we run all baselines (except for MESA-) after employing our
-pruning optimizations").
+``run_methods_for_query`` runs every requested method on one representative
+query of a dataset bundle through the engine's explainer registry: each
+method name resolves to an :class:`~repro.engine.registry.Explainer`, and
+the :class:`~repro.engine.pipeline.ExplanationPipeline` prepares the
+problem the explainer searches.  All methods that accept the default
+preparation share one prepared problem (same extraction, same pruned
+candidates, same IPW weights), which mirrors the paper's protocol ("for a
+fair comparison, we run all baselines (except for MESA-) after employing
+our pruning optimizations"); MESA- asks the engine for the no-pruning
+variant through its ``config_variant`` hook.  There is no per-method
+branching here — adding a method is a registry registration, not a harness
+edit.
 """
 
 from __future__ import annotations
@@ -12,23 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.brute_force import brute_force
-from repro.baselines.cajade import cajade
-from repro.baselines.hypdb import hypdb
-from repro.baselines.linear_regression import linear_regression
-from repro.baselines.top_k import top_k
 from repro.core.explanation import Explanation
-from repro.core.mcimr import mcimr
-from repro.core.problem import CorrelationExplanationProblem
 from repro.datasets.queries import RepresentativeQuery
 from repro.datasets.registry import DatasetBundle
+from repro.engine.pipeline import ExplanationPipeline
+from repro.engine.registry import available_explainers, get_explainer
+from repro.engine.result import ExplanationResult
 from repro.exceptions import ExplanationError
 from repro.mesa.config import MESAConfig
-from repro.mesa.system import MESA, MESAResult
 
-#: Methods the harness knows how to run.
-ALL_METHODS = ("mesa", "mesa_minus", "brute_force", "top_k", "linear_regression",
-               "hypdb", "cajade")
+#: Methods the harness knows how to run (everything in the registry).
+ALL_METHODS = available_explainers()
 
 
 @dataclass
@@ -37,7 +38,7 @@ class ExperimentRun:
 
     query: RepresentativeQuery
     explanations: Dict[str, Explanation] = field(default_factory=dict)
-    mesa_result: Optional[MESAResult] = None
+    mesa_result: Optional[ExplanationResult] = None
 
     def explainability_distance_from(self, reference_method: str) -> Dict[str, float]:
         """Per-method distance of the explainability score from a reference method.
@@ -63,49 +64,34 @@ def run_methods_for_query(bundle: DatasetBundle, query: RepresentativeQuery,
                           brute_force_max_candidates: int = 30) -> ExperimentRun:
     """Run the requested methods on one representative query.
 
-    MESA runs its own full pipeline.  The other methods run on the problem
-    instance MESA produced (same extraction, same pruned candidates, same
-    IPW weights), which mirrors the paper's protocol and keeps the
-    comparison about the *selection* strategy.  Brute-force is restricted to
-    the ``brute_force_max_candidates`` most relevant candidates so that it
-    stays feasible, as in the paper where it only runs on the small datasets.
+    One engine pipeline serves every method: MESA's own result (with the
+    full pruning/selection-bias artefacts) is produced by ``explain``; each
+    method then runs through ``run_explainer`` against the prepared problem
+    its registry entry asks for.  Brute-force is restricted to the
+    ``brute_force_max_candidates`` most relevant candidates so that it
+    stays feasible, as in the paper where it only runs on the small
+    datasets.
     """
-    unknown = [method for method in methods if method not in ALL_METHODS]
+    registered = set(available_explainers())
+    unknown = [method for method in methods if method not in registered]
     if unknown:
-        raise ExplanationError(f"Unknown method(s) {unknown}; supported: {ALL_METHODS}")
+        raise ExplanationError(
+            f"Unknown method(s) {unknown}; supported: {available_explainers()}")
     config = config or MESAConfig(k=k, excluded_columns=bundle.id_columns)
     run = ExperimentRun(query=query)
 
-    mesa_system = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
-                       config=config)
-    mesa_result = mesa_system.explain(query.query, k=k)
-    run.mesa_result = mesa_result
-    problem = mesa_result.problem
-    candidates = list(problem.candidates)
+    engine = ExplanationPipeline(bundle.table, bundle.knowledge_graph,
+                                 bundle.extraction_specs, config=config)
+    run.mesa_result = engine.explain(query.query, k=k)
 
-    if "mesa" in methods:
-        run.explanations["mesa"] = mesa_result.explanation
-
-    if "mesa_minus" in methods:
-        minus_system = MESA(bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
-                            config=config.without_pruning())
-        run.explanations["mesa_minus"] = minus_system.explain(query.query, k=k).explanation
-
-    if "top_k" in methods:
-        run.explanations["top_k"] = top_k(problem, k=min(k, 3), candidates=candidates)
-    if "linear_regression" in methods:
-        run.explanations["linear_regression"] = linear_regression(
-            problem, k=min(k, 3), candidates=candidates)
-    if "hypdb" in methods:
-        run.explanations["hypdb"] = hypdb(problem, k=min(k, 3), candidates=candidates)
-    if "cajade" in methods:
-        run.explanations["cajade"] = cajade(problem, k=min(k, 3), candidates=candidates)
-    if "brute_force" in methods:
-        ranked = sorted(candidates, key=problem.attribute_relevance)
-        restricted = ranked[:brute_force_max_candidates]
-        run.explanations["brute_force"] = brute_force(
-            problem, k=brute_force_k, candidates=restricted,
-            max_candidates=brute_force_max_candidates)
+    method_options: Dict[str, Dict[str, object]] = {
+        "brute_force": {"max_k": brute_force_k,
+                        "max_candidates": brute_force_max_candidates},
+    }
+    for method in methods:
+        explainer = get_explainer(method, config=config,
+                                  **method_options.get(method, {}))
+        run.explanations[method] = engine.run_explainer(explainer, query.query, k=k)
     return run
 
 

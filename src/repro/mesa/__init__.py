@@ -1,9 +1,10 @@
-"""The MESA system: the end-to-end pipeline of the paper.
+"""The MESA system: the paper's end-to-end pipeline, as a thin facade.
 
-:class:`~repro.mesa.system.MESA` wires together knowledge-graph extraction,
-candidate assembly, pruning, selection-bias handling (IPW), the MCIMR search
-and the unexplained-subgroup analysis behind a single ``explain(query)``
-call.
+:class:`~repro.mesa.system.MESA` is now a backward-compatible shim over the
+composable explanation engine (:mod:`repro.engine`): construction builds an
+:class:`~repro.engine.pipeline.ExplanationPipeline`, and ``explain(query)``
+delegates to it.  ``MESAResult`` aliases the engine's
+:class:`~repro.engine.result.ExplanationResult`.
 """
 
 from repro.mesa.config import MESAConfig

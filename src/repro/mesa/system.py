@@ -1,92 +1,54 @@
-"""The MESA system facade.
+"""The MESA system facade — a thin shim over the explanation engine.
 
-``MESA.explain(query)`` runs the full pipeline of the paper:
+Historically this module *was* the pipeline: ``MESA.explain`` inlined the
+seven stages of the paper.  The pipeline now lives in
+:mod:`repro.engine` as composable stage objects
+(:class:`~repro.engine.pipeline.ExplanationPipeline` over a shared
+:class:`~repro.engine.context.PipelineContext`); :class:`MESA` remains for
+backward compatibility and delegates every call to the engine, so existing
+code — and results — are unchanged:
 
-1. **Extraction** — mine candidate attributes from the knowledge source for
-   every configured extraction column (cached across queries, like the
-   paper's "across-queries" pre-processing phase).
-2. **Candidate assembly** — the candidate set ``A`` = dataset attributes ∪
-   extracted attributes \\ {O, T, context columns, identifiers}.
+1. **Extraction** — mine candidate attributes from the knowledge source
+   (cached across queries in the pipeline context).
+2. **Candidate assembly** — the candidate set ``A``.
 3. **Offline pruning** — constant / mostly-missing / identifier attributes.
 4. **Online pruning** — logical dependencies with ``T``/``O`` and
    low-relevance attributes (query specific).
-5. **Selection-bias handling** — recoverability analysis per surviving
-   attribute with missing values; IPW weights for the biased ones.
-6. **MCIMR** — the explanation search with the responsibility-test stopping
-   criterion.
+5. **Selection-bias handling** — recoverability analysis; IPW weights.
+6. **MCIMR** — the explanation search with the responsibility-test
+   stopping criterion.
 7. **Responsibility** — per-attribute degree of responsibility.
 
-The result object keeps the intermediate artefacts (pruning report,
-selection-bias reports, the problem instance) so that the benchmark harness
-and the unexplained-subgroup analysis can reuse them without re-running the
-pipeline.
+New code should use the engine directly::
+
+    from repro.engine import ExplanationPipeline
+    pipeline = ExplanationPipeline(table, knowledge_graph, extraction_specs)
+    result = pipeline.explain(query)            # one query
+    results = pipeline.explain_many(queries)    # batch, caches shared
+
+``MESAResult`` is an alias of :class:`repro.engine.result.ExplanationResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.core.candidates import CandidateSet, build_candidate_set
-from repro.core.explanation import Explanation
-from repro.core.mcimr import mcimr
-from repro.core.problem import CorrelationExplanationProblem
-from repro.core.pruning import PruningResult, offline_prune, online_prune
 from repro.core.subgroups import Subgroup, top_k_unexplained_groups
+from repro.engine.pipeline import ExplanationPipeline
+from repro.engine.result import ExplanationResult
 from repro.exceptions import ConfigurationError
-from repro.kg.extraction import AttributeExtractor, ExtractionResult
+from repro.kg.extraction import ExtractionResult
 from repro.kg.graph import KnowledgeGraph
 from repro.mesa.config import MESAConfig
-from repro.missingness.ipw import IPWWeights, compute_ipw_weights
-from repro.missingness.recoverability import RecoverabilityReport, attribute_selection_bias
 from repro.query.aggregate_query import AggregateQuery
 from repro.table.table import Table
-from repro.utils.timing import Timer
 
-try:  # ExtractionSpec lives with the dataset registry but MESA accepts any
-    from repro.datasets.registry import ExtractionSpec
-except ImportError:  # pragma: no cover - defensive; registry is always present
-    ExtractionSpec = None  # type: ignore
-
-
-@dataclass
-class MESAResult:
-    """Everything MESA produces for one query."""
-
-    query: AggregateQuery
-    explanation: Explanation
-    candidate_set: CandidateSet
-    pruning: PruningResult
-    selection_bias_reports: List[RecoverabilityReport] = field(default_factory=list)
-    ipw_weights: Dict[str, IPWWeights] = field(default_factory=dict)
-    timings: Dict[str, float] = field(default_factory=dict)
-    problem: Optional[CorrelationExplanationProblem] = None
-    n_candidates_after_pruning: int = 0
-
-    @property
-    def attributes(self) -> Tuple[str, ...]:
-        """The selected explanation attributes."""
-        return self.explanation.attributes
-
-    @property
-    def explainability(self) -> float:
-        """``I(O;T | E, C)`` of the returned explanation."""
-        return self.explanation.explainability
-
-    def biased_attributes(self) -> List[str]:
-        """Candidates for which selection bias was detected."""
-        return [report.attribute for report in self.selection_bias_reports
-                if report.selection_bias]
-
-    def total_runtime(self) -> float:
-        """Total wall-clock time of the pipeline in seconds."""
-        return sum(self.timings.values())
+#: Backward-compatible name of the engine's result object.
+MESAResult = ExplanationResult
 
 
 class MESA:
-    """The MESA system.
+    """The MESA system (back-compat facade over the engine).
 
     Parameters
     ----------
@@ -107,129 +69,36 @@ class MESA:
         self.table = table
         self.knowledge_graph = knowledge_graph
         self.extraction_specs = tuple(extraction_specs)
-        if self.extraction_specs and knowledge_graph is None:
-            raise ConfigurationError(
-                "Extraction specs were provided but no knowledge graph was given"
-            )
         self.config = config or MESAConfig()
-        self._augmented: Optional[Table] = None
-        self._extraction_results: List[ExtractionResult] = []
-        self._offline_pruning: Optional[PruningResult] = None
+        self.engine = ExplanationPipeline(
+            table, knowledge_graph, self.extraction_specs, config=self.config)
 
     # ------------------------------------------------------------------ #
-    # extraction (cached across queries)
+    # extraction (cached across queries in the engine context)
     # ------------------------------------------------------------------ #
     def augmented_table(self) -> Table:
         """The dataset joined with every extracted attribute (cached)."""
-        if self._augmented is None:
-            augmented = self.table
-            results: List[ExtractionResult] = []
-            if self.knowledge_graph is not None and self.extraction_specs:
-                extractor = AttributeExtractor(self.knowledge_graph)
-                for spec in self.extraction_specs:
-                    augmented, result = extractor.augment(
-                        augmented, spec.column, hops=self.config.hops,
-                        entity_class=getattr(spec, "entity_class", None),
-                        attribute_prefix=getattr(spec, "prefix", ""),
-                    )
-                    results.append(result)
-            self._augmented = augmented
-            self._extraction_results = results
-        return self._augmented
+        return self.engine.context.augmented_table(self.config.hops)
 
     def extraction_results(self) -> List[ExtractionResult]:
-        """Per-spec extraction results (after :meth:`augmented_table` ran)."""
-        self.augmented_table()
-        return list(self._extraction_results)
+        """Per-spec extraction results."""
+        return self.engine.context.extraction_results(self.config.hops)
 
     def extracted_attribute_names(self) -> List[str]:
         """All attribute names added by extraction."""
-        names: List[str] = []
-        for result in self.extraction_results():
-            names.extend(result.attribute_names)
-        return names
+        return self.engine.context.extracted_attribute_names(self.config.hops)
 
     # ------------------------------------------------------------------ #
     # pipeline
     # ------------------------------------------------------------------ #
     def explain(self, query: AggregateQuery, k: Optional[int] = None) -> MESAResult:
         """Run the full MESA pipeline for one query."""
-        config = self.config
-        k = k if k is not None else config.k
-        timer = Timer()
+        return self.engine.explain(query, k=k)
 
-        with timer.measure("extraction"):
-            augmented = self.augmented_table()
-            extracted_names = self.extracted_attribute_names()
-
-        with timer.measure("candidates"):
-            candidate_set = build_candidate_set(
-                augmented, query, extracted_attributes=extracted_names,
-                exclude=config.excluded_columns,
-            )
-            candidates: List[str] = candidate_set.all
-
-        with timer.measure("offline_pruning"):
-            if config.use_offline_pruning:
-                offline_result = self._offline_pruning_for(augmented, candidate_set)
-                pruning = PruningResult(kept=list(offline_result.kept),
-                                        dropped=dict(offline_result.dropped))
-                candidates = [name for name in candidates if name in set(offline_result.kept)]
-            else:
-                pruning = PruningResult(kept=list(candidates), dropped={})
-
-        with timer.measure("problem"):
-            problem = CorrelationExplanationProblem(
-                augmented, query, candidates, n_bins=config.n_bins,
-            )
-
-        with timer.measure("online_pruning"):
-            if config.use_online_pruning:
-                online_result = online_prune(
-                    problem, candidates,
-                    fd_entropy_threshold=config.fd_entropy_threshold,
-                    relevance_cmi_threshold=config.relevance_cmi_threshold,
-                    determination_ratio=config.determination_ratio,
-                )
-                pruning.dropped.update(online_result.dropped)
-                candidates = online_result.kept
-            pruning.kept = list(candidates)
-
-        selection_reports: List[RecoverabilityReport] = []
-        ipw_weights: Dict[str, IPWWeights] = {}
-        with timer.measure("selection_bias"):
-            if config.handle_selection_bias:
-                selection_reports, ipw_weights = self._handle_selection_bias(
-                    problem, candidates, query,
-                )
-                if ipw_weights:
-                    problem = CorrelationExplanationProblem(
-                        augmented, query, candidates,
-                        attribute_weights={name: w.weights for name, w in ipw_weights.items()},
-                        n_bins=config.n_bins,
-                    )
-
-        with timer.measure("mcimr"):
-            problem = problem.subset_candidates(candidates)
-            explanation = mcimr(
-                problem, k=k, candidates=candidates,
-                use_responsibility_test=config.use_responsibility_test,
-                responsibility_threshold=config.responsibility_threshold,
-                responsibility_permutations=config.responsibility_permutations,
-                method_name="mesa",
-            )
-
-        return MESAResult(
-            query=query,
-            explanation=explanation,
-            candidate_set=candidate_set,
-            pruning=pruning,
-            selection_bias_reports=selection_reports,
-            ipw_weights=ipw_weights,
-            timings=timer.as_dict(),
-            problem=problem,
-            n_candidates_after_pruning=len(candidates),
-        )
+    def explain_many(self, queries: Sequence[AggregateQuery],
+                     k: Optional[int] = None) -> List[MESAResult]:
+        """Batch counterpart of :meth:`explain` (delegates to the engine)."""
+        return self.engine.explain_many(queries, k=k)
 
     def unexplained_subgroups(self, result: MESAResult, k: int = 5,
                               threshold: Optional[float] = None,
@@ -256,76 +125,3 @@ class MESA:
             result.problem, list(result.explanation.attributes), k=k,
             threshold=threshold, refine_attributes=refine_attributes, **kwargs,
         )
-
-    # ------------------------------------------------------------------ #
-    # internals
-    # ------------------------------------------------------------------ #
-    def _offline_pruning_for(self, augmented: Table,
-                             candidate_set: CandidateSet) -> PruningResult:
-        """Offline pruning is query independent, so it is cached per system."""
-        if self._offline_pruning is None:
-            self._offline_pruning = offline_prune(
-                augmented, candidate_set.all,
-                max_missing_fraction=self.config.max_missing_fraction,
-                high_entropy_unique_ratio=self.config.high_entropy_unique_ratio,
-            )
-            return self._offline_pruning
-        # The cached result was computed for (possibly) another query's
-        # candidate set; restrict it to the current candidates.
-        cached = self._offline_pruning
-        current = set(candidate_set.all)
-        kept = [name for name in cached.kept if name in current]
-        dropped = {name: rule for name, rule in cached.dropped.items() if name in current}
-        # Candidates never seen before (e.g. a context column that is free in
-        # this query) are evaluated on demand.
-        unseen = [name for name in candidate_set.all
-                  if name not in set(cached.kept) and name not in cached.dropped]
-        if unseen:
-            extra = offline_prune(augmented, unseen,
-                                  max_missing_fraction=self.config.max_missing_fraction,
-                                  high_entropy_unique_ratio=self.config.high_entropy_unique_ratio)
-            kept.extend(extra.kept)
-            dropped.update(extra.dropped)
-        return PruningResult(kept=kept, dropped=dropped)
-
-    def _handle_selection_bias(self, problem: CorrelationExplanationProblem,
-                               candidates: Sequence[str], query: AggregateQuery,
-                               ) -> Tuple[List[RecoverabilityReport], Dict[str, IPWWeights]]:
-        """Recoverability analysis + IPW weights for biased attributes."""
-        config = self.config
-        reports: List[RecoverabilityReport] = []
-        weights: Dict[str, IPWWeights] = {}
-        predictors = self._ipw_predictors(query)
-        features = None
-        if predictors:
-            from repro.missingness.logistic import one_hot_encode_codes
-            features = one_hot_encode_codes(
-                [problem.frame.codes(column) for column in predictors])
-        for attribute in candidates:
-            column = problem.context_table.column(attribute)
-            if column.missing_fraction() < config.min_missing_for_bias_check:
-                continue
-            report = attribute_selection_bias(problem.frame, problem.outcome,
-                                              problem.exposure, attribute,
-                                              n_permutations=0)
-            reports.append(report)
-            if report.selection_bias:
-                weights[attribute] = compute_ipw_weights(problem.frame, attribute, predictors,
-                                                         features=features)
-        return reports, weights
-
-    def _ipw_predictors(self, query: AggregateQuery) -> List[str]:
-        """Columns of the original dataset used as selection-model features."""
-        if self.config.ipw_predictor_columns is not None:
-            return [name for name in self.config.ipw_predictor_columns
-                    if name in self.table]
-        predictors = []
-        for name in self.table.column_names:
-            if name in (query.outcome,):
-                continue
-            if name in self.config.excluded_columns:
-                continue
-            column = self.table.column(name)
-            if column.missing_count() == 0 and column.n_unique() <= 64:
-                predictors.append(name)
-        return predictors

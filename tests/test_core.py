@@ -71,6 +71,52 @@ class TestProblem:
         assert clone.candidates == ["Wealth"]
         assert clone._cmi_cache is confounded_problem._cmi_cache
 
+    def test_subset_candidates_cache_flows_both_ways(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome", aggregate="avg",
+                               table_name="confounded")
+        problem = CorrelationExplanationProblem(
+            confounded_table, query, candidates=["Wealth", "Noise", "Flag"])
+        clone = problem.subset_candidates(["Wealth", "Flag"])
+        # A term computed on the clone is served from cache by the parent...
+        value = clone.cmi(["Wealth"])
+        assert ("Wealth",) in problem._cmi_cache
+        assert problem.cmi(["Wealth"]) == value
+        # ...and vice versa, including the pairwise-MI cache.
+        mi = problem.pairwise_mi("Wealth", "Flag")
+        assert clone.pairwise_mi("Flag", "Wealth") == mi
+        assert clone._mi_cache is problem._mi_cache
+        # The clone shares the encoded frame and weights, not copies.
+        assert clone.frame is problem.frame
+        assert clone.attribute_weights is problem.attribute_weights
+        # The parent's candidate list is untouched by the subset.
+        assert problem.candidates == ["Wealth", "Noise", "Flag"]
+
+    def test_restricted_to_slices_ipw_weights(self, confounded_table):
+        query = AggregateQuery(exposure="Group", outcome="Outcome", aggregate="avg",
+                               table_name="confounded")
+        n_rows = confounded_table.n_rows
+        rng = np.random.default_rng(3)
+        weights = {"Wealth": rng.uniform(0.5, 2.0, size=n_rows),
+                   "Flag": rng.uniform(0.5, 2.0, size=n_rows)}
+        problem = CorrelationExplanationProblem(
+            confounded_table, query, candidates=["Wealth", "Noise", "Flag"],
+            attribute_weights=weights)
+        mask = np.zeros(n_rows, dtype=bool)
+        mask[::3] = True
+        restricted = problem.restricted_to(mask)
+        assert restricted.n_rows == int(mask.sum())
+        for attribute in ("Wealth", "Flag"):
+            sliced = restricted.attribute_weights[attribute]
+            assert len(sliced) == restricted.n_rows
+            np.testing.assert_allclose(sliced, weights[attribute][mask])
+        # Unweighted attributes stay unweighted; caches start empty.
+        assert "Noise" not in restricted.attribute_weights
+        assert restricted._cmi_cache == {} and restricted._mi_cache == {}
+        # An integer (0/1) mask must slice identically to a boolean one.
+        int_restricted = problem.restricted_to(mask.astype(int))
+        np.testing.assert_allclose(int_restricted.attribute_weights["Wealth"],
+                                   restricted.attribute_weights["Wealth"])
+
 
 class TestMCIMR:
     def test_selects_planted_confounder_first(self, confounded_problem):

@@ -1,0 +1,77 @@
+"""Round-trip tests for the JSON-serializable ExplanationEnvelope."""
+
+import json
+
+import pytest
+
+from repro.engine import ExplanationEnvelope, ExplanationPipeline, available_explainers, get_explainer
+from repro.engine.envelope import ENVELOPE_SCHEMA_VERSION, query_descriptor
+from repro.mesa.config import MESAConfig
+
+
+def round_trip(envelope: ExplanationEnvelope) -> ExplanationEnvelope:
+    """Serialize through real JSON text, the way a process boundary would."""
+    payload = json.dumps(envelope.to_dict())
+    return ExplanationEnvelope.from_dict(json.loads(payload))
+
+
+class TestEnvelopeRoundTrip:
+    @pytest.mark.parametrize("method", available_explainers())
+    def test_round_trip_for_every_registered_explainer(self, method, confounded_problem):
+        explanation = get_explainer(method).explain(confounded_problem, k=2)
+        envelope = ExplanationEnvelope.from_explanation(
+            explanation, query=confounded_problem.query)
+        recovered = round_trip(envelope)
+        assert recovered == envelope
+        assert recovered.explanation.method == method
+        assert recovered.explanation.attributes == explanation.attributes
+        assert recovered.explanation.responsibilities == \
+            pytest.approx(explanation.responsibilities)
+        assert recovered.query["sql"] == confounded_problem.query.to_sql()
+
+    def test_full_result_envelope_round_trip(self, covid_bundle):
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, covid_bundle.knowledge_graph,
+            covid_bundle.extraction_specs,
+            config=MESAConfig(excluded_columns=covid_bundle.id_columns))
+        result = pipeline.explain(covid_bundle.queries[0].query, k=3)
+        envelope = result.to_envelope()
+        recovered = round_trip(envelope)
+        assert recovered == envelope
+        assert recovered.schema_version == ENVELOPE_SCHEMA_VERSION
+        assert recovered.pruning_kept == tuple(result.pruning.kept)
+        assert recovered.pruning_dropped == dict(result.pruning.dropped)
+        assert recovered.biased_attributes == tuple(result.biased_attributes())
+        assert recovered.n_candidates == result.n_candidates_after_pruning
+        assert recovered.timings == pytest.approx(result.timings)
+        assert set(recovered.extracted_attributes) <= set(result.attributes)
+
+    def test_json_helpers(self, confounded_problem):
+        explanation = get_explainer("top_k").explain(confounded_problem, k=2)
+        envelope = ExplanationEnvelope.from_explanation(explanation)
+        assert ExplanationEnvelope.from_json(envelope.to_json()) == envelope
+
+    def test_envelope_is_hashable_cache_key(self, confounded_problem):
+        explanation = get_explainer("top_k").explain(confounded_problem, k=2)
+        envelope = ExplanationEnvelope.from_explanation(
+            explanation, query=confounded_problem.query)
+        assert hash(envelope) == hash(round_trip(envelope))
+        assert len({envelope, round_trip(envelope)}) == 1
+        assert {envelope: "cached"}[round_trip(envelope)] == "cached"
+
+    def test_envelope_carries_no_live_objects(self, confounded_problem):
+        explanation = get_explainer("mesa").explain(confounded_problem, k=2)
+        envelope = ExplanationEnvelope.from_explanation(
+            explanation, query=confounded_problem.query)
+        payload = envelope.to_dict()
+        # Everything must already be JSON-native (no numpy scalars, tables...).
+        json.dumps(payload)
+        assert payload["query"] == query_descriptor(confounded_problem.query)
+
+    def test_trace_round_trips_as_tuples(self, confounded_problem):
+        explanation = get_explainer("mesa").explain(confounded_problem, k=3)
+        envelope = round_trip(ExplanationEnvelope.from_explanation(explanation))
+        assert isinstance(envelope.explanation.trace, tuple)
+        for entry in envelope.explanation.trace:
+            attribute, score = entry
+            assert isinstance(attribute, str) and isinstance(score, float)

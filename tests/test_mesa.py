@@ -21,6 +21,17 @@ class TestMESAConfig:
             MESAConfig(hops=0)
         with pytest.raises(ConfigurationError):
             MESAConfig(max_missing_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            MESAConfig(min_missing_for_bias_check=-0.1)
+        with pytest.raises(ConfigurationError):
+            MESAConfig(min_missing_for_bias_check=1.5)
+        with pytest.raises(ConfigurationError):
+            MESAConfig(fd_entropy_threshold=-0.01)
+        with pytest.raises(ConfigurationError):
+            MESAConfig(responsibility_permutations=-1)
+        # Boundary values construct fine.
+        MESAConfig(min_missing_for_bias_check=0.0, fd_entropy_threshold=0.0,
+                   responsibility_permutations=0)
 
     def test_without_pruning_variant(self):
         config = MESAConfig().without_pruning()

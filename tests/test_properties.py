@@ -48,7 +48,12 @@ class TestInformationInequalities:
     @settings(max_examples=60, deadline=None)
     def test_conditioning_reduces_entropy(self, pair):
         x, y = pair
-        assert conditional_entropy(x, [y]) <= entropy(x) + 1e-9
+        # The estimate drops rows missing in either variable, so (as with
+        # the MI bound above) the inequality holds over the complete cases
+        # the estimate is based on — e.g. x=[0,0,1], y=[0,-1,0] has
+        # H(x|y)=1 > H(x)=0.918 when the bound is taken over all of x.
+        complete = (x >= 0) & (y >= 0)
+        assert conditional_entropy(x, [y]) <= entropy(x[complete]) + 1e-9
 
     @given(pair=paired_codes(), z=st.lists(st.integers(0, 3), min_size=2, max_size=120))
     @settings(max_examples=40, deadline=None)
