@@ -1,0 +1,59 @@
+"""CI gate: fail when the smoke batch time regresses past its baseline.
+
+Compares the ``batch_seconds`` of a fresh ``BENCH_smoke.json`` (written by
+``benchmarks/smoke.py``) against the recorded baseline in
+``benchmarks/BENCH_smoke.baseline.json``.  The job fails when the measured
+time exceeds ``baseline * max-ratio`` (default 2x, per the perf-tracking
+policy) — subject to a small absolute floor so that scheduler jitter on a
+sub-second workload cannot flake the gate.
+
+Run with:
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="Path of the freshly written BENCH_smoke.json")
+    parser.add_argument("--baseline", default="benchmarks/BENCH_smoke.baseline.json",
+                        help="Path of the recorded baseline artifact")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="Fail when measured > baseline * max-ratio")
+    parser.add_argument("--absolute-floor", type=float, default=3.0,
+                        help="Never fail while the measured time is below this "
+                             "many seconds.  The committed baseline was "
+                             "recorded on a dev box; a hosted CI runner can "
+                             "legitimately be severalfold slower, so the "
+                             "floor absorbs machine-speed variance while "
+                             "still catching order-of-magnitude regressions. "
+                             "Lower it once the baseline is re-recorded from "
+                             "a CI artifact of this same workflow.")
+    args = parser.parse_args()
+
+    with open(args.measured, encoding="utf-8") as handle:
+        measured = float(json.load(handle)["batch_seconds"])
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = float(json.load(handle)["batch_seconds"])
+
+    limit = baseline * args.max_ratio
+    print(f"smoke batch_seconds: measured {measured:.3f}s, "
+          f"baseline {baseline:.3f}s, limit {limit:.3f}s "
+          f"(floor {args.absolute_floor:.1f}s)")
+    if measured <= args.absolute_floor:
+        print("OK: below the absolute floor")
+        return
+    if measured > limit:
+        print(f"FAIL: smoke batch regressed more than {args.max_ratio:.1f}x "
+              f"its recorded baseline", file=sys.stderr)
+        raise SystemExit(1)
+    print("OK: within the regression budget")
+
+
+if __name__ == "__main__":
+    main()

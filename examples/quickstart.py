@@ -66,6 +66,15 @@ def main() -> None:
     print(f"Envelope: {len(envelope.to_json())} bytes of JSON, "
           f"attributes={list(envelope.explanation.attributes)}")
 
+    #    Large batches can opt into worker fan-out: n_jobs=2 runs thread
+    #    workers over forked contexts (same results, counters merged back),
+    #    and explain_many_envelopes(..., backend="process") forks OS
+    #    processes that ship JSON envelopes back — the serving-tier shape.
+    parallel = pipeline.explain_many([q.query for q in bundle.queries],
+                                     k=3, n_jobs=2)
+    print(f"Parallel batch: {len(parallel)} queries over "
+          f"{pipeline.context.counters['parallel_workers']} workers")
+
     print()
     print("Interpretation: the death-rate differences between countries are")
     print("largely explained by country development (HDI / GDP, mined from the")

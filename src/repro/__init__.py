@@ -36,6 +36,35 @@ Any registered method runs behind the same surface:
 >>> explainer = get_explainer("top_k")
 >>> explanation = explainer.explain(result.problem, k=3)  # doctest: +SKIP
 
+Performance
+-----------
+
+Every CMI/MI/entropy estimate runs on the contingency-count kernel
+(:mod:`repro.infotheory.kernel`) by default: one weighted ``bincount`` per
+term instead of four masked entropy calls, incremental joint coding of
+conditioning sets (extending ``Z`` to ``Z ∪ {a}`` is one ``O(n)`` fuse
+against cached codes), and batched candidate scoring
+(:meth:`~repro.core.problem.CorrelationExplanationProblem.score_candidates`)
+for the greedy search rounds.  Two knobs on :class:`MESAConfig` control the
+fast paths:
+
+* ``use_fast_kernel`` (default ``True``) — set ``False`` to fall back to
+  the reference raw-row estimators; results are identical within float
+  tolerance, only slower.  The before/after benchmark
+  (``benchmarks/bench_perf.py``) compares both modes on a candidate-heavy
+  workload and records the speedup in ``BENCH_perf.json``: read
+  ``before.seconds`` / ``after.seconds`` for the wall-clock of each mode,
+  ``speedup`` for the ratio (CI gates on >= 3x), and ``explainers`` for
+  the per-method equivalence verdicts.
+* ``n_jobs`` / ``parallel_backend`` — opt-in worker fan-out for the batch
+  APIs.  ``pipeline.explain_many(queries, n_jobs=4)`` runs thread workers
+  over forked contexts and returns full results;
+  ``pipeline.explain_many_envelopes(queries, n_jobs=4)`` with
+  ``parallel_backend="process"`` forks OS processes and ships
+  JSON-serializable envelopes back (the form a serving tier or result
+  cache should consume).  Worker cache counters merge back into
+  ``pipeline.context.counters`` either way.
+
 Migration note
 --------------
 

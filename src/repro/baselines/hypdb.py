@@ -74,12 +74,15 @@ def hypdb(problem: CorrelationExplanationProblem, k: int = 3,
             continue
         confounders.append(attribute)
 
-    # Greedy ranking by CMI drop (HypDB's responsibility ordering).
+    # Greedy ranking by CMI drop (HypDB's responsibility ordering); each
+    # round scores the surviving confounders in one batched kernel pass
+    # against the shared fused coding of the selected set.
     selected: List[str] = []
     remaining = list(confounders)
     while remaining and len(selected) < max(0, k):
-        best = min(remaining, key=lambda attribute: problem.cmi(selected + [attribute]))
-        improvement = problem.cmi(selected) - problem.cmi(selected + [best])
+        scores = problem.score_candidates(remaining, selected)
+        best = min(remaining, key=scores.__getitem__)
+        improvement = problem.cmi(selected) - scores[best]
         if improvement <= 0 and selected:
             break
         selected.append(best)

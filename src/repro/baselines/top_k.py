@@ -21,7 +21,8 @@ def top_k(problem: CorrelationExplanationProblem, k: int = 3,
     if candidates is None:
         candidates = problem.candidates
     start = time.perf_counter()
-    ranked = sorted(candidates, key=problem.attribute_relevance)
+    relevance = problem.score_candidates(candidates)
+    ranked = sorted(candidates, key=relevance.__getitem__)
     selected = tuple(ranked[:max(0, k)])
     runtime = time.perf_counter() - start
     baseline = problem.baseline_cmi()

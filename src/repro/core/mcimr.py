@@ -53,17 +53,18 @@ def next_best_attribute(problem: CorrelationExplanationProblem,
     if candidates is None:
         candidates = problem.candidates
     selected_set = set(selected)
+    remaining = [attribute for attribute in candidates if attribute not in selected_set]
+    # One batched kernel round: every candidate's relevance term shares the
+    # same (empty) base coding, so each costs a single fuse + bincount.
+    relevances = problem.score_candidates(remaining)
     best_attribute: Optional[str] = None
     best_value = float("inf")
-    for attribute in candidates:
-        if attribute in selected_set:
-            continue
-        relevance = problem.cmi([attribute])
+    for attribute in remaining:
         redundancy = 0.0
         if selected:
             redundancy = sum(problem.pairwise_mi(attribute, chosen) for chosen in selected)
             redundancy /= len(selected)
-        value = relevance + redundancy
+        value = relevances[attribute] + redundancy
         if value < best_value:
             best_value = value
             best_attribute = attribute

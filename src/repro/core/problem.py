@@ -14,11 +14,13 @@ algorithms need:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ExplanationError
+from repro.infotheory import kernel
 from repro.infotheory.encoding import EncodedFrame
 from repro.infotheory.entropy import conditional_entropy, entropy
 from repro.infotheory.independence import IndependenceResult, conditional_independence_test
@@ -53,11 +55,28 @@ class CorrelationExplanationProblem:
     n_bins:
         Number of bins used when numeric attributes are discretised for the
         information-theoretic estimates.
+    use_kernel:
+        Route the oracle through the fast contingency-count kernel
+        (:mod:`repro.infotheory.kernel`): one ``bincount`` per CMI term and
+        incremental joint coding of conditioning sets.  Disable to fall
+        back to the reference estimators (same values, slower) — the
+        performance benchmark compares both paths.
+    frame:
+        An existing :class:`EncodedFrame` over the *context-restricted*
+        table to adopt instead of encoding from scratch.  The engine passes
+        the first problem instance's frame when it rebuilds the problem
+        with IPW weights, so every column is factorised at most once per
+        query.
     """
+
+    #: Bound on the cached fused conditioning-code arrays (LRU); each entry
+    #: costs ``8 * n_rows`` bytes.
+    MAX_JOINT_CACHE = 128
 
     def __init__(self, table: Table, query: AggregateQuery, candidates: Sequence[str],
                  attribute_weights: Optional[Dict[str, np.ndarray]] = None,
-                 n_bins: int = DEFAULT_BINS):
+                 n_bins: int = DEFAULT_BINS, use_kernel: bool = True,
+                 frame: Optional[EncodedFrame] = None):
         query.validate_against(table)
         missing = [name for name in candidates if name not in table]
         if missing:
@@ -79,7 +98,15 @@ class CorrelationExplanationProblem:
             )
         self.candidates: List[str] = list(dict.fromkeys(candidates))
         self.n_bins = n_bins
-        self.frame = EncodedFrame(self.context_table, n_bins=n_bins)
+        if frame is not None:
+            if frame.n_rows != self.context_table.n_rows or frame.n_bins != n_bins:
+                raise ExplanationError(
+                    f"Adopted frame has {frame.n_rows} rows / {frame.n_bins} bins, "
+                    f"expected {self.context_table.n_rows} rows / {n_bins} bins"
+                )
+            self.frame = frame
+        else:
+            self.frame = EncodedFrame(self.context_table, n_bins=n_bins)
         self.attribute_weights: Dict[str, np.ndarray] = dict(attribute_weights or {})
         for attribute, weights in self.attribute_weights.items():
             if len(weights) != self.context_table.n_rows:
@@ -87,8 +114,18 @@ class CorrelationExplanationProblem:
                     f"IPW weights for {attribute!r} have length {len(weights)}, "
                     f"expected {self.context_table.n_rows} (context rows)"
                 )
+        self.use_kernel = use_kernel
         self._cmi_cache: Dict[Tuple[str, ...], float] = {}
         self._mi_cache: Dict[Tuple[str, str], float] = {}
+        self._entropy_cache: Dict[str, float] = {}
+        # Fused conditioning codes (incremental joint coding), keyed by the
+        # sorted attribute tuple.  Two caches because the CMI oracle encodes
+        # conditioning attributes with missing-as-category while the
+        # independence tests use the plain codes.
+        self._joint_cache: "OrderedDict[Tuple[str, ...], Tuple[np.ndarray, int]]" = \
+            OrderedDict()
+        self._plain_joint_cache: "OrderedDict[Tuple[str, ...], Tuple[np.ndarray, int]]" = \
+            OrderedDict()
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -132,6 +169,66 @@ class CorrelationExplanationProblem:
         return combined
 
     # ------------------------------------------------------------------ #
+    # incremental joint coding (fast kernel)
+    # ------------------------------------------------------------------ #
+    def _conditioning_codes(self, attribute: str, plain: bool) -> np.ndarray:
+        if plain:
+            return self.frame.codes(attribute)
+        return self.frame.codes(attribute, missing_as_category=True)
+
+    def _joint_for(self, key: Tuple[str, ...], plain: bool = False,
+                   ) -> Tuple[np.ndarray, int]:
+        """Fused codes + cardinality of a conditioning set (cached, LRU).
+
+        Extending a cached set ``Z`` to ``Z ∪ {a}`` is one ``O(n)`` fuse
+        against the cached codes instead of a re-factorisation from
+        scratch: the method looks for a cached subset one attribute short,
+        falling back to a recursive build over the prefix (which leaves
+        every prefix cached for the next caller).
+
+        With ``plain=True`` (the independence-test representation) the
+        fuse happens strictly left to right in the caller's attribute
+        order: permutation tests stratify on these codes, and sorted
+        place-value codes must reproduce the reference ``joint_codes``
+        label order — lexicographic in *caller* order — for the RNG to be
+        consumed identically.  The missing-as-category cache only feeds
+        order-invariant scalar estimates, so it may extend any cached
+        subset regardless of order.
+        """
+        if not key:
+            return np.zeros(self.context_table.n_rows, dtype=np.int64), 1
+        cache = self._plain_joint_cache if plain else self._joint_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            return cached
+        if len(key) == 1:
+            codes = self._conditioning_codes(key[0], plain)
+            entry = (codes, kernel.code_cardinality(codes))
+        else:
+            entry = None
+            if not plain:
+                for dropped in key:
+                    shorter = tuple(name for name in key if name != dropped)
+                    base = cache.get(shorter)
+                    if base is not None:
+                        extra = self._conditioning_codes(dropped, plain)
+                        fused, card = kernel.fuse_codes(
+                            base[0], base[1], extra, kernel.code_cardinality(extra))
+                        entry = kernel.maybe_compact(fused, card)
+                        break
+            if entry is None:
+                base = self._joint_for(key[:-1], plain=plain)
+                extra = self._conditioning_codes(key[-1], plain)
+                fused, card = kernel.fuse_codes(
+                    base[0], base[1], extra, kernel.code_cardinality(extra))
+                entry = kernel.maybe_compact(fused, card)
+        cache[key] = entry
+        while len(cache) > self.MAX_JOINT_CACHE:
+            cache.popitem(last=False)
+        return entry
+
+    # ------------------------------------------------------------------ #
     # information-theoretic oracle
     # ------------------------------------------------------------------ #
     def cmi(self, conditioning: Sequence[str] = ()) -> float:
@@ -146,16 +243,61 @@ class CorrelationExplanationProblem:
         """
         key = tuple(sorted(conditioning))
         if key not in self._cmi_cache:
-            codes = [self.frame.codes(attribute, missing_as_category=True)
-                     for attribute in key]
-            value = conditional_mutual_information(
-                self.frame.codes(self.outcome),
-                self.frame.codes(self.exposure),
-                codes,
-                weights=self._weights_for(key),
-            )
+            if self.use_kernel:
+                fused, card = self._joint_for(key)
+                value = kernel.contingency_cmi(
+                    self.frame.codes(self.outcome),
+                    self.frame.codes(self.exposure),
+                    fused, n_z=card,
+                    weights=self._weights_for(key),
+                )
+            else:
+                codes = [self.frame.codes(attribute, missing_as_category=True)
+                         for attribute in key]
+                value = conditional_mutual_information(
+                    self.frame.codes(self.outcome),
+                    self.frame.codes(self.exposure),
+                    codes,
+                    weights=self._weights_for(key),
+                )
             self._cmi_cache[key] = value
         return self._cmi_cache[key]
+
+    def score_candidates(self, attributes: Sequence[str],
+                         given: Sequence[str] = ()) -> Dict[str, float]:
+        """``I(O;T | given ∪ {a}, C)`` for every candidate ``a``, batched.
+
+        One greedy round of MCIMR (and the ranking passes of the brute-force
+        and top-k explainers) scores every remaining candidate against the
+        same selected set: the fused codes of ``given`` are built once and
+        each candidate costs a single ``O(n)`` fuse plus one ``bincount``,
+        instead of a full re-factorisation per candidate.  Results land in
+        the same memo the scalar :meth:`cmi` oracle uses.
+        """
+        given = tuple(given)
+        given_set = set(given)
+        scores: Dict[str, float] = {}
+        if not self.use_kernel:
+            for attribute in attributes:
+                extended = given if attribute in given_set else given + (attribute,)
+                scores[attribute] = self.cmi(extended)
+            return scores
+        base, base_card = self._joint_for(tuple(sorted(given)))
+        x = self.frame.codes(self.outcome)
+        y = self.frame.codes(self.exposure)
+        for attribute in attributes:
+            key = tuple(sorted(given_set | {attribute}))
+            value = self._cmi_cache.get(key)
+            if value is None:
+                extra = self.frame.codes(attribute, missing_as_category=True)
+                fused, card = kernel.fuse_codes(
+                    base, base_card, extra, kernel.code_cardinality(extra))
+                fused, card = kernel.maybe_compact(fused, card)
+                value = kernel.contingency_cmi(x, y, fused, n_z=card,
+                                               weights=self._weights_for(key))
+                self._cmi_cache[key] = value
+            scores[attribute] = value
+        return scores
 
     def baseline_cmi(self) -> float:
         """``I(O; T | C)`` — the unexplained correlation."""
@@ -175,7 +317,8 @@ class CorrelationExplanationProblem:
         """``I(A; B)`` between two candidate attributes (memoised, weighted)."""
         key = (a, b) if a <= b else (b, a)
         if key not in self._mi_cache:
-            value = mutual_information(
+            estimator = kernel.contingency_mi if self.use_kernel else mutual_information
+            value = estimator(
                 self.frame.codes(a, missing_as_category=True),
                 self.frame.codes(b, missing_as_category=True),
                 weights=self._weights_for([a, b]),
@@ -188,11 +331,29 @@ class CorrelationExplanationProblem:
         return self.cmi([attribute])
 
     def entropy_of(self, attribute: str) -> float:
-        """Entropy of an attribute within the context."""
-        return entropy(self.frame.codes(attribute))
+        """Entropy of an attribute within the context (memoised).
+
+        Pruning evaluates ``H(T)``/``H(O)`` once per candidate; the memo
+        makes those repeat lookups free.
+        """
+        cached = self._entropy_cache.get(attribute)
+        if cached is None:
+            if self.use_kernel:
+                cached = kernel.contingency_entropy(self.frame.codes(attribute))
+            else:
+                cached = entropy(self.frame.codes(attribute))
+            self._entropy_cache[attribute] = cached
+        return cached
 
     def conditional_entropy_of(self, target: str, given: Sequence[str]) -> float:
         """``H(target | given)`` within the context."""
+        if self.use_kernel:
+            fused, card = self._joint_for(tuple(sorted(given)), plain=True)
+            if not given:
+                fused = None
+                card = None
+            return kernel.contingency_conditional_entropy(
+                self.frame.codes(target), fused, n_given=card)
         return conditional_entropy(self.frame.codes(target),
                                    [self.frame.codes(g) for g in given])
 
@@ -201,11 +362,28 @@ class CorrelationExplanationProblem:
     # ------------------------------------------------------------------ #
     def independence_test(self, a: str, b: str, conditioning: Sequence[str] = (),
                           **kwargs) -> IndependenceResult:
-        """Conditional-independence test between two columns given others."""
+        """Conditional-independence test between two columns given others.
+
+        On the kernel path the conditioning set is fused once (cached) and
+        shared by every permutation of the test; verdicts, p-values and RNG
+        consumption are identical to the reference implementation.
+        """
+        weights = self._weights_for([a, b, *conditioning])
+        if self.use_kernel:
+            # Fuse in *caller* order: the permutation strata then sort the
+            # same way the reference ``joint_codes`` labels do, so the RNG
+            # is consumed stratum-for-stratum identically.
+            fused, card = self._joint_for(tuple(conditioning), plain=True)
+            if not conditioning:
+                fused, card = None, None
+            return kernel.fast_independence_test(
+                self.frame.codes(a), self.frame.codes(b), fused, n_z=card,
+                weights=weights, **kwargs,
+            )
         return conditional_independence_test(
             self.frame.codes(a), self.frame.codes(b),
             [self.frame.codes(c) for c in conditioning],
-            weights=self._weights_for([a, b, *conditioning]),
+            weights=weights,
             **kwargs,
         )
 
@@ -230,8 +408,12 @@ class CorrelationExplanationProblem:
             attribute: weights[np.asarray(mask, dtype=bool)]
             for attribute, weights in self.attribute_weights.items()
         }
+        restricted.use_kernel = self.use_kernel
         restricted._cmi_cache = {}
         restricted._mi_cache = {}
+        restricted._entropy_cache = {}
+        restricted._joint_cache = OrderedDict()
+        restricted._plain_joint_cache = OrderedDict()
         return restricted
 
     def subset_candidates(self, candidates: Iterable[str]) -> "CorrelationExplanationProblem":
@@ -249,6 +431,10 @@ class CorrelationExplanationProblem:
         clone.n_bins = self.n_bins
         clone.frame = self.frame
         clone.attribute_weights = self.attribute_weights
+        clone.use_kernel = self.use_kernel
         clone._cmi_cache = self._cmi_cache
         clone._mi_cache = self._mi_cache
+        clone._entropy_cache = self._entropy_cache
+        clone._joint_cache = self._joint_cache
+        clone._plain_joint_cache = self._plain_joint_cache
         return clone

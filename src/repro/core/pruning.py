@@ -179,7 +179,11 @@ def online_prune(problem: CorrelationExplanationProblem,
 
 def _nearly_determines(problem: CorrelationExplanationProblem, attribute: str,
                        target: str, ratio: float) -> bool:
-    """Whether knowing ``attribute`` leaves less than ``ratio`` of ``target``'s entropy."""
+    """Whether knowing ``attribute`` leaves less than ``ratio`` of ``target``'s entropy.
+
+    ``problem.entropy_of`` is memoised, so the repeated per-candidate
+    lookups of ``H(T)``/``H(O)`` cost one estimate each.
+    """
     h_target = problem.entropy_of(target)
     if h_target <= 0:
         return False

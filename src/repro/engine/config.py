@@ -63,6 +63,23 @@ class MESAConfig:
         outcome".
     excluded_columns:
         Columns never considered as candidates (identifiers).
+    use_fast_kernel:
+        Route every information-theoretic estimate through the
+        contingency-count kernel (:mod:`repro.infotheory.kernel`): one
+        ``bincount`` per CMI term, incremental joint coding of conditioning
+        sets, and batched candidate scoring.  Results are identical to the
+        reference estimators within float tolerance; disable only to
+        reproduce the legacy (slow) estimation path, e.g. for the
+        before/after performance benchmark.
+    n_jobs:
+        Worker count for the batch APIs (``explain_many`` /
+        ``explain_many_envelopes``); ``1`` (default) runs serially, ``-1``
+        uses every available CPU.
+    parallel_backend:
+        ``"thread"`` (default) or ``"process"`` — how batch workers are
+        executed.  The process backend ships results back as
+        JSON-serializable envelopes and therefore only applies to
+        ``explain_many_envelopes``.
     """
 
     k: int = 5
@@ -82,6 +99,9 @@ class MESAConfig:
     use_responsibility_test: bool = True
     ipw_predictor_columns: Optional[Tuple[str, ...]] = None
     excluded_columns: Tuple[str, ...] = ()
+    use_fast_kernel: bool = True
+    n_jobs: int = 1
+    parallel_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -102,6 +122,15 @@ class MESAConfig:
             raise ConfigurationError(
                 f"responsibility_permutations must be >= 0, "
                 f"got {self.responsibility_permutations}"
+            )
+        if self.n_jobs < 1 and self.n_jobs != -1:
+            raise ConfigurationError(
+                f"n_jobs must be >= 1 (or -1 for all CPUs), got {self.n_jobs}"
+            )
+        if self.parallel_backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"parallel_backend must be 'thread' or 'process', "
+                f"got {self.parallel_backend!r}"
             )
 
     def without_pruning(self) -> "MESAConfig":

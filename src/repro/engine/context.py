@@ -83,6 +83,35 @@ class PipelineContext:
         """Increment a named counter (cache misses, stage runs, queries)."""
         self.counters[name] = self.counters.get(name, 0) + increment
 
+    def merge_counters(self, counters: Dict[str, int],
+                       stage_seconds: Optional[Dict[str, float]] = None) -> None:
+        """Fold a worker context's counters (and timings) into this one.
+
+        The parallel batch executor gives every worker a private forked
+        context; after the batch the per-worker cache counters are merged
+        back here so ``context.counters`` stays the single source of truth
+        for batch observability.
+        """
+        for name, increment in counters.items():
+            self.count(name, increment)
+        if stage_seconds:
+            for name, seconds in stage_seconds.items():
+                self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+
+    def fork(self) -> "PipelineContext":
+        """A worker context: same dataset, warmed caches, private counters.
+
+        The expensive cross-query artefacts (the augmented table and the
+        offline-pruning verdicts) are shared by reference — they are
+        immutable once built — while counters, timings and hooks start
+        empty so concurrent workers never write to shared state.
+        """
+        forked = PipelineContext(self.table, self.knowledge_graph,
+                                 self.extraction_specs)
+        forked._extraction = dict(self._extraction)
+        forked._offline = dict(self._offline)
+        return forked
+
     def add_hook(self, hook: StageHook) -> None:
         """Register an instrumentation hook fired around every stage."""
         self.hooks.append(hook)

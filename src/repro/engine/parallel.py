@@ -1,0 +1,189 @@
+"""Parallel batch execution for the explanation pipeline.
+
+``ExplanationPipeline.explain_many`` (and its process-boundary sibling
+``explain_many_envelopes``) fan a batch of queries out over workers:
+
+* **thread backend** — each worker drives its own pipeline over a *forked*
+  :class:`~repro.engine.context.PipelineContext` (same table and warmed
+  extraction/offline-pruning caches, private counters), so no mutable state
+  is shared between workers and full :class:`ExplanationResult` objects
+  come back directly.
+* **process backend** — workers are forked OS processes; each builds its
+  pipeline from state inherited at fork time and ships results back as
+  JSON-serializable :class:`~repro.engine.envelope.ExplanationEnvelope`
+  dicts (the envelope is the process-boundary form of a result, so only
+  plain data crosses the boundary).  Available from
+  ``explain_many_envelopes`` only — a live ``ExplanationResult`` cannot
+  cross a process boundary.
+
+In both backends the workers' cache counters and stage timings are merged
+back into the parent's :class:`PipelineContext` after the batch, so the
+batch-API observability (``context.counters``) keeps working.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.envelope import ExplanationEnvelope
+from repro.exceptions import ConfigurationError
+
+#: Fork-inherited state for process workers: set by the parent immediately
+#: before the executor forks, read lazily inside each worker.
+_FORK_STATE: Dict[str, object] = {}
+
+#: Serialises concurrent process-backend batches: the fork state is a module
+#: global, so two batches forking at once would inherit each other's
+#: pipeline (and the finally-block teardown would race).
+_FORK_LOCK = threading.Lock()
+
+
+def resolve_n_jobs(n_jobs: Optional[int], default: int = 1) -> int:
+    """Normalise an ``n_jobs`` request (``None`` -> default, ``-1`` -> CPUs)."""
+    if n_jobs is None:
+        n_jobs = default
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1 (or -1 for all CPUs), got {n_jobs}")
+    return n_jobs
+
+
+def _chunks(n_items: int, n_workers: int) -> List[List[int]]:
+    """Contiguous, balanced index chunks (at most ``n_workers`` of them)."""
+    n_workers = min(n_workers, n_items)
+    base, remainder = divmod(n_items, n_workers)
+    chunks: List[List[int]] = []
+    start = 0
+    for worker in range(n_workers):
+        size = base + (1 if worker < remainder else 0)
+        chunks.append(list(range(start, start + size)))
+        start += size
+    return chunks
+
+
+def _worker_pipeline(parent_pipeline):
+    """A private pipeline over a forked context (shared read-only caches)."""
+    from repro.engine.pipeline import ExplanationPipeline
+
+    return ExplanationPipeline(
+        context=parent_pipeline.context.fork(),
+        config=parent_pipeline.config.with_overrides(n_jobs=1),
+        stages=parent_pipeline.stages,
+    )
+
+
+def _merge_worker_context(parent_context, counters: Dict[str, int],
+                          stage_seconds: Dict[str, float]) -> None:
+    parent_context.merge_counters(counters, stage_seconds)
+
+
+def _warm_context(pipeline) -> None:
+    """Build the cross-query artefacts once, before workers fork off.
+
+    Workers inherit the warmed extraction and offline-pruning caches, so
+    the paper's "across-queries" pre-processing still runs exactly once
+    per batch regardless of the worker count.
+    """
+    config = pipeline.config
+    pipeline.context.augmented_table(config.hops)
+    if config.use_offline_pruning:
+        pipeline.context.offline_pruning(
+            [], hops=config.hops,
+            max_missing_fraction=config.max_missing_fraction,
+            high_entropy_unique_ratio=config.high_entropy_unique_ratio)
+
+
+# --------------------------------------------------------------------------- #
+# thread backend
+# --------------------------------------------------------------------------- #
+def explain_many_threaded(pipeline, queries: Sequence, k: Optional[int],
+                          n_jobs: int) -> List:
+    """Fan ``explain`` out over threads; returns full ExplanationResults."""
+    _warm_context(pipeline)
+    results: List = [None] * len(queries)
+
+    def run_chunk(indices: List[int]) -> Tuple[Dict[str, int], Dict[str, float]]:
+        worker = _worker_pipeline(pipeline)
+        for index in indices:
+            results[index] = worker.explain(queries[index], k=k)
+        return dict(worker.context.counters), dict(worker.context.stage_seconds)
+
+    chunks = _chunks(len(queries), n_jobs)
+    with ThreadPoolExecutor(max_workers=len(chunks)) as executor:
+        futures = [executor.submit(run_chunk, chunk) for chunk in chunks]
+        for future in futures:
+            counters, stage_seconds = future.result()
+            _merge_worker_context(pipeline.context, counters, stage_seconds)
+    pipeline.context.count("parallel_batches")
+    pipeline.context.count("parallel_workers", len(chunks))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# process backend
+# --------------------------------------------------------------------------- #
+def _process_worker(payload: Tuple[List[int], List, Optional[int]]):
+    """Run one chunk inside a forked process; returns envelope dicts."""
+    indices, chunk_queries, k = payload
+    parent_pipeline = _FORK_STATE.get("pipeline")
+    if parent_pipeline is None:  # pragma: no cover - defensive
+        raise ConfigurationError("process worker started without fork state")
+    worker = _FORK_STATE.get("worker")
+    if worker is None:
+        worker = _worker_pipeline(parent_pipeline)
+        _FORK_STATE["worker"] = worker
+    envelopes = []
+    for query in chunk_queries:
+        envelopes.append(worker.explain(query, k=k).to_envelope().to_dict())
+    # Snapshot-and-reset: a pool process may execute several chunks, and the
+    # parent merges every returned snapshot — each payload must report only
+    # its own delta or earlier chunks' counters would be merged twice.
+    counters = dict(worker.context.counters)
+    stage_seconds = dict(worker.context.stage_seconds)
+    worker.context.counters.clear()
+    worker.context.stage_seconds.clear()
+    return indices, envelopes, counters, stage_seconds
+
+
+def explain_many_forked(pipeline, queries: Sequence, k: Optional[int],
+                        n_jobs: int) -> List[ExplanationEnvelope]:
+    """Fan the batch out over forked processes; returns envelopes.
+
+    Requires the ``fork`` start method (each worker inherits the parent's
+    warmed pipeline without pickling the table); platforms without fork
+    fall back to the thread backend.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        results = explain_many_threaded(pipeline, queries, k, n_jobs)
+        return [result.to_envelope() for result in results]
+
+    # Warm the cross-query caches before forking so every worker inherits
+    # them instead of redoing extraction per process.
+    _warm_context(pipeline)
+
+    chunks = _chunks(len(queries), n_jobs)
+    envelopes: List[Optional[ExplanationEnvelope]] = [None] * len(queries)
+    with _FORK_LOCK:
+        _FORK_STATE["pipeline"] = pipeline
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=len(chunks),
+                                     mp_context=context) as executor:
+                payloads = [(chunk, [queries[i] for i in chunk], k) for chunk in chunks]
+                for indices, chunk_envelopes, counters, stage_seconds in executor.map(
+                        _process_worker, payloads):
+                    for index, envelope_dict in zip(indices, chunk_envelopes):
+                        envelopes[index] = ExplanationEnvelope.from_dict(envelope_dict)
+                    _merge_worker_context(pipeline.context, counters, stage_seconds)
+        finally:
+            _FORK_STATE.pop("pipeline", None)
+            _FORK_STATE.pop("worker", None)
+    pipeline.context.count("parallel_batches")
+    pipeline.context.count("parallel_workers", len(chunks))
+    return envelopes

@@ -173,14 +173,57 @@ class ExplanationPipeline:
         )
 
     def explain_many(self, queries: Iterable[AggregateQuery],
-                     k: Optional[int] = None) -> List[ExplanationResult]:
+                     k: Optional[int] = None,
+                     n_jobs: Optional[int] = None) -> List[ExplanationResult]:
         """Explain a batch of queries, amortising the cross-query work.
 
         Extraction and offline pruning run at most once for the whole batch
         (assertable via ``context.counters``); per-query stages still run
         per query.
+
+        ``n_jobs`` (defaulting to ``config.n_jobs``; ``-1`` = all CPUs)
+        opts into parallel execution: queries fan out over thread workers,
+        each driving a private pipeline over a forked context, and the
+        workers' cache counters merge back into this pipeline's context.
+        Results come back in query order.  For process-based fan-out use
+        :meth:`explain_many_envelopes` — a live result cannot cross a
+        process boundary.
         """
-        return [self.explain(query, k=k) for query in queries]
+        from repro.engine.parallel import explain_many_threaded, resolve_n_jobs
+
+        queries = list(queries)
+        jobs = resolve_n_jobs(n_jobs, default=self.config.n_jobs)
+        if jobs <= 1 or len(queries) <= 1:
+            return [self.explain(query, k=k) for query in queries]
+        return explain_many_threaded(self, queries, k, jobs)
+
+    def explain_many_envelopes(self, queries: Iterable[AggregateQuery],
+                               k: Optional[int] = None,
+                               n_jobs: Optional[int] = None,
+                               backend: Optional[str] = None,
+                               ) -> List["ExplanationEnvelope"]:
+        """Batch API returning JSON-serializable envelopes (worker-pool form).
+
+        With ``n_jobs > 1`` the batch fans out over the configured backend:
+        ``"thread"`` workers share memory, ``"process"`` workers are forked
+        OS processes that ship each result back as an envelope dict.  Both
+        merge per-worker cache counters back into this context.  This is
+        the method a serving tier or result cache should call — envelopes
+        carry no live problem instances and round-trip through JSON.
+        """
+        from repro.engine.envelope import ExplanationEnvelope
+        from repro.engine.parallel import explain_many_forked, resolve_n_jobs
+
+        queries = list(queries)
+        jobs = resolve_n_jobs(n_jobs, default=self.config.n_jobs)
+        backend = backend or self.config.parallel_backend
+        if backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend must be 'thread' or 'process', got {backend!r}")
+        if jobs <= 1 or len(queries) <= 1 or backend == "thread":
+            results = self.explain_many(queries, k=k, n_jobs=jobs)
+            return [ExplanationEnvelope.from_result(result) for result in results]
+        return explain_many_forked(self, queries, k, jobs)
 
     def run_explainer(self, explainer, query: AggregateQuery,
                       k: Optional[int] = None) -> Explanation:

@@ -154,7 +154,8 @@ class BruteForceExplainer(Explainer):
         self.max_candidates = max_candidates
 
     def explain(self, problem: CorrelationExplanationProblem, k: int) -> Explanation:
-        ranked = sorted(problem.candidates, key=problem.attribute_relevance)
+        relevance = problem.score_candidates(problem.candidates)
+        ranked = sorted(problem.candidates, key=relevance.__getitem__)
         restricted = ranked[:self.max_candidates]
         return brute_force(problem, k=min(k, self.max_k), candidates=restricted,
                            max_candidates=self.max_candidates)

@@ -136,6 +136,7 @@ class OnlinePruningStage(PipelineStage):
         with state.timer.measure("problem"):
             state.problem = CorrelationExplanationProblem(
                 state.augmented, state.query, state.candidates, n_bins=config.n_bins,
+                use_kernel=config.use_fast_kernel,
             )
         with state.timer.measure("online_pruning"):
             if config.use_online_pruning:
@@ -167,6 +168,11 @@ class SelectionBiasStage(PipelineStage):
                         state.augmented, state.query, state.candidates,
                         attribute_weights={name: w.weights for name, w in weights.items()},
                         n_bins=config.n_bins,
+                        use_kernel=config.use_fast_kernel,
+                        # The weighted rebuild covers the same context rows;
+                        # adopting the frame keeps every column factorised at
+                        # most once per query (fast-subsystem behaviour).
+                        frame=state.problem.frame if config.use_fast_kernel else None,
                     )
             # Narrow the problem to the surviving candidates; the CMI caches
             # are shared, so this is free.
@@ -180,21 +186,29 @@ class SelectionBiasStage(PipelineStage):
         weights: Dict[str, IPWWeights] = {}
         predictors = ipw_predictor_columns(context.table, state.query, config)
         features = None
+        row_groups = None
         if predictors:
             from repro.missingness.logistic import one_hot_encode_codes
-            features = one_hot_encode_codes(
-                [problem.frame.codes(column) for column in predictors])
+            predictor_codes = [problem.frame.codes(column) for column in predictors]
+            features = one_hot_encode_codes(predictor_codes)
+            # Every biased attribute fits its selection model over the same
+            # design; group identical predictor rows once so each fit can
+            # run on binomial groups instead of raw rows.  A missing code
+            # is its own category (it is an all-zero one-hot block).
+            row_groups = _predictor_row_groups(predictor_codes)
         for attribute in state.candidates:
             column = problem.context_table.column(attribute)
             if column.missing_fraction() < config.min_missing_for_bias_check:
                 continue
             report = attribute_selection_bias(problem.frame, problem.outcome,
                                               problem.exposure, attribute,
-                                              n_permutations=0)
+                                              n_permutations=0,
+                                              use_kernel=config.use_fast_kernel)
             reports.append(report)
             if report.selection_bias:
                 weights[attribute] = compute_ipw_weights(problem.frame, attribute,
-                                                         predictors, features=features)
+                                                         predictors, features=features,
+                                                         row_groups=row_groups)
         return reports, weights
 
 
@@ -234,6 +248,32 @@ def default_stages(method_name: str = "mesa") -> List[PipelineStage]:
         SelectionBiasStage(),
         SearchStage(method_name=method_name),
     ]
+
+
+def _predictor_row_groups(predictor_codes) -> "np.ndarray":
+    """Dense ids (``0..k-1``) of the distinct predictor-value tuples per row.
+
+    Missing codes are remapped to an extra per-column category before
+    fusing, so two rows group together exactly when their one-hot feature
+    rows are identical.
+    """
+    import numpy as np
+
+    from repro.infotheory import kernel
+
+    fused = None
+    card = 1
+    for codes in predictor_codes:
+        codes = np.asarray(codes, dtype=np.int64)
+        extra_card = kernel.code_cardinality(codes) + 1
+        remapped = np.where(codes < 0, extra_card - 1, codes)
+        if fused is None:
+            fused, card = remapped, extra_card
+        else:
+            fused, card = kernel.fuse_codes(fused, card, remapped, extra_card)
+        fused, card = kernel.maybe_compact(fused, card)
+    groups, _ = kernel.compact_codes(fused)
+    return groups
 
 
 def ipw_predictor_columns(table: Table, query: AggregateQuery,

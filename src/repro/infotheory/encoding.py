@@ -82,6 +82,8 @@ class EncodedFrame:
     strategy: str = "frequency"
     _codes: Dict[str, np.ndarray] = field(default_factory=dict, repr=False)
     _categories: Dict[str, List[Any]] = field(default_factory=dict, repr=False)
+    _missing_as_category: Dict[str, np.ndarray] = field(default_factory=dict,
+                                                        repr=False)
 
     @property
     def n_rows(self) -> int:
@@ -107,8 +109,14 @@ class EncodedFrame:
             self._categories[column_name] = categories
         codes = self._codes[column_name]
         if missing_as_category and (codes < 0).any():
-            remapped = codes.copy()
-            remapped[remapped < 0] = len(self._categories[column_name])
+            # Memoised: the explanation search requests the conditioning
+            # representation of the same columns every greedy round, and
+            # the remap is an O(n) scan + copy.
+            remapped = self._missing_as_category.get(column_name)
+            if remapped is None:
+                remapped = codes.copy()
+                remapped[remapped < 0] = len(self._categories[column_name])
+                self._missing_as_category[column_name] = remapped
             return remapped
         return codes
 
@@ -148,6 +156,8 @@ class EncodedFrame:
         for column_name, codes in self._codes.items():
             restricted._codes[column_name] = codes[mask]
             restricted._categories[column_name] = self._categories[column_name]
+        for column_name, codes in self._missing_as_category.items():
+            restricted._missing_as_category[column_name] = codes[mask]
         return restricted
 
 

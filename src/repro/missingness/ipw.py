@@ -56,7 +56,8 @@ def compute_ipw_weights(frame: EncodedFrame, attribute: str,
                         predictor_columns: Sequence[str],
                         clip: float = 10.0,
                         l2: float = 1e-3,
-                        features: Optional[np.ndarray] = None) -> IPWWeights:
+                        features: Optional[np.ndarray] = None,
+                        row_groups: Optional[np.ndarray] = None) -> IPWWeights:
     """Compute IPW weights for ``attribute`` using the listed predictors.
 
     Parameters
@@ -79,6 +80,11 @@ def compute_ipw_weights(frame: EncodedFrame, attribute: str,
         Optional pre-built one-hot feature matrix for ``predictor_columns``
         (the selection models of many attributes share the same predictors,
         so the caller can encode once and reuse).
+    row_groups:
+        Optional per-row id of the distinct predictor-value combination
+        (see :meth:`LogisticRegression.fit`); like ``features`` it is
+        shared across every biased attribute of a query, so the caller
+        computes it once.
     """
     if clip <= 0:
         raise MissingDataError(f"clip must be positive, got {clip}")
@@ -96,7 +102,7 @@ def compute_ipw_weights(frame: EncodedFrame, attribute: str,
     if features is None:
         features = one_hot_encode_codes([frame.codes(column) for column in predictor_columns])
     model = LogisticRegression(l2=l2)
-    model.fit(features, observed.astype(np.float64))
+    model.fit(features, observed.astype(np.float64), row_groups=row_groups)
     predicted = np.clip(model.predict_proba(features), 1e-3, 1.0)
     raw = np.clip(selection_rate / predicted, 0.0, clip)
     weights[observed] = raw[observed]

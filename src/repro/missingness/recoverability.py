@@ -25,6 +25,23 @@ import numpy as np
 
 from repro.infotheory.encoding import EncodedFrame, joint_codes
 from repro.infotheory.independence import conditional_independence_test
+from repro.infotheory.kernel import code_cardinality, fast_independence_test
+
+
+def _independence(x: np.ndarray, y: np.ndarray, conditioning: Sequence[np.ndarray],
+                  use_kernel: bool, **kwargs):
+    """Dispatch one CI test to the kernel or the reference implementation.
+
+    The recoverability conditions only ever condition on a single variable,
+    so the kernel path needs no joint coding — the conditioning codes are
+    their own strata, and verdicts match the reference test exactly.
+    """
+    if not use_kernel:
+        return conditional_independence_test(x, y, conditioning, **kwargs)
+    if not conditioning:
+        return fast_independence_test(x, y, None, **kwargs)
+    z = np.asarray(conditioning[0], dtype=np.int64)
+    return fast_independence_test(x, y, z, n_z=code_cardinality(z), **kwargs)
 
 
 @dataclass(frozen=True)
@@ -62,7 +79,7 @@ def _selection_indicator(frame: EncodedFrame, attribute: str) -> np.ndarray:
 
 def cmi_is_recoverable(frame: EncodedFrame, outcome: str, treatment: str, attribute: str,
                        cmi_threshold: float = 0.02, n_permutations: int = 20,
-                       seed: Optional[int] = 0) -> Dict[str, bool]:
+                       seed: Optional[int] = 0, use_kernel: bool = True) -> Dict[str, bool]:
     """Check the (testable surrogate of the) conditions of Proposition 3.1.
 
     The proposition's conditions condition on ``E`` itself, which cannot be
@@ -81,12 +98,12 @@ def cmi_is_recoverable(frame: EncodedFrame, outcome: str, treatment: str, attrib
     selection = _selection_indicator(frame, attribute)
     outcome_codes = frame.codes(outcome)
     treatment_codes = frame.codes(treatment)
-    first = conditional_independence_test(
-        outcome_codes, selection, [],
+    first = _independence(
+        outcome_codes, selection, [], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
     )
-    second = conditional_independence_test(
-        outcome_codes, selection, [treatment_codes],
+    second = _independence(
+        outcome_codes, selection, [treatment_codes], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
     )
     return {
@@ -98,7 +115,7 @@ def cmi_is_recoverable(frame: EncodedFrame, outcome: str, treatment: str, attrib
 
 def mi_is_recoverable(frame: EncodedFrame, attribute: str, other: str,
                       cmi_threshold: float = 0.02, n_permutations: int = 20,
-                      seed: Optional[int] = 0) -> Dict[str, bool]:
+                      seed: Optional[int] = 0, use_kernel: bool = True) -> Dict[str, bool]:
     """Check the two conditions of Proposition 3.2 for ``I(E; E')``."""
     selection_pair = joint_codes([
         _selection_indicator(frame, attribute),
@@ -106,12 +123,12 @@ def mi_is_recoverable(frame: EncodedFrame, attribute: str, other: str,
     ])
     attribute_codes = frame.codes(attribute)
     other_codes = frame.codes(other)
-    first = conditional_independence_test(
-        attribute_codes, selection_pair, [],
+    first = _independence(
+        attribute_codes, selection_pair, [], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
     )
-    second = conditional_independence_test(
-        attribute_codes, selection_pair, [other_codes],
+    second = _independence(
+        attribute_codes, selection_pair, [other_codes], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
     )
     return {
@@ -124,7 +141,8 @@ def mi_is_recoverable(frame: EncodedFrame, attribute: str, other: str,
 def attribute_selection_bias(frame: EncodedFrame, outcome: str, treatment: str,
                              attribute: str, cmi_threshold: float = 0.02,
                              n_permutations: int = 20,
-                             seed: Optional[int] = 0) -> RecoverabilityReport:
+                             seed: Optional[int] = 0,
+                             use_kernel: bool = True) -> RecoverabilityReport:
     """Full recoverability report for one candidate attribute.
 
     An attribute with no missing values is trivially recoverable.  Otherwise
@@ -141,7 +159,8 @@ def attribute_selection_bias(frame: EncodedFrame, outcome: str, treatment: str,
         )
     verdicts = cmi_is_recoverable(frame, outcome, treatment, attribute,
                                   cmi_threshold=cmi_threshold,
-                                  n_permutations=n_permutations, seed=seed)
+                                  n_permutations=n_permutations, seed=seed,
+                                  use_kernel=use_kernel)
     recoverable = verdicts.pop("recoverable")
     return RecoverabilityReport(
         attribute=attribute,

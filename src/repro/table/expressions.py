@@ -51,8 +51,19 @@ class _AlwaysTrue(Predicate):
     def __repr__(self) -> str:
         return "TRUE"
 
+    def __reduce__(self):
+        # Unpickle to the module singleton: code tests the empty context
+        # with ``query.context is TRUE``, which must keep working for
+        # queries that crossed a process boundary (the parallel batch
+        # executor ships queries to forked workers).
+        return (_resolve_true, ())
+
 
 TRUE = _AlwaysTrue()
+
+
+def _resolve_true() -> "_AlwaysTrue":
+    return TRUE
 
 
 def _column_values(table, column: str):

@@ -8,6 +8,7 @@ which keeps the explanation-search algorithms free of aliasing surprises.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,7 +25,7 @@ class Table:
 
     def __init__(self, columns: Sequence[Column], name: str = "table"):
         names = [column.name for column in columns]
-        duplicates = {n for n in names if names.count(n) > 1}
+        duplicates = {name for name, count in Counter(names).items() if count > 1}
         if duplicates:
             raise SchemaError(f"Duplicate column name(s): {sorted(duplicates)}")
         lengths = {len(column) for column in columns}
