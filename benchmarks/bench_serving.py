@@ -1,0 +1,176 @@
+"""Serving benchmark: cold vs. warm repeated-context batches.
+
+Plays the serving workload the paper's "across many queries" claim is
+about — the same dataset answering batch after batch of queries that share
+contexts — through an :class:`~repro.serving.ExplanationService`:
+
+* **cold** — the first batch: the context is warm (extraction and offline
+  pruning ran at registration, as in any long-lived deployment) but every
+  query pays the full per-query path;
+* **warm repeat** — the identical batch again: answered entirely from the
+  canonical-query-key explanation cache, byte-identical envelopes;
+* **warm same-context** — *new* queries sharing the WHERE clause of the
+  first batch: result-cache misses that hit the context-level encoded-frame
+  cache, so the shared context is filtered and factorised zero extra times.
+
+A verification phase replays every query on a fresh engine pipeline and
+asserts the served envelopes equal the direct results (timings aside).
+
+Writes ``BENCH_serving.json`` (``batch_seconds`` is the cold batch, the
+number ``check_regression.py`` gates) and exits non-zero when the warm
+repeat speedup falls below ``--min-speedup`` (default 5x) or any served
+envelope diverges from the engine.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_serving.py [--out BENCH_serving.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro import __version__
+from repro.datasets.registry import load_dataset
+from repro.engine import ExplanationPipeline
+from repro.mesa.config import MESAConfig
+from repro.query.aggregate_query import AggregateQuery
+from repro.serving import ExplanationService
+from repro.table.expressions import Eq
+
+DATASET = "SO"
+N_ROWS = 1500
+K = 3
+SHARED_CONTEXT = Eq("Continent", "Europe")
+
+
+def repeated_context_queries() -> list:
+    """Two waves of queries sharing one WHERE clause."""
+    first_wave = [
+        AggregateQuery(exposure=exposure, outcome="Salary", aggregate="avg",
+                       context=SHARED_CONTEXT, table_name="SO",
+                       name=f"serve-{exposure}-salary")
+        for exposure in ("Country", "EdLevel", "DevType", "Gender", "Hobby")
+    ]
+    second_wave = [
+        AggregateQuery(exposure=exposure, outcome="YearsCode", aggregate="avg",
+                       context=SHARED_CONTEXT, table_name="SO",
+                       name=f"serve-{exposure}-yearscode")
+        for exposure in ("Country", "EdLevel", "DevType", "Gender", "Hobby")
+    ]
+    return first_wave, second_wave
+
+
+def strip_timings(envelope_dict: dict) -> dict:
+    stripped = json.loads(json.dumps(envelope_dict))
+    stripped["timings"] = None
+    stripped["explanation"]["runtime_seconds"] = None
+    return stripped
+
+
+def run_bench() -> dict:
+    bundle = load_dataset(DATASET, seed=7, n_rows=N_ROWS)
+    config = MESAConfig(excluded_columns=tuple(bundle.id_columns), k=K)
+    first_wave, second_wave = repeated_context_queries()
+
+    service = ExplanationService(cache_size=256, coalesce_window_seconds=0.0)
+    pipeline = service.register_bundle(bundle, config=config)  # warms context
+
+    start = time.perf_counter()
+    cold = service.explain_batch(DATASET, first_wave, k=K)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = service.explain_batch(DATASET, first_wave, k=K)
+    warm_repeat_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    same_context = service.explain_batch(DATASET, second_wave, k=K)
+    warm_same_context_seconds = time.perf_counter() - start
+
+    byte_identical = all(
+        w.cache_hit and w.envelope is c.envelope
+        and w.envelope.to_json(sort_keys=True) == c.envelope.to_json(sort_keys=True)
+        for c, w in zip(cold, warm))
+
+    # Verification: a fresh engine (no serving layer, no shared caches)
+    # must produce the same envelopes for every served query.
+    verify_pipeline = ExplanationPipeline(
+        bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+        config=config)
+    mismatches = []
+    for query, served in zip(first_wave + second_wave, list(cold) + list(same_context)):
+        direct = verify_pipeline.explain(query, k=K).to_envelope()
+        if strip_timings(served.envelope.to_dict()) != strip_timings(direct.to_dict()):
+            mismatches.append(query.label())
+
+    counters = pipeline.context.counters
+    service.close()
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "dataset": DATASET,
+        "n_rows": bundle.table.n_rows,
+        "k": K,
+        "workload": "repeated-context serving batches (shared WHERE clause, "
+                    "warm PipelineContext, coalescing window 0)",
+        "n_queries_per_batch": len(first_wave),
+        "batch_seconds": round(cold_seconds, 6),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_repeat_seconds": round(warm_repeat_seconds, 6),
+        "warm_same_context_seconds": round(warm_same_context_seconds, 6),
+        "warm_repeat_speedup": cold_seconds / max(warm_repeat_seconds, 1e-9),
+        "warm_envelopes_byte_identical": byte_identical,
+        "served_equal_direct": not mismatches,
+        "mismatched_queries": mismatches,
+        "frame_cache": {
+            "hits": counters.get("frame_cache_hits", 0),
+            "misses": counters.get("frame_cache_misses", 0),
+        },
+        "service_cache": {
+            "hits": counters.get("service.cache_hit", 0),
+            "misses": counters.get("service.cache_miss", 0),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serving.json",
+                        help="Path of the JSON artifact")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="Fail when the warm repeat speedup falls below "
+                             "this factor (0 disables the gate)")
+    args = parser.parse_args()
+
+    payload = run_bench()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"Wrote {args.out}: cold {payload['cold_seconds']:.3f}s -> warm repeat "
+          f"{payload['warm_repeat_seconds']:.4f}s "
+          f"({payload['warm_repeat_speedup']:.0f}x), same-context second wave "
+          f"{payload['warm_same_context_seconds']:.3f}s; frame cache "
+          f"{payload['frame_cache']['hits']} hits / "
+          f"{payload['frame_cache']['misses']} misses")
+
+    failures = []
+    if not payload["served_equal_direct"]:
+        failures.append(
+            f"served envelopes diverge from the direct engine results: "
+            f"{payload['mismatched_queries']}")
+    if not payload["warm_envelopes_byte_identical"]:
+        failures.append("warm repeats were not byte-identical cache hits")
+    if args.min_speedup > 0 and payload["warm_repeat_speedup"] < args.min_speedup:
+        failures.append(
+            f"warm repeat speedup {payload['warm_repeat_speedup']:.2f}x is "
+            f"below the {args.min_speedup:.1f}x gate")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

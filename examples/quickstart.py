@@ -75,6 +75,21 @@ def main() -> None:
     print(f"Parallel batch: {len(parallel)} queries over "
           f"{pipeline.context.counters['parallel_workers']} workers")
 
+    # 6. Serving: wrap the warm context in an ExplanationService — repeated
+    #    requests are answered byte-identically from the explanation cache,
+    #    and concurrent misses coalesce into single engine batches.  (The
+    #    HTTP form of this is `python -m repro.serving --dataset SO`; see
+    #    examples/serve_stackoverflow.py for the full tour.)
+    from repro.serving import ExplanationService
+
+    with ExplanationService(cache_size=1024) as service:
+        service.register("covid", pipeline, warm=False)
+        served = service.explain("covid", query, k=3)
+        repeat = service.explain("covid", query, k=3)
+        print(f"Service: first request cache_hit={served.cache_hit}, "
+              f"repeat cache_hit={repeat.cache_hit} "
+              f"(same envelope: {repeat.envelope is served.envelope})")
+
     print()
     print("Interpretation: the death-rate differences between countries are")
     print("largely explained by country development (HDI / GDP, mined from the")

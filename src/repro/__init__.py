@@ -60,10 +60,38 @@ fast paths:
   APIs.  ``pipeline.explain_many(queries, n_jobs=4)`` runs thread workers
   over forked contexts and returns full results;
   ``pipeline.explain_many_envelopes(queries, n_jobs=4)`` with
-  ``parallel_backend="process"`` forks OS processes and ships
-  JSON-serializable envelopes back (the form a serving tier or result
-  cache should consume).  Worker cache counters merge back into
-  ``pipeline.context.counters`` either way.
+  ``parallel_backend="process"`` forks OS processes and ships each chunk
+  of JSON-serializable envelopes back as one compact blob (the form a
+  serving tier or result cache should consume).  Worker cache counters
+  merge back into ``pipeline.context.counters`` either way.
+
+Repeated-context queries additionally hit the context-level encoded-frame
+cache (``PipelineContext.context_frame``): two queries sharing a WHERE
+clause filter the table and factorise each column only once.
+
+Serving
+-------
+
+The serving layer (:mod:`repro.serving`) turns the engine into a
+long-lived service — the shape a production deployment under heavy query
+traffic takes:
+
+>>> from repro.serving import ExplanationService
+>>> service = ExplanationService(cache_size=4096, ttl_seconds=None)
+>>> service.register_bundle(load_dataset("SO"))      # doctest: +SKIP
+>>> served = service.explain("SO", query)            # doctest: +SKIP
+>>> served.envelope.to_json()                        # doctest: +SKIP
+
+An :class:`~repro.serving.ExplanationService` keeps one warm
+:class:`PipelineContext` per registered dataset, caches envelopes under a
+canonical query key (bounded LRU + optional TTL; repeats serialize
+byte-identically), and funnels cache misses through a per-dataset
+micro-batcher that coalesces concurrent requests into single engine
+batches and deduplicates identical in-flight queries.  A stdlib
+JSON-over-HTTP front end (``python -m repro.serving --dataset SO``)
+exposes ``POST /explain``, ``POST /explain_batch``, ``GET /stats`` and
+``GET /healthz`` with strict request validation mapped to HTTP 400s.
+See ``examples/serve_stackoverflow.py`` for an end-to-end tour.
 
 Migration note
 --------------

@@ -66,7 +66,14 @@ class CorrelationExplanationProblem:
         table to adopt instead of encoding from scratch.  The engine passes
         the first problem instance's frame when it rebuilds the problem
         with IPW weights, so every column is factorised at most once per
-        query.
+        query — and the :class:`~repro.engine.context.PipelineContext`
+        frame cache passes it across queries sharing a context, so every
+        column is factorised at most once per *context*.
+    context_table:
+        The context-restricted table the adopted ``frame`` encodes.  When
+        given, the constructor skips re-applying the query context (the
+        caller — the pipeline's frame cache — already filtered the rows).
+        Must be passed together with ``frame``.
     """
 
     #: Bound on the cached fused conditioning-code arrays (LRU); each entry
@@ -76,8 +83,13 @@ class CorrelationExplanationProblem:
     def __init__(self, table: Table, query: AggregateQuery, candidates: Sequence[str],
                  attribute_weights: Optional[Dict[str, np.ndarray]] = None,
                  n_bins: int = DEFAULT_BINS, use_kernel: bool = True,
-                 frame: Optional[EncodedFrame] = None):
+                 frame: Optional[EncodedFrame] = None,
+                 context_table: Optional[Table] = None):
         query.validate_against(table)
+        if context_table is not None and frame is None:
+            raise ExplanationError(
+                "context_table adoption requires the matching encoded frame"
+            )
         missing = [name for name in candidates if name not in table]
         if missing:
             raise ExplanationError(
@@ -91,7 +103,8 @@ class CorrelationExplanationProblem:
             )
         self.query = query
         self.full_table = table
-        self.context_table = query.apply_context(table)
+        self.context_table = context_table if context_table is not None \
+            else query.apply_context(table)
         if self.context_table.n_rows == 0:
             raise ExplanationError(
                 f"The query context {query.context!r} selects no rows"

@@ -9,6 +9,11 @@ pre-processing phase, generalised:
   extracted attribute), keyed by the number of KG hops;
 * the **offline-pruning cache** — the query-independent pruning verdict for
   every column of the augmented table, keyed by the pruning thresholds;
+* the **encoded-frame cache** — the context-restricted table and its
+  :class:`~repro.infotheory.encoding.EncodedFrame`, keyed by
+  ``(hops, n_bins, canonical context predicate)``, so two queries sharing a
+  WHERE clause factorise each column once — the common serving shape
+  (repeated-context batches) skips re-encoding entirely;
 * **counters** — how often each expensive phase actually ran (cache misses),
   which the batch API's tests and the benchmarks assert against;
 * **stage instrumentation** — cumulative per-stage wall-clock seconds and
@@ -22,12 +27,16 @@ the cached artefact depends on.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pruning import PruningResult, offline_prune
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, QueryError
+from repro.infotheory.encoding import EncodedFrame
 from repro.kg.extraction import AttributeExtractor, ExtractionResult
 from repro.kg.graph import KnowledgeGraph
+from repro.table.expressions import Predicate, canonical_predicate_key
 from repro.table.table import Table
 
 
@@ -61,6 +70,10 @@ class PipelineContext:
         :class:`repro.datasets.registry.ExtractionSpec`).
     """
 
+    #: Bound on the encoded-frame cache (LRU): each entry holds one
+    #: context-restricted table plus its lazily-encoded columns.
+    MAX_FRAME_CACHE = 32
+
     def __init__(self, table: Table, knowledge_graph: Optional[KnowledgeGraph] = None,
                  extraction_specs: Sequence = ()):
         self.table = table
@@ -72,16 +85,23 @@ class PipelineContext:
             )
         self.counters: Dict[str, int] = {}
         self.stage_seconds: Dict[str, float] = {}
+        # Counters are written from serving threads (cache verdicts) and
+        # batch workers concurrently; the read-modify-write increments and
+        # the observability snapshots need a lock to stay exact.
+        self._counter_lock = threading.Lock()
         self.hooks: List[StageHook] = []
         self._extraction: Dict[int, Tuple[Table, Tuple[ExtractionResult, ...]]] = {}
         self._offline: Dict[Tuple[int, float, float], PruningResult] = {}
+        self._frames: "OrderedDict[Tuple[int, int, str], Tuple[Table, EncodedFrame]]" = \
+            OrderedDict()
 
     # ------------------------------------------------------------------ #
     # counters and hooks
     # ------------------------------------------------------------------ #
     def count(self, name: str, increment: int = 1) -> None:
         """Increment a named counter (cache misses, stage runs, queries)."""
-        self.counters[name] = self.counters.get(name, 0) + increment
+        with self._counter_lock:
+            self.counters[name] = self.counters.get(name, 0) + increment
 
     def merge_counters(self, counters: Dict[str, int],
                        stage_seconds: Optional[Dict[str, float]] = None) -> None:
@@ -92,24 +112,37 @@ class PipelineContext:
         back here so ``context.counters`` stays the single source of truth
         for batch observability.
         """
-        for name, increment in counters.items():
-            self.count(name, increment)
-        if stage_seconds:
-            for name, seconds in stage_seconds.items():
-                self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+        with self._counter_lock:
+            for name, increment in counters.items():
+                self.counters[name] = self.counters.get(name, 0) + increment
+            if stage_seconds:
+                for name, seconds in stage_seconds.items():
+                    self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+
+    def observability_snapshot(self) -> Tuple[Dict[str, int], Dict[str, float]]:
+        """A consistent ``(counters, stage_seconds)`` copy.
+
+        Observability readers (``GET /stats``) must not iterate the live
+        dicts while a worker inserts a first-time key.
+        """
+        with self._counter_lock:
+            return dict(self.counters), dict(self.stage_seconds)
 
     def fork(self) -> "PipelineContext":
         """A worker context: same dataset, warmed caches, private counters.
 
-        The expensive cross-query artefacts (the augmented table and the
-        offline-pruning verdicts) are shared by reference — they are
-        immutable once built — while counters, timings and hooks start
-        empty so concurrent workers never write to shared state.
+        The expensive cross-query artefacts are shared by reference —
+        the augmented table and the offline-pruning verdicts are immutable
+        once built, and the encoded frames only *accumulate* deterministic
+        per-column encodings (safe to race: the worst case is a redundant
+        encode, never a wrong value) — while counters, timings and hooks
+        start empty so concurrent workers never write to shared state.
         """
         forked = PipelineContext(self.table, self.knowledge_graph,
                                  self.extraction_specs)
         forked._extraction = dict(self._extraction)
         forked._offline = dict(self._offline)
+        forked._frames = OrderedDict(self._frames)
         return forked
 
     def add_hook(self, hook: StageHook) -> None:
@@ -123,7 +156,9 @@ class PipelineContext:
 
     def notify_stage_end(self, stage_name: str, state, seconds: float) -> None:
         """Record the stage duration and fire ``on_stage_end`` hooks."""
-        self.stage_seconds[stage_name] = self.stage_seconds.get(stage_name, 0.0) + seconds
+        with self._counter_lock:
+            self.stage_seconds[stage_name] = \
+                self.stage_seconds.get(stage_name, 0.0) + seconds
         for hook in self.hooks:
             hook.on_stage_end(stage_name, state, seconds)
 
@@ -191,3 +226,38 @@ class PipelineContext:
         dropped = {name: cached.dropped[name] for name in candidates
                    if name in cached.dropped}
         return PruningResult(kept=kept, dropped=dropped)
+
+    # ------------------------------------------------------------------ #
+    # encoded-frame cache (across queries)
+    # ------------------------------------------------------------------ #
+    def context_frame(self, context: Predicate, *, hops: int = 1,
+                      n_bins: int = 8) -> Tuple[Table, EncodedFrame]:
+        """The context-restricted augmented table and its encoded frame.
+
+        Keyed by ``(hops, n_bins, canonical context predicate)`` and bounded
+        (LRU), so any number of queries sharing a WHERE clause filter the
+        table once and factorise each column at most once — the repeated
+        context batch, the common serving shape, pays the encoding cost only
+        on its first query.  Frames encode lazily, so a cache hit also
+        inherits every column the earlier queries already touched.
+        """
+        key = (hops, n_bins, canonical_predicate_key(context))
+        entry = self._frames.get(key)
+        if entry is not None:
+            self._frames.move_to_end(key)
+            self.count("frame_cache_hits")
+            return entry
+        self.count("frame_cache_misses")
+        augmented = self.augmented_table(hops)
+        missing = [name for name in sorted(context.columns())
+                   if name not in augmented]
+        if missing:
+            raise QueryError(
+                f"Query context references missing column(s) {missing}; "
+                f"the augmented table has {augmented.column_names}")
+        context_table = augmented.filter(context)
+        entry = (context_table, EncodedFrame(context_table, n_bins=n_bins))
+        self._frames[key] = entry
+        while len(self._frames) > self.MAX_FRAME_CACHE:
+            self._frames.popitem(last=False)
+        return entry

@@ -134,9 +134,16 @@ class OnlinePruningStage(PipelineStage):
     def run(self, state: QueryState, context: PipelineContext) -> None:
         config = state.config
         with state.timer.measure("problem"):
+            # The context-restricted table and its encoded columns are
+            # cached per (hops, n_bins, canonical context) on the pipeline
+            # context, so repeated-context queries skip the row filter and
+            # every re-factorisation.
+            context_table, frame = context.context_frame(
+                state.query.context, hops=config.hops, n_bins=config.n_bins)
             state.problem = CorrelationExplanationProblem(
                 state.augmented, state.query, state.candidates, n_bins=config.n_bins,
                 use_kernel=config.use_fast_kernel,
+                frame=frame, context_table=context_table,
             )
         with state.timer.measure("online_pruning"):
             if config.use_online_pruning:
@@ -170,9 +177,10 @@ class SelectionBiasStage(PipelineStage):
                         n_bins=config.n_bins,
                         use_kernel=config.use_fast_kernel,
                         # The weighted rebuild covers the same context rows;
-                        # adopting the frame keeps every column factorised at
-                        # most once per query (fast-subsystem behaviour).
-                        frame=state.problem.frame if config.use_fast_kernel else None,
+                        # adopting the frame and table keeps every column
+                        # factorised (and the context filtered) at most once.
+                        frame=state.problem.frame,
+                        context_table=state.problem.context_table,
                     )
             # Narrow the problem to the surviving candidates; the CMI caches
             # are shared, so this is free.

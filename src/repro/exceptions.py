@@ -56,3 +56,21 @@ class ExplanationError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration object contains invalid settings."""
+
+
+class RequestValidationError(ReproError):
+    """A serving-layer request payload failed strict validation.
+
+    The HTTP front end maps this (and :class:`QueryError`) to a 400
+    response whose body lists ``errors``.
+    """
+
+    def __init__(self, errors):
+        if isinstance(errors, str):
+            errors = [errors]
+        self.errors = list(errors)
+        super().__init__("; ".join(self.errors))
+
+
+class DatasetNotRegisteredError(ReproError):
+    """A request named a dataset the service has not registered (HTTP 404)."""

@@ -105,8 +105,14 @@ class EncodedFrame:
             codes, categories = encode_column(
                 self.table.column(column_name), n_bins=self.n_bins, strategy=self.strategy
             )
-            self._codes[column_name] = codes
+            # Categories first: frames are shared across threads (the
+            # context-level frame cache hands one frame to every worker
+            # pipeline), and a concurrent reader that observes the codes
+            # entry must be able to rely on the categories entry existing.
+            # A lost double-encode is harmless — the encoding is
+            # deterministic — but a missing categories entry is a KeyError.
             self._categories[column_name] = categories
+            self._codes[column_name] = codes
         codes = self._codes[column_name]
         if missing_as_category and (codes < 0).any():
             # Memoised: the explanation search requests the conditioning

@@ -1,0 +1,60 @@
+"""The serving layer: explanation-as-a-service over the engine.
+
+This package turns the explanation engine into a long-lived, cache-warm,
+concurrency-safe service — the answer to "heavy traffic" workloads where
+the same datasets and often the same (or same-context) queries arrive
+continuously:
+
+* :class:`ExplanationService` (:mod:`repro.serving.service`) — one warm
+  :class:`~repro.engine.context.PipelineContext` per registered dataset, a
+  canonical-query-key explanation cache (bounded LRU + optional TTL) that
+  serves byte-identical envelopes on repeats, and per-dataset request
+  coalescing;
+* :class:`MicroBatcher` (:mod:`repro.serving.batcher`) — collects
+  concurrent requests within a small window into single
+  ``explain_many_envelopes`` calls and deduplicates identical in-flight
+  queries down to one execution;
+* :class:`TTLCache` (:mod:`repro.serving.cache`) — the bounded, thread-safe
+  LRU/TTL store behind the explanation cache;
+* the HTTP front end (:mod:`repro.serving.http`) — a stdlib
+  ``ThreadingHTTPServer`` JSON API (``POST /explain``,
+  ``POST /explain_batch``, ``GET /stats``, ``GET /healthz``) with strict
+  request validation (:mod:`repro.serving.schema`) mapped to 400s;
+* a CLI — ``python -m repro.serving --dataset SO`` loads a dataset from
+  the registry, warms the context and serves.
+
+Quick use::
+
+    from repro import load_dataset
+    from repro.serving import ExplanationService
+
+    service = ExplanationService(cache_size=4096)
+    service.register_bundle(load_dataset("SO"))
+    served = service.explain("SO", query)      # ServedExplanation
+    served.envelope.to_json()                  # canonical result JSON
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import TTLCache
+from repro.serving.http import ExplanationHTTPServer, make_server, serve_forever
+from repro.serving.schema import (
+    API_SCHEMA_VERSION,
+    BatchExplainRequest,
+    ExplainRequest,
+    ExplainResponse,
+)
+from repro.serving.service import ExplanationService, ServedExplanation
+
+__all__ = [
+    "API_SCHEMA_VERSION",
+    "BatchExplainRequest",
+    "ExplainRequest",
+    "ExplainResponse",
+    "ExplanationHTTPServer",
+    "ExplanationService",
+    "MicroBatcher",
+    "ServedExplanation",
+    "TTLCache",
+    "make_server",
+    "serve_forever",
+]

@@ -1,0 +1,70 @@
+"""``python -m repro.serving`` — serve a registry dataset over HTTP.
+
+Loads one of the evaluation datasets (synthetic table + knowledge graph)
+from :mod:`repro.datasets.registry`, registers it on a fresh
+:class:`~repro.serving.service.ExplanationService` (warming the cross-query
+caches up front) and serves the JSON API until interrupted::
+
+    PYTHONPATH=src python -m repro.serving --dataset SO --port 8080
+
+    curl -s localhost:8080/healthz
+    curl -s -X POST localhost:8080/explain -d '{
+        "dataset": "SO",
+        "sql": "SELECT Country, avg(Salary) FROM SO GROUP BY Country",
+        "k": 3
+    }'
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.datasets.registry import DATASET_NAMES, load_dataset
+from repro.engine.config import MESAConfig
+from repro.serving.http import serve_forever
+from repro.serving.service import ExplanationService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--dataset", choices=DATASET_NAMES, action="append",
+                        dest="datasets", default=None,
+                        help="Dataset(s) to register (repeatable; default SO)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="Row count for the row-parameterised datasets")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="Generator seed for the synthetic data")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="Listen port (0 picks a free one)")
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="Bound on the explanation cache")
+    parser.add_argument("--ttl", type=float, default=None,
+                        help="Optional TTL (seconds) for cached explanations")
+    parser.add_argument("--coalesce-window", type=float, default=0.005,
+                        help="Micro-batching window in seconds")
+    parser.add_argument("--n-jobs", type=int, default=1,
+                        help="Engine workers per coalesced batch (-1 = all CPUs)")
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    datasets = args.datasets or ["SO"]
+    service = ExplanationService(
+        cache_size=args.cache_size, ttl_seconds=args.ttl,
+        coalesce_window_seconds=args.coalesce_window)
+    for name in dict.fromkeys(datasets):
+        bundle = load_dataset(name, seed=args.seed, n_rows=args.rows)
+        config = MESAConfig(excluded_columns=tuple(bundle.id_columns),
+                            n_jobs=args.n_jobs)
+        print(f"Registering {name} ({bundle.table.n_rows} rows) and warming "
+              f"the cross-query caches ...")
+        service.register_bundle(bundle, config=config)
+    serve_forever(service, host=args.host, port=args.port)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,211 @@
+"""Micro-batching of concurrent explanation requests.
+
+Under concurrent traffic the cheapest query plan is rarely "run each request
+the moment it arrives": requests that share a dataset can amortise the
+per-batch engine work (`explain_many` runs extraction and offline pruning
+once, and fans out over workers), and *identical* concurrent requests
+should run once, not N times.  A :class:`MicroBatcher` therefore:
+
+* **coalesces** — requests arriving within a configurable window (a few
+  milliseconds) are collected into one batch and executed by a single
+  ``explain_many``-shaped runner call;
+* **deduplicates in flight** — a request whose canonical key is already
+  pending or executing attaches to the existing future instead of enqueuing
+  a duplicate, so a thundering herd of the same query costs one execution.
+
+The batcher owns one daemon worker thread, started lazily on the first
+submission; ``close()`` drains and stops it.  Results are delivered through
+``concurrent.futures.Future`` objects, so callers may block (``result()``)
+or compose callbacks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: runner(queries, k) -> one result per query, in order.
+BatchRunner = Callable[[Sequence, Optional[int]], Sequence]
+
+
+@dataclass
+class _Pending:
+    """One enqueued request waiting for its batch to flush."""
+
+    key: Hashable
+    query: object
+    k: Optional[int]
+    future: "Future" = field(default_factory=Future)
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into deduplicated engine batches.
+
+    Parameters
+    ----------
+    runner:
+        Executes one batch: ``runner(queries, k)`` must return one result
+        per query, in order (the service passes the pipeline's
+        ``explain_many``-shaped closure).
+    window_seconds:
+        How long the worker waits after the first request of a batch for
+        more requests to coalesce.  ``0`` still batches whatever arrives
+        while a previous batch is executing.
+    max_batch:
+        Flush early once this many distinct requests are pending.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(self, runner: BatchRunner, window_seconds: float = 0.005,
+                 max_batch: int = 64,
+                 clock: Callable[[], float] = time.monotonic):
+        if window_seconds < 0:
+            raise ConfigurationError(
+                f"window_seconds must be >= 0, got {window_seconds}")
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self._runner = runner
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: List[_Pending] = []
+        self._first_enqueued_at: Optional[float] = None
+        self._inflight: Dict[Hashable, Future] = {}
+        self._worker: Optional[threading.Thread] = None
+        self._closed = False
+        self.batches_executed = 0
+        self.requests_submitted = 0
+        self.requests_deduplicated = 0
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, key: Hashable, query,
+               k: Optional[int] = None) -> Tuple[Future, bool]:
+        """Enqueue a request; returns ``(future, attached)``.
+
+        ``attached`` is True when an identical request (same ``key``) was
+        already pending or executing and this submission joined its future
+        instead of enqueuing a duplicate.  The result object behind a
+        shared future is therefore shared too — envelopes are immutable,
+        so the service serves it as-is.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("MicroBatcher is closed")
+            self.requests_submitted += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.requests_deduplicated += 1
+                return existing, True
+            pending = _Pending(key=key, query=query, k=k)
+            self._inflight[key] = pending.future
+            self._pending.append(pending)
+            if self._first_enqueued_at is None:
+                self._first_enqueued_at = self._clock()
+            self._ensure_worker()
+            self._wakeup.notify_all()
+            return pending.future, False
+
+    # ------------------------------------------------------------------ #
+    # worker
+    # ------------------------------------------------------------------ #
+    def _ensure_worker(self) -> None:
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._run, name="repro-serving-batcher", daemon=True)
+            self._worker.start()
+
+    def _take_batch(self) -> Optional[List[_Pending]]:
+        """Block until a batch is ready (window elapsed / full / closing)."""
+        with self._lock:
+            while True:
+                if self._pending:
+                    elapsed = self._clock() - self._first_enqueued_at
+                    remaining = self.window_seconds - elapsed
+                    if remaining <= 0 or len(self._pending) >= self.max_batch \
+                            or self._closed:
+                        batch = self._pending
+                        self._pending = []
+                        self._first_enqueued_at = None
+                        return batch
+                    self._wakeup.wait(timeout=remaining)
+                elif self._closed:
+                    return None
+                else:
+                    self._wakeup.wait()
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: List[_Pending]) -> None:
+        # Group by k: the engine's batch API applies one k to the whole
+        # call, so requests with different explanation-size budgets run as
+        # separate sub-batches.
+        by_k: Dict[Optional[int], List[_Pending]] = {}
+        for pending in batch:
+            by_k.setdefault(pending.k, []).append(pending)
+        for k, group in by_k.items():
+            try:
+                results = self._runner([pending.query for pending in group], k)
+                if len(results) != len(group):  # pragma: no cover - defensive
+                    raise ConfigurationError(
+                        f"batch runner returned {len(results)} results "
+                        f"for {len(group)} queries")
+            except BaseException as exc:  # propagate to every waiter
+                with self._lock:
+                    for pending in group:
+                        self._inflight.pop(pending.key, None)
+                for pending in group:
+                    pending.future.set_exception(exc)
+                continue
+            # Unregister before resolving: a submitter observing the
+            # resolved future must be able to enqueue a fresh run.
+            with self._lock:
+                for pending in group:
+                    self._inflight.pop(pending.key, None)
+            for pending, result in zip(group, results):
+                pending.future.set_result(result)
+            self.batches_executed += 1
+
+    # ------------------------------------------------------------------ #
+    # lifecycle and observability
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Flush pending requests and stop the worker thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._wakeup.notify_all()
+            worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Submission/dedup/batch counters (point-in-time snapshot)."""
+        with self._lock:
+            return {
+                "requests_submitted": self.requests_submitted,
+                "requests_deduplicated": self.requests_deduplicated,
+                "batches_executed": self.batches_executed,
+                "pending": len(self._pending),
+            }

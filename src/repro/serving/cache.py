@@ -1,0 +1,107 @@
+"""A bounded, thread-safe LRU cache with optional per-entry TTL.
+
+The serving layer's explanation cache: keys are canonical query keys and
+values are :class:`~repro.engine.envelope.ExplanationEnvelope` objects.  The
+cache returns the *same* value object on every hit, which is what makes a
+repeated request byte-identical — the service serializes the cached envelope
+again, not a recomputed one.
+
+The clock is injectable so the TTL behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+class TTLCache:
+    """Bounded LRU mapping with an optional time-to-live per entry.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on the number of live entries; inserting past the bound
+        evicts the least recently used entry.
+    ttl_seconds:
+        Optional expiry: entries older than this many seconds (by the
+        injected clock) behave as absent and are evicted on access.
+        ``None`` disables expiry.
+    clock:
+        Monotonic time source; injectable for tests.
+    """
+
+    def __init__(self, max_entries: int = 1024,
+                 ttl_seconds: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ConfigurationError(
+                f"ttl_seconds must be positive (or None), got {ttl_seconds}")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[float, Any]]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.get(key) is not None
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or ``None`` on a miss or an expired entry."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stored_at, value = entry
+            if self.ttl_seconds is not None and \
+                    self._clock() - stored_at > self.ttl_seconds:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries past the bound."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (self._clock(), value)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/expiration counters plus the current size."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }

@@ -1,0 +1,241 @@
+"""JSON-over-HTTP front end for the :class:`ExplanationService`.
+
+A deliberately dependency-free server on the stdlib's
+:class:`~http.server.ThreadingHTTPServer` — one OS thread per connection,
+which is exactly the traffic shape the service layer is built for: threads
+hit the explanation cache concurrently and funnel misses into the
+per-dataset micro-batcher.
+
+Endpoints
+---------
+
+``POST /explain``
+    Body: ``{"dataset": ..., ...query fields...}`` (see
+    :class:`~repro.serving.schema.ExplainRequest`).  Returns the envelope
+    JSON wrapped with cache metadata.
+``POST /explain_batch``
+    Body: ``{"dataset": ..., "queries": [...], "k": ...}``.  Returns
+    ``{"results": [...]}`` in request order.
+``GET /stats``
+    Service observability snapshot: cache hit rates, batcher coalescing
+    counters, per-dataset engine counters.
+``GET /healthz``
+    Liveness probe: ``{"status": "ok", "datasets": [...]}``.
+
+Errors map to JSON bodies with an ``errors`` list: 400 for validation and
+query errors, 404 for unknown datasets and routes, 500 for engine failures.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import __version__
+from repro.exceptions import (
+    DatasetNotRegisteredError,
+    ExplanationError,
+    QueryError,
+    RequestValidationError,
+)
+from repro.serving.schema import (
+    API_SCHEMA_VERSION,
+    BatchExplainRequest,
+    ExplainRequest,
+    ExplainResponse,
+)
+from repro.serving.service import ExplanationService, ServedExplanation
+
+#: Request bodies past this size are rejected with 413 before reading.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _HTTPFault(Exception):
+    """An error response decided before the request body was consumed.
+
+    ``close`` marks the connection as non-reusable: on HTTP/1.1 keep-alive
+    an unread body would otherwise be parsed as the next request line.
+    """
+
+    def __init__(self, status: int, message: str, close: bool = False):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.close = close
+
+
+def _served_to_dict(served: ServedExplanation) -> Dict[str, Any]:
+    return ExplainResponse(
+        dataset=served.dataset,
+        envelope_dict=served.envelope.to_dict(),
+        cache_hit=served.cache_hit,
+        coalesced=served.coalesced,
+    ).to_dict()
+
+
+class ExplanationRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the server's :class:`ExplanationService`."""
+
+    server_version = f"repro-serving/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/healthz":
+                self._respond(200, {"status": "ok",
+                                    "version": __version__,
+                                    "datasets": self._service.datasets()})
+            elif path == "/stats":
+                self._respond(200, self._service.stats())
+            else:
+                self._respond(404, {"errors": [f"no such endpoint: GET {path}"]})
+        except Exception as exc:  # snapshot failures must answer, not abort
+            self._respond(500, {"errors": [f"{type(exc).__name__}: {exc}"]})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = self.path.split("?", 1)[0]
+        if path == "/explain":
+            self._handle(self._explain)
+        elif path == "/explain_batch":
+            self._handle(self._explain_batch)
+        else:
+            self._respond(404, {"errors": [f"no such endpoint: POST {path}"]})
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def _explain(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        dataset, body = self._split_dataset(payload)
+        request = ExplainRequest.from_dict(body)
+        served = self._service.explain(dataset, request.query, k=request.k)
+        return 200, _served_to_dict(served)
+
+    def _explain_batch(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        dataset, body = self._split_dataset(payload)
+        batch = BatchExplainRequest.from_dict(body)
+        # Group by resolved k (the engine batch API applies one k per
+        # call) while preserving request order in the response.
+        by_k: Dict[Optional[int], List[int]] = {}
+        for index, request in enumerate(batch.requests):
+            by_k.setdefault(request.k if request.k is not None else batch.k,
+                            []).append(index)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(batch.requests)
+        for k, indices in by_k.items():
+            served = self._service.explain_batch(
+                dataset, [batch.requests[i].query for i in indices], k=k)
+            for index, one in zip(indices, served):
+                results[index] = _served_to_dict(one)
+        return 200, {"api_schema_version": API_SCHEMA_VERSION,
+                     "dataset": dataset, "results": results}
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def _service(self) -> ExplanationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    @staticmethod
+    def _split_dataset(payload: Any) -> Tuple[str, Dict[str, Any]]:
+        """Pop the ``dataset`` field off a request body (strictly)."""
+        if not isinstance(payload, dict):
+            raise RequestValidationError(
+                f"request body must be a JSON object, got {type(payload).__name__}")
+        dataset = payload.get("dataset")
+        if not isinstance(dataset, str) or not dataset:
+            raise RequestValidationError("dataset must be a non-empty string")
+        body = {key: value for key, value in payload.items() if key != "dataset"}
+        return dataset, body
+
+    def _read_json_body(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            # The body (if any) was not read; this connection cannot be
+            # reused for a next request.
+            raise _HTTPFault(
+                400, "a JSON body with a Content-Length header is required",
+                close=True)
+        if length > MAX_BODY_BYTES:
+            raise _HTTPFault(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{MAX_BODY_BYTES}-byte limit", close=True)
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestValidationError(f"request body is not valid JSON: {exc}")
+
+    def _handle(self, endpoint) -> None:
+        try:
+            payload = self._read_json_body()
+            status, body = endpoint(payload)
+        except _HTTPFault as fault:
+            if fault.close:
+                self.close_connection = True
+            status, body = fault.status, {"errors": [fault.message]}
+        except RequestValidationError as exc:
+            status, body = 400, {"errors": exc.errors}
+        except (QueryError, ExplanationError) as exc:
+            # On the serving path both are client-input errors: malformed
+            # queries, contexts selecting zero rows, candidate misuse.
+            status, body = 400, {"errors": [str(exc)]}
+        except DatasetNotRegisteredError as exc:
+            status, body = 404, {"errors": [str(exc)]}
+        except Exception as exc:  # engine failures must not kill the thread
+            status, body = 500, {"errors": [f"{type(exc).__name__}: {exc}"]}
+        self._respond(status, body)
+
+    def _respond(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "quiet", False):  # pragma: no cover
+            return
+        super().log_message(format, *args)
+
+
+class ExplanationHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ExplanationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: ExplanationService,
+                 quiet: bool = True):
+        super().__init__(address, ExplanationRequestHandler)
+        self.service = service
+        self.quiet = quiet
+
+
+def make_server(service: ExplanationService, host: str = "127.0.0.1",
+                port: int = 8080, quiet: bool = True) -> ExplanationHTTPServer:
+    """Bind an :class:`ExplanationHTTPServer` (``port=0`` picks a free port)."""
+    return ExplanationHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve_forever(service: ExplanationService, host: str = "127.0.0.1",
+                  port: int = 8080, quiet: bool = False) -> None:
+    """Blocking convenience entry point (used by ``python -m repro.serving``)."""
+    server = make_server(service, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serving {service.datasets()} on http://{bound_host}:{bound_port} "
+          f"(POST /explain, POST /explain_batch, GET /stats, GET /healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()

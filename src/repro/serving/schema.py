@@ -1,0 +1,263 @@
+"""Request/response schema of the JSON-over-HTTP serving API.
+
+Requests are plain JSON objects parsed into small dataclasses with *strict*
+validation — unknown fields, wrong types and malformed context clauses all
+raise :class:`~repro.exceptions.RequestValidationError`, which the HTTP
+front end maps to a 400 response listing every problem found.  Responses
+reuse the engine's canonical envelope JSON
+(:meth:`~repro.engine.envelope.ExplanationEnvelope.to_dict`) wrapped in a
+thin metadata layer (dataset, cache verdict).
+
+A query can be stated either as the paper's SQL form (``"sql": "SELECT
+Country, avg(Salary) FROM SO GROUP BY Country"``) or structurally::
+
+    {
+      "exposure": "Country",
+      "outcome": "Salary",
+      "aggregate": "avg",
+      "context": [{"column": "Continent", "op": "eq", "value": "Europe"}],
+      "k": 3
+    }
+
+Context clauses are ANDed; supported ops are ``eq``, ``ne``, ``in``,
+``gt``, ``ge``, ``lt``, ``le``, ``between``, ``is_null`` and ``not_null``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import QueryError, RequestValidationError
+from repro.query.aggregate_query import AggregateQuery
+from repro.query.parser import parse_query
+from repro.table.expressions import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotNull,
+    Predicate,
+    TRUE,
+)
+
+#: Bumped whenever the request/response layout changes incompatibly.
+API_SCHEMA_VERSION = 1
+
+_EXPLAIN_FIELDS = frozenset(
+    {"sql", "exposure", "outcome", "aggregate", "context", "k", "name",
+     "table_name"})
+_BATCH_FIELDS = frozenset({"queries", "k"})
+
+#: op name -> (predicate factory, required value fields)
+_COMPARISONS = {
+    "eq": Eq, "ne": Ne, "gt": Gt, "ge": Ge, "lt": Lt, "le": Le,
+}
+
+
+def _require_mapping(payload: Any, what: str) -> Mapping:
+    if not isinstance(payload, Mapping):
+        raise RequestValidationError(
+            f"{what} must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _clause_predicate(clause: Any, errors: List[str], position: int) -> Optional[Predicate]:
+    """Parse one context clause dict into a predicate (collecting errors)."""
+    label = f"context[{position}]"
+    if not isinstance(clause, Mapping):
+        errors.append(f"{label} must be an object, got {type(clause).__name__}")
+        return None
+    column = clause.get("column")
+    if not isinstance(column, str) or not column:
+        errors.append(f"{label}.column must be a non-empty string")
+        return None
+    op = clause.get("op", "eq")
+    negate = clause.get("negate", False)
+    if not isinstance(negate, bool):
+        errors.append(f"{label}.negate must be a boolean")
+        return None
+    known = {"column", "op", "value", "values", "low", "high", "negate"}
+    unknown = sorted(set(clause) - known)
+    if unknown:
+        errors.append(f"{label} has unknown field(s) {unknown}")
+        return None
+    predicate: Optional[Predicate] = None
+    if op in _COMPARISONS:
+        if "value" not in clause:
+            errors.append(f"{label} with op {op!r} requires a 'value'")
+            return None
+        value = clause["value"]
+        if op != "eq" and op != "ne" and not isinstance(value, (int, float)):
+            errors.append(f"{label} with op {op!r} requires a numeric 'value'")
+            return None
+        predicate = _COMPARISONS[op](column, value)
+    elif op == "in":
+        values = clause.get("values")
+        if not isinstance(values, (list, tuple)) or not values:
+            errors.append(f"{label} with op 'in' requires a non-empty 'values' list")
+            return None
+        predicate = In(column, values)
+    elif op == "between":
+        low, high = clause.get("low"), clause.get("high")
+        if not isinstance(low, (int, float)) or not isinstance(high, (int, float)):
+            errors.append(f"{label} with op 'between' requires numeric 'low' and 'high'")
+            return None
+        predicate = Between(column, low, high)
+    elif op == "is_null":
+        predicate = IsNull(column)
+    elif op == "not_null":
+        predicate = NotNull(column)
+    else:
+        errors.append(
+            f"{label}.op {op!r} is not supported; use one of "
+            "eq/ne/in/gt/ge/lt/le/between/is_null/not_null")
+        return None
+    return Not(predicate) if negate else predicate
+
+
+def _context_predicate(raw: Any, errors: List[str]) -> Predicate:
+    """Parse the ``context`` field (a clause list) into an ANDed predicate."""
+    if raw is None:
+        return TRUE
+    if not isinstance(raw, (list, tuple)):
+        errors.append(f"context must be a list of clause objects, got {type(raw).__name__}")
+        return TRUE
+    clauses: List[Predicate] = []
+    for position, clause in enumerate(raw):
+        predicate = _clause_predicate(clause, errors, position)
+        if predicate is not None:
+            clauses.append(predicate)
+    if not clauses:
+        return TRUE
+    if len(clauses) == 1:
+        return clauses[0]
+    return And(*clauses)
+
+
+def _parse_k(raw: Any, errors: List[str]) -> Optional[int]:
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        errors.append(f"k must be an integer, got {raw!r}")
+        return None
+    if raw < 1:
+        errors.append(f"k must be >= 1, got {raw}")
+        return None
+    return raw
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """One validated explanation request (the body of ``POST /explain``)."""
+
+    query: AggregateQuery
+    k: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ExplainRequest":
+        """Strictly parse a request body; raises :class:`RequestValidationError`."""
+        payload = _require_mapping(payload, "request body")
+        errors: List[str] = []
+        unknown = sorted(set(payload) - _EXPLAIN_FIELDS)
+        if unknown:
+            errors.append(f"unknown field(s) {unknown}")
+        k = _parse_k(payload.get("k"), errors)
+        sql = payload.get("sql")
+        if sql is not None:
+            if not isinstance(sql, str):
+                errors.append(f"sql must be a string, got {type(sql).__name__}")
+            overlapping = sorted(
+                {"exposure", "outcome", "aggregate", "context"} & set(payload))
+            if overlapping:
+                errors.append(
+                    f"pass either 'sql' or structural fields, not both: {overlapping}")
+            if errors:
+                raise RequestValidationError(errors)
+            try:
+                query = parse_query(sql, name=payload.get("name"))
+            except QueryError as exc:
+                raise RequestValidationError([str(exc)]) from exc
+            return cls(query=query, k=k)
+        for required in ("exposure", "outcome"):
+            value = payload.get(required)
+            if not isinstance(value, str) or not value:
+                errors.append(f"{required} must be a non-empty string")
+        aggregate = payload.get("aggregate", "avg")
+        if not isinstance(aggregate, str):
+            errors.append(f"aggregate must be a string, got {type(aggregate).__name__}")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            errors.append(f"name must be a string, got {type(name).__name__}")
+        table_name = payload.get("table_name", "table")
+        if not isinstance(table_name, str):
+            errors.append(f"table_name must be a string, got {type(table_name).__name__}")
+        context = _context_predicate(payload.get("context"), errors)
+        if errors:
+            raise RequestValidationError(errors)
+        try:
+            query = AggregateQuery(
+                exposure=payload["exposure"], outcome=payload["outcome"],
+                aggregate=aggregate, context=context, table_name=table_name,
+                name=name,
+            )
+        except QueryError as exc:
+            raise RequestValidationError([str(exc)]) from exc
+        return cls(query=query, k=k)
+
+
+@dataclass(frozen=True)
+class BatchExplainRequest:
+    """A validated batch request (the body of ``POST /explain_batch``)."""
+
+    requests: Tuple[ExplainRequest, ...]
+    k: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "BatchExplainRequest":
+        payload = _require_mapping(payload, "request body")
+        errors: List[str] = []
+        unknown = sorted(set(payload) - _BATCH_FIELDS)
+        if unknown:
+            errors.append(f"unknown field(s) {unknown}")
+        k = _parse_k(payload.get("k"), errors)
+        raw_queries = payload.get("queries")
+        if not isinstance(raw_queries, (list, tuple)) or not raw_queries:
+            errors.append("queries must be a non-empty list of request objects")
+            raise RequestValidationError(errors)
+        requests: List[ExplainRequest] = []
+        for position, raw in enumerate(raw_queries):
+            try:
+                requests.append(ExplainRequest.from_dict(raw))
+            except RequestValidationError as exc:
+                errors.extend(f"queries[{position}]: {error}" for error in exc.errors)
+        if errors:
+            raise RequestValidationError(errors)
+        return cls(requests=tuple(requests), k=k)
+
+
+@dataclass(frozen=True)
+class ExplainResponse:
+    """The served form of one explanation: envelope JSON + cache metadata."""
+
+    dataset: str
+    envelope_dict: Dict[str, Any]
+    cache_hit: bool
+    coalesced: bool = False
+    schema_version: int = API_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "api_schema_version": self.schema_version,
+            "dataset": self.dataset,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "envelope": self.envelope_dict,
+        }

@@ -1,0 +1,303 @@
+"""The :class:`ExplanationService` — a long-lived, cache-warm serving tier.
+
+The engine answers one query well; a service answers *millions*.  The
+service wraps one warm :class:`~repro.engine.context.PipelineContext` per
+registered dataset and layers the serving concerns on top:
+
+* an **explanation cache** — a bounded LRU (optional TTL) keyed by the
+  canonical query key ``(dataset, exposure, outcome, aggregate, canonical
+  context, k)``; a hit returns the *same*
+  :class:`~repro.engine.envelope.ExplanationEnvelope` object, so repeated
+  requests serialize byte-identically;
+* **request coalescing** — cache misses are funnelled through one
+  :class:`~repro.serving.batcher.MicroBatcher` per dataset, which collects
+  concurrent requests into single ``explain_many_envelopes`` calls and
+  deduplicates identical in-flight queries down to one execution;
+* **single-writer concurrency** — the batcher's worker thread is the only
+  thread driving a dataset's pipeline, so any number of HTTP threads can
+  submit concurrently without racing the engine's per-query memos (engine
+  parallelism still applies *inside* a batch via ``config.n_jobs``);
+* **observability** — cache hit/miss counters fold into the pipeline
+  context's counters (``service.cache_hit`` / ``service.cache_miss`` next
+  to ``extraction_runs`` and friends) and :meth:`stats` snapshots
+  everything for the ``GET /stats`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.engine.config import MESAConfig
+from repro.engine.envelope import ExplanationEnvelope
+from repro.engine.pipeline import ExplanationPipeline
+from repro.exceptions import ConfigurationError, DatasetNotRegisteredError
+from repro.query.aggregate_query import AggregateQuery
+from repro.serving.batcher import MicroBatcher
+from repro.serving.cache import TTLCache
+from repro.table.expressions import canonical_predicate_key
+
+
+@dataclass(frozen=True)
+class ServedExplanation:
+    """One served result: the envelope plus how it was produced."""
+
+    dataset: str
+    envelope: ExplanationEnvelope
+    cache_hit: bool
+    #: True when this request attached to an identical in-flight request
+    #: instead of executing on its own.
+    coalesced: bool = False
+
+
+class ExplanationService:
+    """Serve explanations for registered datasets from warm caches.
+
+    Parameters
+    ----------
+    cache_size:
+        Bound on the explanation cache (entries are envelopes; LRU beyond).
+    ttl_seconds:
+        Optional expiry of cached explanations; ``None`` caches forever
+        (the synthetic datasets are immutable — a mutable deployment should
+        set a TTL matched to its ingest cadence).
+    coalesce_window_seconds:
+        How long the per-dataset batcher waits for concurrent requests to
+        coalesce before flushing a batch.  ``0`` disables the wait but
+        still batches requests that arrive while a batch is executing.
+    max_batch:
+        Flush a batch early once this many distinct requests are pending.
+    clock:
+        Monotonic time source shared by the cache and batchers
+        (injectable for TTL/window tests).
+    """
+
+    def __init__(self, cache_size: int = 1024,
+                 ttl_seconds: Optional[float] = None,
+                 coalesce_window_seconds: float = 0.005,
+                 max_batch: int = 64,
+                 clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._cache = TTLCache(max_entries=cache_size, ttl_seconds=ttl_seconds,
+                               clock=clock)
+        self.coalesce_window_seconds = coalesce_window_seconds
+        self.max_batch = max_batch
+        self._pipelines: Dict[str, ExplanationPipeline] = {}
+        self._batchers: Dict[str, MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._started_at = clock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # dataset registration
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, pipeline: ExplanationPipeline,
+                 warm: bool = True) -> ExplanationPipeline:
+        """Register a pipeline to serve ``name``.
+
+        With ``warm=True`` (default) the cross-query artefacts — the
+        augmented table and the offline-pruning verdicts — are built
+        immediately, so the first request pays only the per-query cost.
+        """
+        if not name:
+            raise ConfigurationError("dataset name must be a non-empty string")
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("ExplanationService is closed")
+            if name in self._pipelines:
+                raise ConfigurationError(f"dataset {name!r} is already registered")
+            self._pipelines[name] = pipeline
+            self._batchers[name] = MicroBatcher(
+                runner=self._runner_for(pipeline),
+                window_seconds=self.coalesce_window_seconds,
+                max_batch=self.max_batch, clock=self._clock)
+        if warm:
+            self.warm(name)
+        return pipeline
+
+    def register_dataset(self, name: str, table, knowledge_graph=None,
+                         extraction_specs: Sequence = (),
+                         config: Optional[MESAConfig] = None,
+                         warm: bool = True) -> ExplanationPipeline:
+        """Build and register a pipeline from dataset parts."""
+        pipeline = ExplanationPipeline(table, knowledge_graph, extraction_specs,
+                                       config=config)
+        return self.register(name, pipeline, warm=warm)
+
+    def register_bundle(self, bundle, config: Optional[MESAConfig] = None,
+                        warm: bool = True) -> ExplanationPipeline:
+        """Register a :class:`~repro.datasets.registry.DatasetBundle`.
+
+        The bundle's identifier columns are excluded from the candidate set
+        unless the caller's config already decides that.
+        """
+        if config is None:
+            config = MESAConfig(excluded_columns=tuple(bundle.id_columns))
+        return self.register_dataset(
+            bundle.name, bundle.table, bundle.knowledge_graph,
+            bundle.extraction_specs, config=config, warm=warm)
+
+    def warm(self, name: str) -> None:
+        """Build the dataset's cross-query artefacts now (idempotent)."""
+        pipeline = self.pipeline(name)
+        config = pipeline.config
+        pipeline.context.augmented_table(config.hops)
+        if config.use_offline_pruning:
+            pipeline.context.offline_pruning(
+                [], hops=config.hops,
+                max_missing_fraction=config.max_missing_fraction,
+                high_entropy_unique_ratio=config.high_entropy_unique_ratio)
+
+    def datasets(self) -> List[str]:
+        """Names of the registered datasets, sorted."""
+        with self._lock:
+            return sorted(self._pipelines)
+
+    def pipeline(self, name: str) -> ExplanationPipeline:
+        """The pipeline serving ``name``; raises for unknown datasets."""
+        with self._lock:
+            pipeline = self._pipelines.get(name)
+        if pipeline is None:
+            raise DatasetNotRegisteredError(
+                f"dataset {name!r} is not registered; "
+                f"available: {self.datasets()}")
+        return pipeline
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def query_key(dataset: str, query: AggregateQuery, k: int) -> Tuple:
+        """The canonical cache key of a request.
+
+        Two requests that ask the same question — same dataset, exposure,
+        outcome, aggregate, ``k`` and a context equal up to clause order —
+        share a key, and therefore share a cache entry and an in-flight
+        execution.  The client-visible labels (``name``, ``table_name``)
+        are part of the key because they are echoed back inside the
+        envelope's query descriptor: a client using ``name`` as a
+        correlation id must never receive another request's id.
+        """
+        return (dataset, query.exposure, query.outcome,
+                query.aggregate.lower(), canonical_predicate_key(query.context),
+                query.name, query.table_name, k)
+
+    def explain(self, dataset: str, query: AggregateQuery,
+                k: Optional[int] = None) -> ServedExplanation:
+        """Serve one explanation (cache -> coalesced batch -> engine)."""
+        pipeline = self.pipeline(dataset)
+        resolved_k = k if k is not None else pipeline.config.k
+        key = self.query_key(dataset, query, resolved_k)
+        envelope = self._cache.get(key)
+        if envelope is not None:
+            pipeline.context.count("service.cache_hit")
+            return ServedExplanation(dataset=dataset, envelope=envelope,
+                                     cache_hit=True)
+        pipeline.context.count("service.cache_miss")
+        future, attached = self._batcher(dataset).submit(key, query, resolved_k)
+        envelope = future.result()
+        self._cache.put(key, envelope)
+        return ServedExplanation(dataset=dataset, envelope=envelope,
+                                 cache_hit=False, coalesced=attached)
+
+    def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
+                      k: Optional[int] = None) -> List[ServedExplanation]:
+        """Serve a batch: answer hits from the cache, coalesce the misses.
+
+        Every miss is submitted to the dataset's batcher in one go, so the
+        whole miss set (deduplicated against itself *and* against other
+        clients' in-flight requests) executes as a single engine batch.
+        """
+        pipeline = self.pipeline(dataset)
+        resolved_k = k if k is not None else pipeline.config.k
+        served: List[Optional[ServedExplanation]] = [None] * len(queries)
+        misses: List[Tuple[int, AggregateQuery, Hashable]] = []
+        hits = 0
+        for index, query in enumerate(queries):
+            key = self.query_key(dataset, query, resolved_k)
+            envelope = self._cache.get(key)
+            if envelope is not None:
+                hits += 1
+                served[index] = ServedExplanation(
+                    dataset=dataset, envelope=envelope, cache_hit=True)
+            else:
+                misses.append((index, query, key))
+        if hits:
+            pipeline.context.count("service.cache_hit", hits)
+        if misses:
+            pipeline.context.count("service.cache_miss", len(misses))
+            batcher = self._batcher(dataset)
+            futures = [(index, key,
+                        batcher.submit(key, query, resolved_k))
+                       for index, query, key in misses]
+            for index, key, (future, attached) in futures:
+                envelope = future.result()
+                self._cache.put(key, envelope)
+                served[index] = ServedExplanation(
+                    dataset=dataset, envelope=envelope, cache_hit=False,
+                    coalesced=attached)
+        return served  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # observability and lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        """A JSON-safe snapshot of cache, batcher and engine counters."""
+        with self._lock:
+            pipelines = dict(self._pipelines)
+            batchers = dict(self._batchers)
+        contexts = {}
+        for name, pipeline in pipelines.items():
+            counters, stage_seconds = pipeline.context.observability_snapshot()
+            contexts[name] = {
+                "counters": counters,
+                "stage_seconds": {stage: round(seconds, 6)
+                                  for stage, seconds in stage_seconds.items()},
+            }
+        return {
+            "uptime_seconds": self._clock() - self._started_at,
+            "datasets": sorted(pipelines),
+            "cache": self._cache.stats(),
+            "batchers": {name: batcher.stats()
+                         for name, batcher in batchers.items()},
+            "contexts": contexts,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every cached explanation (counters are kept)."""
+        self._cache.clear()
+
+    def close(self) -> None:
+        """Stop the per-dataset batcher threads; the service stops serving."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _batcher(self, dataset: str) -> MicroBatcher:
+        with self._lock:
+            batcher = self._batchers.get(dataset)
+        if batcher is None:  # pragma: no cover - register() keeps them paired
+            raise DatasetNotRegisteredError(f"dataset {dataset!r} is not registered")
+        return batcher
+
+    @staticmethod
+    def _runner_for(pipeline: ExplanationPipeline):
+        def run_batch(queries: Sequence[AggregateQuery],
+                      k: Optional[int]) -> Sequence[ExplanationEnvelope]:
+            return pipeline.explain_many_envelopes(list(queries), k=k)
+        return run_batch

@@ -292,11 +292,25 @@ class Column:
         Returns ``(codes, categories)`` where missing cells receive code -1
         and ``categories[code]`` recovers the original value.  This is the
         encoding used throughout :mod:`repro.infotheory`.
+
+        The factorisation is a single vectorised ``np.unique`` pass over the
+        present cells; category order matches :meth:`unique` (all present
+        values of a column share one logical type, so the sort is plain
+        ascending order).
         """
-        categories = self.unique()
-        index = {value: code for code, value in enumerate(categories)}
         codes = np.full(len(self), -1, dtype=np.int64)
-        for i in range(len(self)):
-            if not self._missing[i]:
-                codes[i] = index[self[i]]
+        present = ~self._missing
+        if not present.any():
+            return codes, []
+        values = self._values[present]
+        categories_array, inverse = np.unique(values, return_inverse=True)
+        codes[present] = inverse
+        if self.dtype is DType.INT:
+            categories: List[Any] = [int(value) for value in categories_array]
+        elif self.dtype is DType.FLOAT:
+            categories = [float(value) for value in categories_array]
+        elif self.dtype is DType.BOOL:
+            categories = [bool(value) for value in categories_array]
+        else:
+            categories = list(categories_array)
         return codes, categories

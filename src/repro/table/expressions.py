@@ -339,6 +339,31 @@ class Not(Predicate):
         return f"NOT ({self.operand!r})"
 
 
+def canonical_predicate_key(predicate: Predicate) -> str:
+    """A canonical string key for a predicate, for use in context caches.
+
+    Two predicates that select the same rows *by construction* — the same
+    conjunction/disjunction up to operand order, the same ``IN`` list up to
+    value order — map to the same key.  (Semantic equivalence beyond that,
+    e.g. De Morgan rewrites, is not detected; a cache keyed on this string
+    is still correct, it just stores such contexts separately.)
+    """
+    if isinstance(predicate, And):
+        parts = sorted(canonical_predicate_key(operand) for operand in predicate.operands)
+        if not parts:
+            return "TRUE"
+        return "AND(" + ",".join(parts) + ")"
+    if isinstance(predicate, Or):
+        parts = sorted(canonical_predicate_key(operand) for operand in predicate.operands)
+        return "OR(" + ",".join(parts) + ")"
+    if isinstance(predicate, Not):
+        return "NOT(" + canonical_predicate_key(predicate.operand) + ")"
+    if isinstance(predicate, In):
+        values = ",".join(sorted(repr(value) for value in predicate.values))
+        return f"IN({predicate.column},[{values}])"
+    return repr(predicate)
+
+
 class Condition:
     """An ordered conjunction of attribute-value equality assignments.
 
