@@ -12,11 +12,22 @@ A second phase verifies correctness: the full pipeline (selection-bias
 handling included) runs all seven registered explainers in both modes and
 asserts the explanations are equal — same attributes, scores within 1e-9.
 
+A third phase benchmarks the **batched inference backend** on an IPW-heavy
++ permutation-heavy scenario (selection-bias handling on, a large
+responsibility-test permutation budget, query groups sharing contexts —
+the serving shape): the pre-PR path (``use_blocked_permutations=False``,
+``use_ipw_fit_cache=False``) against the blocked-permutation + fit-cache
+path, with all seven explainers verified equal between the modes
+(early exit off).  Phase-level timings (``ipw_fit_s``,
+``permutation_s``) are recorded per mode so future PRs can gate per
+phase; the combined phase wall-clock gates at ``--min-ipw-speedup``
+(default 2x), and an informational early-exit run reports the permutation
+savings.
+
 Run with:  PYTHONPATH=src python benchmarks/bench_perf.py [--out BENCH_perf.json]
 
-The script exits non-zero when the speedup falls below ``--min-speedup``
-(default 3.0) or when any explainer diverges between the modes, so CI can
-gate on it.
+The script exits non-zero when a speedup falls below its gate or when any
+explainer diverges between modes, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -32,6 +43,8 @@ from repro.datasets.registry import load_dataset
 from repro.engine import ExplanationPipeline, available_explainers, get_explainer
 from repro.kg.synthetic import SyntheticKGConfig, build_world_knowledge_graph
 from repro.mesa.config import MESAConfig
+from repro.query.aggregate_query import AggregateQuery
+from repro.table.expressions import TRUE, Eq
 
 #: Candidate-heavy regime: many noise properties -> hundreds of candidates.
 PERF_KG_CONFIG = SyntheticKGConfig(seed=7, n_noise_properties=40)
@@ -39,6 +52,31 @@ DATASET = "SO"
 N_ROWS = 1500
 K = 5
 SCORE_TOLERANCE = 1e-9
+
+#: IPW+permutation regime: default missingness (MNAR properties included)
+#: so many attributes need selection models, moderate noise so the search
+#: spends its time in responsibility tests rather than candidate scoring.
+IPW_PERM_KG_CONFIG = SyntheticKGConfig(seed=11, n_noise_properties=16)
+IPW_PERM_N_ROWS = 1500
+#: A large permutation budget makes the stopping criterion
+#: permutation-bound, as in the HypDB-style test of the paper.
+IPW_PERM_PERMUTATIONS = 150
+
+
+def ipw_perm_queries():
+    """Query groups sharing contexts and outcome — the serving shape.
+
+    Queries inside one context group share the context frame, the IPW
+    design matrix and the candidate missingness masks, so the fit cache
+    collapses their selection fits; across groups everything re-fits.
+    """
+    queries = []
+    for context in (TRUE, Eq("Continent", "Europe"), Eq("Hobby", "Yes")):
+        for exposure in ("Country", "Continent", "DevType", "EdLevel", "Gender"):
+            queries.append(AggregateQuery(
+                exposure=exposure, outcome="Salary", aggregate="avg",
+                context=context, table_name="SO"))
+    return queries
 
 
 def _pipeline(bundle, **overrides) -> ExplanationPipeline:
@@ -104,6 +142,126 @@ def verify_explainers(bundle, queries) -> list:
     return rows
 
 
+def _ipw_perm_config(bundle, **overrides) -> MESAConfig:
+    return MESAConfig(excluded_columns=bundle.id_columns, k=K,
+                      handle_selection_bias=True,
+                      responsibility_permutations=IPW_PERM_PERMUTATIONS,
+                      **overrides)
+
+
+def time_ipw_perm(bundle, queries, repeats: int = 2, **overrides) -> dict:
+    """Best-of-``repeats`` wall-clock of the IPW+permutation scenario."""
+    best = None
+    for _ in range(repeats):
+        pipeline = ExplanationPipeline(
+            bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+            config=_ipw_perm_config(bundle, **overrides))
+        start = time.perf_counter()
+        results = pipeline.explain_many(queries, k=K)
+        seconds = time.perf_counter() - start
+        stage_seconds = pipeline.context.stage_seconds
+        counters = pipeline.context.counters
+        sample = {
+            "seconds": seconds,
+            "ipw_fit_s": round(stage_seconds.get("ipw_fit", 0.0), 6),
+            "permutation_s": round(stage_seconds.get("permutation_test", 0.0), 6),
+            "counters": {name: counters[name] for name in sorted(counters)
+                         if name.startswith(("ipw_fit", "perm"))},
+            "results": [{"query": result.query.label(),
+                         "attributes": list(result.attributes),
+                         "explainability": result.explainability}
+                        for result in results],
+        }
+        if best is None or seconds < best["seconds"]:
+            best = sample
+    return best
+
+
+def verify_explainers_backend(bundle, queries) -> list:
+    """All seven explainers: pre-PR inference path vs. the batched backend."""
+    before_pipeline = ExplanationPipeline(
+        bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+        config=_ipw_perm_config(bundle, use_blocked_permutations=False,
+                                use_ipw_fit_cache=False))
+    after_pipeline = ExplanationPipeline(
+        bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+        config=_ipw_perm_config(bundle))
+    rows = []
+    for method in available_explainers():
+        for query in queries:
+            before = before_pipeline.run_explainer(get_explainer(method), query, k=K)
+            after = after_pipeline.run_explainer(get_explainer(method), query, k=K)
+            equal_attributes = before.attributes == after.attributes
+            score_delta = abs(before.explainability - after.explainability)
+            # Responsibilities are the permutation backend's direct output,
+            # so they must match too — same check as the kernel phase.
+            responsibility_delta = max(
+                (abs(before.responsibilities[name] - after.responsibilities[name])
+                 for name in before.responsibilities), default=0.0,
+            ) if set(before.responsibilities) == set(after.responsibilities) \
+                else float("inf")
+            rows.append({
+                "method": method,
+                "query": query.label(),
+                "attributes": list(after.attributes),
+                "equal_attributes": equal_attributes,
+                "score_delta": score_delta,
+                "responsibility_delta": responsibility_delta,
+                "equivalent": (equal_attributes
+                               and score_delta < SCORE_TOLERANCE
+                               and responsibility_delta < SCORE_TOLERANCE),
+            })
+    return rows
+
+
+def run_ipw_perm_bench(repeats: int = 2) -> dict:
+    """The IPW-heavy + permutation-heavy before/after scenario."""
+    graph = build_world_knowledge_graph(IPW_PERM_KG_CONFIG)
+    bundle = load_dataset(DATASET, seed=11, n_rows=IPW_PERM_N_ROWS,
+                          knowledge_graph=graph)
+    queries = ipw_perm_queries()
+
+    before = time_ipw_perm(bundle, queries, repeats=repeats,
+                           use_blocked_permutations=False,
+                           use_ipw_fit_cache=False)
+    after = time_ipw_perm(bundle, queries, repeats=repeats)
+    early_exit = time_ipw_perm(bundle, queries, repeats=1,
+                               permutation_early_exit=True)
+    same_results = all(
+        b["attributes"] == a["attributes"]
+        and abs(b["explainability"] - a["explainability"]) < SCORE_TOLERANCE
+        for b, a in zip(before["results"], after["results"])
+    )
+    early_exit_same_attributes = all(
+        b["attributes"] == a["attributes"]
+        for b, a in zip(before["results"], early_exit["results"])
+    )
+    explainer_rows = verify_explainers_backend(bundle, queries[:1])
+    phase_before = before["ipw_fit_s"] + before["permutation_s"]
+    phase_after = after["ipw_fit_s"] + after["permutation_s"]
+    return {
+        "workload": "ipw+permutation-heavy (selection bias on, "
+                    f"{IPW_PERM_PERMUTATIONS} responsibility permutations, "
+                    "context-sharing query groups)",
+        "n_rows": bundle.table.n_rows,
+        "n_queries": len(queries),
+        "before": {"use_blocked_permutations": False,
+                   "use_ipw_fit_cache": False, **before},
+        "after": {"use_blocked_permutations": True,
+                  "use_ipw_fit_cache": True, **after},
+        "early_exit": {"permutation_early_exit": True,
+                       "same_attributes": early_exit_same_attributes,
+                       **early_exit},
+        "speedup": before["seconds"] / after["seconds"],
+        "phase_seconds_before": round(phase_before, 6),
+        "phase_seconds_after": round(phase_after, 6),
+        "phase_speedup": phase_before / phase_after if phase_after else float("inf"),
+        "explain_many_equivalent": same_results,
+        "explainers": explainer_rows,
+        "all_explainers_equivalent": all(row["equivalent"] for row in explainer_rows),
+    }
+
+
 def run_bench(repeats: int = 2) -> dict:
     graph = build_world_knowledge_graph(PERF_KG_CONFIG)
     bundle = load_dataset(DATASET, seed=7, n_rows=N_ROWS, knowledge_graph=graph)
@@ -133,6 +291,7 @@ def run_bench(repeats: int = 2) -> dict:
         "explain_many_equivalent": same_results,
         "explainers": explainer_rows,
         "all_explainers_equivalent": all(row["equivalent"] for row in explainer_rows),
+        "ipw_perm": run_ipw_perm_bench(repeats=repeats),
     }
 
 
@@ -143,6 +302,10 @@ def main() -> None:
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="Fail when the kernel speedup falls below this "
                              "factor (0 disables the gate)")
+    parser.add_argument("--min-ipw-speedup", type=float, default=2.0,
+                        help="Fail when the IPW+permutation *phase* speedup "
+                             "(ipw_fit_s + permutation_s, before/after) falls "
+                             "below this factor (0 disables the gate)")
     parser.add_argument("--repeats", type=int, default=2,
                         help="Timing repetitions per mode (best is kept)")
     args = parser.parse_args()
@@ -154,6 +317,14 @@ def main() -> None:
           f"kernel {payload['after']['seconds']:.2f}s "
           f"({payload['speedup']:.2f}x) on {payload['n_queries']} queries / "
           f"{payload['n_rows']} rows")
+    ipw = payload["ipw_perm"]
+    print(f"ipw+perm scenario: {ipw['before']['seconds']:.2f}s -> "
+          f"{ipw['after']['seconds']:.2f}s total ({ipw['speedup']:.2f}x); "
+          f"phase {ipw['phase_seconds_before']:.2f}s -> "
+          f"{ipw['phase_seconds_after']:.2f}s ({ipw['phase_speedup']:.2f}x); "
+          f"early-exit total {ipw['early_exit']['seconds']:.2f}s "
+          f"(saved {ipw['early_exit']['counters'].get('perm_saved', 0)} "
+          f"permutations)")
 
     failures = []
     if not payload["explain_many_equivalent"]:
@@ -165,6 +336,17 @@ def main() -> None:
     if args.min_speedup > 0 and payload["speedup"] < args.min_speedup:
         failures.append(f"speedup {payload['speedup']:.2f}x is below the "
                         f"{args.min_speedup:.1f}x gate")
+    if not ipw["explain_many_equivalent"]:
+        failures.append("ipw+perm scenario results diverge between backends")
+    if not ipw["all_explainers_equivalent"]:
+        diverged = [row["method"] for row in ipw["explainers"]
+                    if not row["equivalent"]]
+        failures.append(f"explainers diverge between inference backends: {diverged}")
+    if not ipw["early_exit"]["same_attributes"]:
+        failures.append("early-exit run changed explanation attributes")
+    if args.min_ipw_speedup > 0 and ipw["phase_speedup"] < args.min_ipw_speedup:
+        failures.append(f"ipw+perm phase speedup {ipw['phase_speedup']:.2f}x is "
+                        f"below the {args.min_ipw_speedup:.1f}x gate")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:

@@ -1,14 +1,19 @@
-"""CI gate: fail when the smoke batch time regresses past its baseline.
+"""CI gate: fail when a benchmark timing regresses past its baseline.
 
-Compares the ``batch_seconds`` of a fresh ``BENCH_smoke.json`` (written by
-``benchmarks/smoke.py``) against the recorded baseline in
-``benchmarks/BENCH_smoke.baseline.json``.  The job fails when the measured
-time exceeds ``baseline * max-ratio`` (default 2x, per the perf-tracking
-policy) — subject to a small absolute floor so that scheduler jitter on a
-sub-second workload cannot flake the gate.
+Compares one timing value of a freshly written benchmark artifact against
+the same value in a committed baseline artifact.  The value is addressed
+with ``--key``, a dot-separated path into the JSON (default
+``batch_seconds``, the smoke benchmark's timing; the perf benchmark's
+IPW+permutation scenario gates on ``ipw_perm.after.seconds``).  The job
+fails when the measured time exceeds ``baseline * max-ratio`` (default 2x,
+per the perf-tracking policy) — subject to a small absolute floor so that
+scheduler jitter on a sub-second workload cannot flake the gate.
 
 Run with:
     PYTHONPATH=src python benchmarks/check_regression.py BENCH_smoke.json
+    PYTHONPATH=src python benchmarks/check_regression.py BENCH_perf.json \
+        --baseline benchmarks/BENCH_perf.baseline.json \
+        --key ipw_perm.after.seconds
 """
 
 from __future__ import annotations
@@ -18,11 +23,24 @@ import json
 import sys
 
 
+def lookup(payload: dict, dotted_key: str) -> float:
+    """Resolve a dot-separated path into a nested JSON document."""
+    value = payload
+    for part in dotted_key.split("."):
+        if not isinstance(value, dict) or part not in value:
+            raise KeyError(f"key path {dotted_key!r} not found (missing {part!r})")
+        value = value[part]
+    return float(value)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("measured", help="Path of the freshly written BENCH_smoke.json")
+    parser.add_argument("measured", help="Path of the freshly written benchmark JSON")
     parser.add_argument("--baseline", default="benchmarks/BENCH_smoke.baseline.json",
                         help="Path of the recorded baseline artifact")
+    parser.add_argument("--key", default="batch_seconds",
+                        help="Dot-separated path of the timing value to compare "
+                             "(applied to both artifacts)")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="Fail when measured > baseline * max-ratio")
     parser.add_argument("--absolute-floor", type=float, default=3.0,
@@ -37,19 +55,19 @@ def main() -> None:
     args = parser.parse_args()
 
     with open(args.measured, encoding="utf-8") as handle:
-        measured = float(json.load(handle)["batch_seconds"])
+        measured = lookup(json.load(handle), args.key)
     with open(args.baseline, encoding="utf-8") as handle:
-        baseline = float(json.load(handle)["batch_seconds"])
+        baseline = lookup(json.load(handle), args.key)
 
     limit = baseline * args.max_ratio
-    print(f"smoke batch_seconds: measured {measured:.3f}s, "
+    print(f"{args.key}: measured {measured:.3f}s, "
           f"baseline {baseline:.3f}s, limit {limit:.3f}s "
           f"(floor {args.absolute_floor:.1f}s)")
     if measured <= args.absolute_floor:
         print("OK: below the absolute floor")
         return
     if measured > limit:
-        print(f"FAIL: smoke batch regressed more than {args.max_ratio:.1f}x "
+        print(f"FAIL: {args.key} regressed more than {args.max_ratio:.1f}x "
               f"its recorded baseline", file=sys.stderr)
         raise SystemExit(1)
     print("OK: within the regression budget")

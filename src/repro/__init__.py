@@ -45,8 +45,14 @@ term instead of four masked entropy calls, incremental joint coding of
 conditioning sets (extending ``Z`` to ``Z ∪ {a}`` is one ``O(n)`` fuse
 against cached codes), and batched candidate scoring
 (:meth:`~repro.core.problem.CorrelationExplanationProblem.score_candidates`)
-for the greedy search rounds.  Two knobs on :class:`MESAConfig` control the
-fast paths:
+for the greedy search rounds.  The two dominant per-query inference costs
+run on a unified batched backend: permutation-based independence tests on
+the blocked engine (:mod:`repro.infotheory.permutation` — permutations
+sampled in blocks, one shared ``bincount`` per block, bit-identical
+p-values) and IPW selection fits on the fit cache
+(:mod:`repro.missingness.fitcache` — fits memoised by observed-mask hash +
+design signature, uncached attributes batched into one multi-label IRLS
+solve).  The knobs on :class:`MESAConfig` controlling the fast paths:
 
 * ``use_fast_kernel`` (default ``True``) — set ``False`` to fall back to
   the reference raw-row estimators; results are identical within float
@@ -56,6 +62,25 @@ fast paths:
   ``before.seconds`` / ``after.seconds`` for the wall-clock of each mode,
   ``speedup`` for the ratio (CI gates on >= 3x), and ``explainers`` for
   the per-method equivalence verdicts.
+* ``use_blocked_permutations`` (default ``True``) — run permutation tests
+  on the blocked engine.  The RNG stream matches the historical
+  per-permutation loop, so p-values and verdicts stay bit-reproducible;
+  set ``False`` only to reproduce the pre-blocked timing (the
+  ``ipw_perm`` scenario of ``bench_perf.py`` compares both and CI gates
+  the combined ipw+permutation phase at >= 2x).
+* ``permutation_early_exit`` (default ``False``) — let the sequential
+  test stop a permutation run as soon as the verdict is determined (a
+  deterministic exceedance bracket that never flips the full-run verdict,
+  plus a Clopper–Pearson bound for large budgets).  Verdicts are
+  preserved, but the run counts — and therefore exact p-values — differ,
+  so it is opt-in.  ``context.counters['perm_early_exit']`` /
+  ``['perm_saved']`` report the exits and the permutations saved.
+* ``use_ipw_fit_cache`` (default ``True``) — route IPW selection fits
+  through the per-context fit cache and the multi-label IRLS batch.
+  ``context.counters['ipw_fit_hit']`` / ``['ipw_fit_miss']`` count
+  reuse, and ``context.stage_seconds['ipw_fit']`` /
+  ``['permutation_test']`` carry the phase timings; a serving deployment
+  surfaces all of them via ``GET /stats``.
 * ``n_jobs`` / ``parallel_backend`` — opt-in worker fan-out for the batch
   APIs.  ``pipeline.explain_many(queries, n_jobs=4)`` runs thread workers
   over forked contexts and returns full results;
@@ -63,7 +88,9 @@ fast paths:
   ``parallel_backend="process"`` forks OS processes and ships each chunk
   of JSON-serializable envelopes back as one compact blob (the form a
   serving tier or result cache should consume).  Worker cache counters
-  merge back into ``pipeline.context.counters`` either way.
+  merge back into ``pipeline.context.counters`` either way.  On platforms
+  without ``fork`` the process backend switches to a spawn-safe path that
+  pickles the dataset into each worker exactly once.
 
 Repeated-context queries additionally hit the context-level encoded-frame
 cache (``PipelineContext.context_frame``): two queries sharing a WHERE
@@ -87,11 +114,15 @@ An :class:`~repro.serving.ExplanationService` keeps one warm
 canonical query key (bounded LRU + optional TTL; repeats serialize
 byte-identically), and funnels cache misses through a per-dataset
 micro-batcher that coalesces concurrent requests into single engine
-batches and deduplicates identical in-flight queries.  A stdlib
-JSON-over-HTTP front end (``python -m repro.serving --dataset SO``)
+batches and deduplicates identical in-flight queries.  Client-input
+failures (zero-row contexts and other deterministic ``QueryError`` /
+``ExplanationError`` verdicts) are negative-cached under the same key, so
+hostile repeats never reach the engine (``service.negative_hit``).  A
+stdlib JSON-over-HTTP front end (``python -m repro.serving --dataset SO``)
 exposes ``POST /explain``, ``POST /explain_batch``, ``GET /stats`` and
-``GET /healthz`` with strict request validation mapped to HTTP 400s.
-See ``examples/serve_stackoverflow.py`` for an end-to-end tour.
+``GET /healthz`` with strict request validation mapped to HTTP 400s and
+missing-data failures to 422.  See ``examples/serve_stackoverflow.py``
+for an end-to-end tour.
 
 Migration note
 --------------

@@ -14,6 +14,7 @@ algorithms need:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -74,6 +75,25 @@ class CorrelationExplanationProblem:
         given, the constructor skips re-applying the query context (the
         caller — the pipeline's frame cache — already filtered the rows).
         Must be passed together with ``frame``.
+    use_blocked_permutations:
+        Run the kernel path's permutation tests on the blocked engine
+        (:mod:`repro.infotheory.permutation`) — bit-identical p-values,
+        one shared ``bincount`` per permutation block.  Disable to
+        reproduce the per-permutation loop (the performance benchmark
+        compares both).
+    permutation_early_exit:
+        Allow the sequential early-exit decision to stop permutation runs
+        once the verdict is determined (verdicts preserved, permutation
+        counts — and hence exact p-values — may differ from a full run).
+    counter_hook:
+        Optional ``(name, increment)`` callable observing backend counters
+        (``perm_early_exit``, ``perm_saved``).  The engine passes
+        ``PipelineContext.count`` so the serving ``/stats`` endpoint
+        surfaces them.
+    seconds_hook:
+        Optional ``(name, seconds)`` callable observing backend phase
+        timings (``permutation_test``); the engine passes
+        ``PipelineContext.add_seconds``.
     """
 
     #: Bound on the cached fused conditioning-code arrays (LRU); each entry
@@ -84,7 +104,10 @@ class CorrelationExplanationProblem:
                  attribute_weights: Optional[Dict[str, np.ndarray]] = None,
                  n_bins: int = DEFAULT_BINS, use_kernel: bool = True,
                  frame: Optional[EncodedFrame] = None,
-                 context_table: Optional[Table] = None):
+                 context_table: Optional[Table] = None,
+                 use_blocked_permutations: bool = True,
+                 permutation_early_exit: bool = False,
+                 counter_hook=None, seconds_hook=None):
         query.validate_against(table)
         if context_table is not None and frame is None:
             raise ExplanationError(
@@ -128,6 +151,10 @@ class CorrelationExplanationProblem:
                     f"expected {self.context_table.n_rows} (context rows)"
                 )
         self.use_kernel = use_kernel
+        self.use_blocked_permutations = use_blocked_permutations
+        self.permutation_early_exit = permutation_early_exit
+        self.counter_hook = counter_hook
+        self.seconds_hook = seconds_hook
         self._cmi_cache: Dict[Tuple[str, ...], float] = {}
         self._mi_cache: Dict[Tuple[str, str], float] = {}
         self._entropy_cache: Dict[str, float] = {}
@@ -378,27 +405,43 @@ class CorrelationExplanationProblem:
         """Conditional-independence test between two columns given others.
 
         On the kernel path the conditioning set is fused once (cached) and
-        shared by every permutation of the test; verdicts, p-values and RNG
-        consumption are identical to the reference implementation.
+        the permutation phase runs on the blocked engine
+        (``use_blocked_permutations``); verdicts, p-values and RNG
+        consumption are identical to the reference implementation.  With
+        ``permutation_early_exit`` the sequential decision may stop a run
+        early (verdict preserved); elapsed wall-clock is reported to
+        ``seconds_hook`` under ``permutation_test``.
         """
         weights = self._weights_for([a, b, *conditioning])
-        if self.use_kernel:
-            # Fuse in *caller* order: the permutation strata then sort the
-            # same way the reference ``joint_codes`` labels do, so the RNG
-            # is consumed stratum-for-stratum identically.
-            fused, card = self._joint_for(tuple(conditioning), plain=True)
-            if not conditioning:
-                fused, card = None, None
-            return kernel.fast_independence_test(
-                self.frame.codes(a), self.frame.codes(b), fused, n_z=card,
-                weights=weights, **kwargs,
+        start = time.perf_counter() if self.seconds_hook is not None else 0.0
+        try:
+            if self.use_kernel:
+                # Fuse in *caller* order: the permutation strata then sort the
+                # same way the reference ``joint_codes`` labels do, so the RNG
+                # is consumed stratum-for-stratum identically.
+                fused, card = self._joint_for(tuple(conditioning), plain=True)
+                if not conditioning:
+                    fused, card = None, None
+                return kernel.fast_independence_test(
+                    self.frame.codes(a), self.frame.codes(b), fused, n_z=card,
+                    weights=weights,
+                    use_blocked=self.use_blocked_permutations,
+                    early_exit=self.permutation_early_exit,
+                    counter_hook=self.counter_hook,
+                    **kwargs,
+                )
+            return conditional_independence_test(
+                self.frame.codes(a), self.frame.codes(b),
+                [self.frame.codes(c) for c in conditioning],
+                weights=weights,
+                early_exit=self.permutation_early_exit,
+                counter_hook=self.counter_hook,
+                **kwargs,
             )
-        return conditional_independence_test(
-            self.frame.codes(a), self.frame.codes(b),
-            [self.frame.codes(c) for c in conditioning],
-            weights=weights,
-            **kwargs,
-        )
+        finally:
+            if self.seconds_hook is not None:
+                self.seconds_hook("permutation_test",
+                                  time.perf_counter() - start)
 
     # ------------------------------------------------------------------ #
     # derived problems
@@ -422,6 +465,10 @@ class CorrelationExplanationProblem:
             for attribute, weights in self.attribute_weights.items()
         }
         restricted.use_kernel = self.use_kernel
+        restricted.use_blocked_permutations = self.use_blocked_permutations
+        restricted.permutation_early_exit = self.permutation_early_exit
+        restricted.counter_hook = self.counter_hook
+        restricted.seconds_hook = self.seconds_hook
         restricted._cmi_cache = {}
         restricted._mi_cache = {}
         restricted._entropy_cache = {}
@@ -445,6 +492,10 @@ class CorrelationExplanationProblem:
         clone.frame = self.frame
         clone.attribute_weights = self.attribute_weights
         clone.use_kernel = self.use_kernel
+        clone.use_blocked_permutations = self.use_blocked_permutations
+        clone.permutation_early_exit = self.permutation_early_exit
+        clone.counter_hook = self.counter_hook
+        clone.seconds_hook = self.seconds_hook
         clone._cmi_cache = self._cmi_cache
         clone._mi_cache = self._mi_cache
         clone._entropy_cache = self._entropy_cache

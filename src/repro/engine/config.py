@@ -71,6 +71,30 @@ class MESAConfig:
         reference estimators within float tolerance; disable only to
         reproduce the legacy (slow) estimation path, e.g. for the
         before/after performance benchmark.
+    use_blocked_permutations:
+        Run permutation-based independence tests on the blocked engine
+        (:mod:`repro.infotheory.permutation`): permutations are sampled in
+        blocks and all their contingency counts accumulate in one shared
+        ``bincount``.  The RNG stream is identical to the historical
+        per-permutation loop, so p-values and verdicts are bit-identical;
+        disable only to reproduce the pre-blocked timing (the performance
+        benchmark compares both).
+    permutation_early_exit:
+        Let the sequential test stop a permutation run as soon as the
+        verdict is determined (deterministic exceedance bracket, plus a
+        Clopper–Pearson bound for large budgets).  Off by default: early
+        exit keeps the verdicts but changes how many permutations run, so
+        reported p-values are no longer bit-reproducible against the full
+        run.  ``context.counters['perm_early_exit']`` / ``['perm_saved']``
+        count the exits and the permutations saved.
+    use_ipw_fit_cache:
+        Route IPW selection-model fits through the batched inference
+        backend (:mod:`repro.missingness.fitcache`): fits are cached by
+        observed-mask hash + design signature (attributes sharing a
+        missingness pattern fit once, ``ipw_fit_hit``/``ipw_fit_miss``
+        counters) and all uncached attributes of a query batch into one
+        multi-label IRLS solve.  Disable to reproduce the per-attribute
+        fitting path.
     n_jobs:
         Worker count for the batch APIs (``explain_many`` /
         ``explain_many_envelopes``); ``1`` (default) runs serially, ``-1``
@@ -100,6 +124,9 @@ class MESAConfig:
     ipw_predictor_columns: Optional[Tuple[str, ...]] = None
     excluded_columns: Tuple[str, ...] = ()
     use_fast_kernel: bool = True
+    use_blocked_permutations: bool = True
+    permutation_early_exit: bool = False
+    use_ipw_fit_cache: bool = True
     n_jobs: int = 1
     parallel_backend: str = "thread"
 

@@ -36,6 +36,7 @@ from repro.exceptions import ConfigurationError, QueryError
 from repro.infotheory.encoding import EncodedFrame
 from repro.kg.extraction import AttributeExtractor, ExtractionResult
 from repro.kg.graph import KnowledgeGraph
+from repro.missingness.fitcache import SelectionFitCache
 from repro.table.expressions import Predicate, canonical_predicate_key
 from repro.table.table import Table
 
@@ -74,6 +75,10 @@ class PipelineContext:
     #: context-restricted table plus its lazily-encoded columns.
     MAX_FRAME_CACHE = 32
 
+    #: Bound on the IPW selection-fit cache (LRU): each entry holds one
+    #: fitted selection model's weight vector (``8 * n_rows`` bytes).
+    MAX_IPW_FIT_CACHE = 256
+
     def __init__(self, table: Table, knowledge_graph: Optional[KnowledgeGraph] = None,
                  extraction_specs: Sequence = ()):
         self.table = table
@@ -94,6 +99,10 @@ class PipelineContext:
         self._offline: Dict[Tuple[int, float, float], PruningResult] = {}
         self._frames: "OrderedDict[Tuple[int, int, str], Tuple[Table, EncodedFrame]]" = \
             OrderedDict()
+        #: Finished IPW selection fits keyed by (design signature, observed
+        #: mask hash) — queries sharing a context (and attributes sharing a
+        #: missingness pattern) fit each selection model at most once.
+        self.ipw_fit_cache = SelectionFitCache(self.MAX_IPW_FIT_CACHE)
 
     # ------------------------------------------------------------------ #
     # counters and hooks
@@ -102,6 +111,17 @@ class PipelineContext:
         """Increment a named counter (cache misses, stage runs, queries)."""
         with self._counter_lock:
             self.counters[name] = self.counters.get(name, 0) + increment
+
+    def add_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds of a backend phase.
+
+        The batched inference backends report fine-grained phase timings
+        (``permutation_test``, ``ipw_fit``) through this hook; they land in
+        ``stage_seconds`` next to the stage-level timings, so ``/stats``
+        and the benchmarks surface them without extra plumbing.
+        """
+        with self._counter_lock:
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
 
     def merge_counters(self, counters: Dict[str, int],
                        stage_seconds: Optional[Dict[str, float]] = None) -> None:
@@ -143,6 +163,7 @@ class PipelineContext:
         forked._extraction = dict(self._extraction)
         forked._offline = dict(self._offline)
         forked._frames = OrderedDict(self._frames)
+        forked.ipw_fit_cache = self.ipw_fit_cache.copy()
         return forked
 
     def add_hook(self, hook: StageHook) -> None:

@@ -8,15 +8,19 @@
   extraction/offline-pruning caches, private counters), so no mutable state
   is shared between workers and full :class:`ExplanationResult` objects
   come back directly.
-* **process backend** — workers are forked OS processes; each builds its
-  pipeline from state inherited at fork time and ships its whole chunk of
-  results back as **one** JSON blob of
+* **process backend** — workers are OS processes; each builds its pipeline
+  once and ships its whole chunk of results back as **one** JSON blob of
   :class:`~repro.engine.envelope.ExplanationEnvelope` dicts (the envelope
   is the process-boundary form of a result, so only plain data crosses the
   boundary, and batching the chunk into a single string keeps the IPC cost
   at one serialize/parse per chunk instead of per query).  Available from
   ``explain_many_envelopes`` only — a live ``ExplanationResult`` cannot
-  cross a process boundary.
+  cross a process boundary.  On platforms with ``fork`` the workers
+  inherit the parent's warmed pipeline copy-on-write; without ``fork``
+  (Windows, macOS spawn default) the **spawn** path pickles the dataset —
+  table, knowledge graph, extraction specs, config and stage list — into
+  each worker exactly once via the pool initializer, so per-chunk task
+  payloads still carry only the queries.
 
 In both backends the workers' cache counters and stage timings are merged
 back into the parent's :class:`PipelineContext` after the batch, so the
@@ -129,8 +133,8 @@ def explain_many_threaded(pipeline, queries: Sequence, k: Optional[int],
 # --------------------------------------------------------------------------- #
 # process backend
 # --------------------------------------------------------------------------- #
-def _process_worker(payload: Tuple[List[int], List, Optional[int]]):
-    """Run one chunk inside a forked process; returns a chunked envelope blob.
+def _run_worker_chunk(worker, payload: Tuple[List[int], List, Optional[int]]):
+    """Run one chunk on a worker pipeline; returns a chunked envelope blob.
 
     The whole chunk's envelopes ship back as **one** compact JSON string
     instead of a list of nested dicts: pickling a single flat ``str`` costs
@@ -140,13 +144,6 @@ def _process_worker(payload: Tuple[List[int], List, Optional[int]]):
     serialize/parse per chunk.
     """
     indices, chunk_queries, k = payload
-    parent_pipeline = _FORK_STATE.get("pipeline")
-    if parent_pipeline is None:  # pragma: no cover - defensive
-        raise ConfigurationError("process worker started without fork state")
-    worker = _FORK_STATE.get("worker")
-    if worker is None:
-        worker = _worker_pipeline(parent_pipeline)
-        _FORK_STATE["worker"] = worker
     envelopes = []
     for query in chunk_queries:
         envelopes.append(worker.explain(query, k=k).to_envelope().to_dict())
@@ -161,42 +158,108 @@ def _process_worker(payload: Tuple[List[int], List, Optional[int]]):
     return indices, envelope_blob, counters, stage_seconds
 
 
-def explain_many_forked(pipeline, queries: Sequence, k: Optional[int],
-                        n_jobs: int) -> List[ExplanationEnvelope]:
-    """Fan the batch out over forked processes; returns envelopes.
+def _process_worker(payload: Tuple[List[int], List, Optional[int]]):
+    """Run one chunk inside a *forked* process (fork-inherited pipeline)."""
+    parent_pipeline = _FORK_STATE.get("pipeline")
+    if parent_pipeline is None:  # pragma: no cover - defensive
+        raise ConfigurationError("process worker started without fork state")
+    worker = _FORK_STATE.get("worker")
+    if worker is None:
+        worker = _worker_pipeline(parent_pipeline)
+        _FORK_STATE["worker"] = worker
+    return _run_worker_chunk(worker, payload)
 
-    Requires the ``fork`` start method (each worker inherits the parent's
-    warmed pipeline without pickling the table); platforms without fork
-    fall back to the thread backend.
+
+#: Spawn-mode per-process state: the worker pipeline built once by
+#: :func:`_spawn_initializer` from the pickled dataset parts.
+_SPAWN_STATE: Dict[str, object] = {}
+
+
+def _spawn_initializer(table, knowledge_graph, extraction_specs, config,
+                       stages) -> None:
+    """Build one pipeline per spawned worker from pickled dataset parts.
+
+    Spawned processes inherit nothing, so the parent pickles the table (and
+    knowledge graph, extraction specs, configuration and stage list) into
+    each worker exactly once — through the pool initializer — rather than
+    once per submitted chunk.  The worker warms its own cross-query caches
+    on the first query it runs.
+    """
+    from repro.engine.pipeline import ExplanationPipeline
+
+    _SPAWN_STATE["worker"] = ExplanationPipeline(
+        table, knowledge_graph, extraction_specs,
+        config=config.with_overrides(n_jobs=1), stages=list(stages))
+
+
+def _spawn_worker(payload: Tuple[List[int], List, Optional[int]]):
+    """Run one chunk inside a *spawned* process (initializer-built pipeline)."""
+    worker = _SPAWN_STATE.get("worker")
+    if worker is None:  # pragma: no cover - defensive
+        raise ConfigurationError("spawn worker started without an initializer")
+    return _run_worker_chunk(worker, payload)
+
+
+def explain_many_forked(pipeline, queries: Sequence, k: Optional[int],
+                        n_jobs: int,
+                        start_method: Optional[str] = None,
+                        ) -> List[ExplanationEnvelope]:
+    """Fan the batch out over worker processes; returns envelopes.
+
+    With the ``fork`` start method (preferred where available) each worker
+    inherits the parent's warmed pipeline copy-on-write — nothing ships to
+    the workers.  On platforms without fork the **spawn** path is used
+    instead: the dataset parts are pickled into each worker exactly once
+    via the pool initializer, and each worker builds (and keeps) its own
+    pipeline.  ``start_method`` forces one of ``"fork"`` / ``"spawn"``
+    (tests force spawn to exercise the portable path).
     """
     import multiprocessing
 
-    if "fork" not in multiprocessing.get_all_start_methods():
+    available = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        start_method = "fork" if "fork" in available else "spawn"
+    if start_method not in ("fork", "spawn"):
+        raise ConfigurationError(
+            f"start_method must be 'fork' or 'spawn', got {start_method!r}")
+    if start_method not in available:  # pragma: no cover - platform specific
         results = explain_many_threaded(pipeline, queries, k, n_jobs)
         return [result.to_envelope() for result in results]
 
-    # Warm the cross-query caches before forking so every worker inherits
-    # them instead of redoing extraction per process.
-    _warm_context(pipeline)
-
     chunks = _chunks(len(queries), n_jobs)
+    payloads = [(chunk, [queries[i] for i in chunk], k) for chunk in chunks]
     envelopes: List[Optional[ExplanationEnvelope]] = [None] * len(queries)
-    with _FORK_LOCK:
-        _FORK_STATE["pipeline"] = pipeline
-        try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(max_workers=len(chunks),
-                                     mp_context=context) as executor:
-                payloads = [(chunk, [queries[i] for i in chunk], k) for chunk in chunks]
-                for indices, envelope_blob, counters, stage_seconds in executor.map(
-                        _process_worker, payloads):
-                    chunk_envelopes = json.loads(envelope_blob)
-                    for index, envelope_dict in zip(indices, chunk_envelopes):
-                        envelopes[index] = ExplanationEnvelope.from_dict(envelope_dict)
-                    _merge_worker_context(pipeline.context, counters, stage_seconds)
-        finally:
-            _FORK_STATE.pop("pipeline", None)
-            _FORK_STATE.pop("worker", None)
+
+    def drain(results_iter) -> None:
+        for indices, envelope_blob, counters, stage_seconds in results_iter:
+            chunk_envelopes = json.loads(envelope_blob)
+            for index, envelope_dict in zip(indices, chunk_envelopes):
+                envelopes[index] = ExplanationEnvelope.from_dict(envelope_dict)
+            _merge_worker_context(pipeline.context, counters, stage_seconds)
+
+    if start_method == "fork":
+        # Warm the cross-query caches before forking so every worker
+        # inherits them instead of redoing extraction per process.
+        _warm_context(pipeline)
+        with _FORK_LOCK:
+            _FORK_STATE["pipeline"] = pipeline
+            try:
+                context = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(max_workers=len(chunks),
+                                         mp_context=context) as executor:
+                    drain(executor.map(_process_worker, payloads))
+            finally:
+                _FORK_STATE.pop("pipeline", None)
+                _FORK_STATE.pop("worker", None)
+    else:
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+                max_workers=len(chunks), mp_context=context,
+                initializer=_spawn_initializer,
+                initargs=(pipeline.table, pipeline.context.knowledge_graph,
+                          pipeline.context.extraction_specs, pipeline.config,
+                          tuple(pipeline.stages))) as executor:
+            drain(executor.map(_spawn_worker, payloads))
     pipeline.context.count("parallel_batches")
     pipeline.context.count("parallel_workers", len(chunks))
     return envelopes

@@ -22,6 +22,7 @@ wall-clock cost in its timer under the stage's timing labels.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +33,7 @@ from repro.core.problem import CorrelationExplanationProblem
 from repro.core.pruning import PruningResult, online_prune
 from repro.engine.context import PipelineContext
 from repro.engine.config import MESAConfig
+from repro.missingness.fitcache import compute_ipw_weights_batched
 from repro.missingness.ipw import IPWWeights, compute_ipw_weights
 from repro.missingness.recoverability import RecoverabilityReport, attribute_selection_bias
 from repro.query.aggregate_query import AggregateQuery
@@ -144,6 +146,9 @@ class OnlinePruningStage(PipelineStage):
                 state.augmented, state.query, state.candidates, n_bins=config.n_bins,
                 use_kernel=config.use_fast_kernel,
                 frame=frame, context_table=context_table,
+                use_blocked_permutations=config.use_blocked_permutations,
+                permutation_early_exit=config.permutation_early_exit,
+                counter_hook=context.count, seconds_hook=context.add_seconds,
             )
         with state.timer.measure("online_pruning"):
             if config.use_online_pruning:
@@ -181,6 +186,10 @@ class SelectionBiasStage(PipelineStage):
                         # factorised (and the context filtered) at most once.
                         frame=state.problem.frame,
                         context_table=state.problem.context_table,
+                        use_blocked_permutations=config.use_blocked_permutations,
+                        permutation_early_exit=config.permutation_early_exit,
+                        counter_hook=context.count,
+                        seconds_hook=context.add_seconds,
                     )
             # Narrow the problem to the surviving candidates; the CMI caches
             # are shared, so this is free.
@@ -191,19 +200,8 @@ class SelectionBiasStage(PipelineStage):
         config = state.config
         problem = state.problem
         reports: List[RecoverabilityReport] = []
-        weights: Dict[str, IPWWeights] = {}
+        biased: List[str] = []
         predictors = ipw_predictor_columns(context.table, state.query, config)
-        features = None
-        row_groups = None
-        if predictors:
-            from repro.missingness.logistic import one_hot_encode_codes
-            predictor_codes = [problem.frame.codes(column) for column in predictors]
-            features = one_hot_encode_codes(predictor_codes)
-            # Every biased attribute fits its selection model over the same
-            # design; group identical predictor rows once so each fit can
-            # run on binomial groups instead of raw rows.  A missing code
-            # is its own category (it is an all-zero one-hot block).
-            row_groups = _predictor_row_groups(predictor_codes)
         for attribute in state.candidates:
             column = problem.context_table.column(attribute)
             if column.missing_fraction() < config.min_missing_for_bias_check:
@@ -214,10 +212,57 @@ class SelectionBiasStage(PipelineStage):
                                               use_kernel=config.use_fast_kernel)
             reports.append(report)
             if report.selection_bias:
-                weights[attribute] = compute_ipw_weights(problem.frame, attribute,
-                                                         predictors, features=features,
-                                                         row_groups=row_groups)
+                biased.append(attribute)
+        if not biased:
+            return reports, {}
+        fit_start = time.perf_counter()
+        try:
+            weights = self._fit_selection_models(problem, biased, predictors,
+                                                 context, config)
+        finally:
+            context.add_seconds("ipw_fit", time.perf_counter() - fit_start)
         return reports, weights
+
+    @staticmethod
+    def _fit_selection_models(problem, biased: List[str], predictors: List[str],
+                              context: PipelineContext, config: MESAConfig,
+                              ) -> Dict[str, IPWWeights]:
+        """Fit the selection models of the biased attributes.
+
+        The default path routes every fit through the context's
+        :class:`~repro.missingness.fitcache.SelectionFitCache` (hits are
+        counted as ``ipw_fit_hit``) and batches the misses into one
+        multi-label IRLS solve; ``use_ipw_fit_cache=False`` reproduces the
+        historical per-attribute fitting loop.
+        """
+        def build_design():
+            """One-hot features + binomial row groups of the shared design.
+
+            Every biased attribute fits its selection model over the same
+            design; grouping identical predictor rows once lets each fit
+            run on binomial groups instead of raw rows.  A missing code is
+            its own category (it is an all-zero one-hot block).
+            """
+            if not predictors:
+                return None, None
+            from repro.missingness.logistic import one_hot_encode_codes
+            predictor_codes = [problem.frame.codes(column) for column in predictors]
+            return (one_hot_encode_codes(predictor_codes),
+                    _predictor_row_groups(predictor_codes))
+
+        if config.use_ipw_fit_cache:
+            # The design is built lazily, only when some fit misses the
+            # cache — a fully cached query (the warm serving shape) skips
+            # the one-hot encoding entirely.
+            return compute_ipw_weights_batched(
+                problem.frame, biased, predictors,
+                design_factory=build_design,
+                cache=context.ipw_fit_cache, counter_hook=context.count)
+        features, row_groups = build_design()
+        return {attribute: compute_ipw_weights(problem.frame, attribute,
+                                               predictors, features=features,
+                                               row_groups=row_groups)
+                for attribute in biased}
 
 
 class SearchStage(PipelineStage):

@@ -48,6 +48,11 @@ from repro.infotheory.kernel import (
     fast_independence_test,
     fuse_codes,
 )
+from repro.infotheory.permutation import (
+    PermutationPlan,
+    blocked_permutation_test,
+    sequential_permutation_test,
+)
 
 __all__ = [
     "EncodedFrame",
@@ -68,4 +73,7 @@ __all__ = [
     "contingency_mi",
     "fast_independence_test",
     "fuse_codes",
+    "PermutationPlan",
+    "blocked_permutation_test",
+    "sequential_permutation_test",
 ]

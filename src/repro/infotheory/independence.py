@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.infotheory.encoding import joint_codes
 from repro.infotheory.mutual_information import conditional_mutual_information
+from repro.infotheory.permutation import PermutationPlan, sequential_permutation_test
 from repro.utils.rng import make_rng
 
 DEFAULT_CMI_THRESHOLD = 0.01
@@ -36,15 +37,22 @@ class IndependenceResult:
         The observed conditional mutual information.
     p_value:
         Fraction of permutation CMIs at least as large as the observed one
-        (1.0 when the threshold shortcut fired).
+        (1.0 when the threshold shortcut fired).  After an early exit the
+        fraction reflects only the permutations actually run; the verdict
+        is still the one the full run would have produced (see
+        :mod:`repro.infotheory.permutation`).
     n_permutations:
         Number of permutations actually run (0 for the shortcut).
+    early_exit:
+        True when the sequential test stopped before exhausting its
+        permutation budget.
     """
 
     independent: bool
     cmi: float
     p_value: float
     n_permutations: int
+    early_exit: bool = False
 
 
 def _permute_within_strata(x: np.ndarray, strata: np.ndarray,
@@ -65,7 +73,9 @@ def conditional_independence_test(x: np.ndarray, y: np.ndarray,
                                   n_permutations: int = 30,
                                   alpha: float = 0.05,
                                   dependent_threshold: Optional[float] = None,
-                                  seed: Optional[int] = 0) -> IndependenceResult:
+                                  seed: Optional[int] = 0,
+                                  early_exit: bool = False,
+                                  counter_hook=None) -> IndependenceResult:
     """Test whether ``X ⊥ Y | conditioning`` holds in the data.
 
     The test first applies two cheap shortcuts: if the observed CMI is below
@@ -76,6 +86,12 @@ def conditional_independence_test(x: np.ndarray, y: np.ndarray,
     when the permutation p-value exceeds ``alpha``.  Note the smallest
     achievable p-value is ``1/(n_permutations+1)``, so at least 20
     permutations are needed for decisions at ``alpha=0.05``.
+
+    The permutation loop runs on the blocked engine's precomputed strata
+    plan (:mod:`repro.infotheory.permutation`) — same RNG stream, same
+    p-values, no per-permutation strata re-derivation.  With
+    ``early_exit=True`` the sequential decision stops the loop as soon as
+    the verdict is determined.
     """
     x = np.asarray(x, dtype=np.int64)
     y = np.asarray(y, dtype=np.int64)
@@ -89,12 +105,16 @@ def conditional_independence_test(x: np.ndarray, y: np.ndarray,
         return IndependenceResult(independent=False, cmi=observed, p_value=0.0, n_permutations=0)
     rng = make_rng(seed)
     strata = joint_codes(conditioning) if conditioning else np.zeros(len(x), dtype=np.int64)
-    exceed = 0
-    for _ in range(n_permutations):
-        permuted = _permute_within_strata(x, strata, rng)
-        null_cmi = conditional_mutual_information(permuted, y, conditioning, weights=weights)
-        if null_cmi >= observed:
-            exceed += 1
-    p_value = (exceed + 1) / (n_permutations + 1)
-    return IndependenceResult(independent=p_value > alpha, cmi=observed,
-                              p_value=p_value, n_permutations=n_permutations)
+    exceed, n_run, verdict, computed = sequential_permutation_test(
+        x, PermutationPlan(strata), rng, observed, n_permutations, alpha,
+        lambda permuted: conditional_mutual_information(
+            permuted, y, conditioning, weights=weights),
+        early_exit=early_exit)
+    if counter_hook is not None and verdict is not None:
+        counter_hook("perm_early_exit", 1)
+        counter_hook("perm_saved", n_permutations - computed)
+    p_value = (exceed + 1) / (n_run + 1)
+    independent = verdict if verdict is not None else p_value > alpha
+    return IndependenceResult(independent=independent, cmi=observed,
+                              p_value=p_value, n_permutations=n_run,
+                              early_exit=verdict is not None)

@@ -40,6 +40,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import EstimationError
+from repro.infotheory import permutation
 from repro.infotheory.entropy import _ESTIMATORS, _validate_weights, conditional_entropy
 from repro.infotheory.independence import (
     DEFAULT_CMI_THRESHOLD,
@@ -288,15 +289,29 @@ def fast_independence_test(x: np.ndarray, y: np.ndarray,
                            n_permutations: int = 30,
                            alpha: float = 0.05,
                            dependent_threshold: Optional[float] = None,
-                           seed: Optional[int] = 0) -> IndependenceResult:
+                           seed: Optional[int] = 0,
+                           use_blocked: bool = True,
+                           early_exit: bool = False,
+                           block_size: Optional[int] = None,
+                           counter_hook=None) -> IndependenceResult:
     """Kernel-backed drop-in for ``conditional_independence_test``.
 
     The conditioning set arrives pre-fused (``z``/``n_z``) and is reused
-    across every permutation, so a 20-permutation test costs 21 bincounts
-    instead of 21 row-wise re-factorisations.  The permutation strata are
-    the fused codes themselves: they induce the same partition, in the same
-    sorted order, as the reference ``joint_codes`` strata, so the RNG is
-    consumed identically and the verdicts match the reference test exactly.
+    across every permutation.  With ``use_blocked=True`` (default) the
+    permutation phase runs on the blocked engine
+    (:func:`repro.infotheory.permutation.blocked_permutation_test`):
+    permutations are sampled in blocks as one fancy-index, all their
+    contingency counts accumulate in one shared ``bincount``, and — because
+    the engine consumes the RNG exactly as the historical loop did — the
+    p-values stay bit-identical (``early_exit=False``).  The permutation
+    strata are the fused codes themselves: they induce the same partition,
+    in the same sorted order, as the reference ``joint_codes`` strata, so
+    verdicts also match the reference test exactly.
+
+    ``early_exit=True`` stops the sequential test as soon as the verdict is
+    determined (see :mod:`repro.infotheory.permutation`); ``counter_hook``
+    (a ``(name, increment)`` callable) observes ``perm_early_exit`` /
+    ``perm_saved`` when that happens.
     """
     x = np.asarray(x, dtype=np.int64)
     y = np.asarray(y, dtype=np.int64)
@@ -312,12 +327,45 @@ def fast_independence_test(x: np.ndarray, y: np.ndarray,
                                   p_value=0.0, n_permutations=0)
     rng = make_rng(seed)
     strata = z if z is not None else np.zeros(len(x), dtype=np.int64)
+    if use_blocked:
+        fused_z = np.asarray(strata, dtype=np.int64)
+        card_z = n_z if z is not None and n_z is not None \
+            else code_cardinality(fused_z)
+        exceed, n_run, verdict, computed = permutation.blocked_permutation_test(
+            x, y, fused_z, card_z, weights, observed, n_permutations, alpha,
+            rng, early_exit=early_exit, block_size=block_size)
+        if counter_hook is not None and verdict is not None:
+            counter_hook("perm_early_exit", 1)
+            # Savings are counted against the permutations actually scored
+            # (the block look-ahead is paid work, not a saving).
+            counter_hook("perm_saved", n_permutations - computed)
+        p_value = (exceed + 1) / (n_run + 1)
+        independent = verdict if verdict is not None else p_value > alpha
+        return IndependenceResult(independent=independent, cmi=observed,
+                                  p_value=p_value, n_permutations=n_run,
+                                  early_exit=verdict is not None)
+    # Historical per-permutation loop (use_blocked=False) — kept as the
+    # benchmark's pre-blocked reference; the sequential early-exit decision
+    # still applies so the config flag means the same thing on every path.
     exceed = 0
-    for _ in range(n_permutations):
+    verdict = None
+    n_run = n_permutations
+    for done in range(1, n_permutations + 1):
         permuted = _permute_within_strata(x, strata, rng)
         null_cmi = contingency_cmi(permuted, y, z, n_z=n_z, weights=weights)
         if null_cmi >= observed:
             exceed += 1
-    p_value = (exceed + 1) / (n_permutations + 1)
-    return IndependenceResult(independent=p_value > alpha, cmi=observed,
-                              p_value=p_value, n_permutations=n_permutations)
+        if early_exit:
+            verdict = permutation.sequential_verdict(
+                exceed, done, n_permutations, alpha)
+            if verdict is not None:
+                n_run = done
+                break
+    if counter_hook is not None and verdict is not None:
+        counter_hook("perm_early_exit", 1)
+        counter_hook("perm_saved", n_permutations - n_run)
+    p_value = (exceed + 1) / (n_run + 1)
+    independent = verdict if verdict is not None else p_value > alpha
+    return IndependenceResult(independent=independent, cmi=observed,
+                              p_value=p_value, n_permutations=n_run,
+                              early_exit=verdict is not None)

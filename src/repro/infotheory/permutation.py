@@ -1,0 +1,336 @@
+"""Blocked permutation engine with a sequential early-exit test.
+
+Both independence tests (:func:`repro.infotheory.independence.
+conditional_independence_test` and :func:`repro.infotheory.kernel.
+fast_independence_test`) estimate a permutation p-value by re-computing the
+CMI after permuting ``X`` within strata of the conditioning set.  The
+historical loops paid three avoidable costs *per permutation*:
+
+* re-deriving the strata (``np.unique`` + one ``np.where`` per stratum —
+  ``O(n · n_strata)``) although the strata never change;
+* one full Python round-trip through the estimator per permutation;
+* on the kernel path, one independent ``bincount`` per permutation although
+  the conditioning codes are already fused.
+
+This module restructures the permutation layer:
+
+* :class:`PermutationPlan` precomputes the stratum index lists once.  Its
+  :meth:`~PermutationPlan.permute` draws ``rng.permutation`` per stratum in
+  exactly the order (sorted stratum values, ascending row indices) of the
+  historical ``_permute_within_strata``, so the RNG stream — and therefore
+  every permutation, p-value and verdict — is bit-for-bit identical.
+* :func:`blocked_permutation_test` samples permutations in blocks: one
+  ``(B, n)`` permuted-code matrix, one shared ``np.bincount`` over
+  per-permutation offset fused codes, then the per-permutation entropies are
+  read off prefix-trimmed views of the count tensor with the *same*
+  arithmetic as :func:`repro.infotheory.kernel.contingency_cmi` — the null
+  CMIs (and hence the p-values) are bit-identical to the per-permutation
+  kernel loop while paying one ``bincount`` per block instead of per
+  permutation.
+* :func:`sequential_permutation_test` drives an arbitrary per-permutation
+  statistic (the reference estimators use this) through the same plan and
+  early-exit decision.
+
+Early exit (``early_exit=True``) is a *sequential* test on the exceedance
+count.  Two deterministic bounds never flip the fixed-``N`` verdict: with
+``k`` exceedances after ``m`` of ``N`` permutations the final p-value
+``(K + 1) / (N + 1)`` is bracketed by ``k <= K <= k + (N - m)``, so the test
+stops as soon as the bracket lies entirely above or below ``alpha``
+(in the common "truly independent" case the very first exceedance already
+decides the verdict at ``alpha >= 1 / (N + 1)``).  For large permutation
+budgets a Clopper–Pearson interval on the true exceedance probability
+additionally stops the test once the interval clears ``alpha`` at
+confidence ``CP_CONFIDENCE`` — this bound can in principle differ from the
+full run (probability below ``1 - CP_CONFIDENCE``) and only engages after
+:data:`CP_MIN_PERMUTATIONS` draws, so small-budget tests (the pipeline
+default of 20–30) are decided purely by the verdict-preserving bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+#: Upper bound on the number of cells materialised per blocked bincount;
+#: blocks are chunked so ``block * cells_per_permutation`` stays below it.
+BLOCK_CELL_BUDGET = 1 << 22
+
+#: Upper bound on ``block * n_rows`` — the blocked path materialises a
+#: handful of ``(block, n)`` temporaries, so small contingency spaces with
+#: huge permutation budgets must not translate into unbounded blocks
+#: (~16 MB per int64 temporary at this budget).
+BLOCK_ROW_BUDGET = 1 << 21
+
+#: First-block size when early exit is enabled.  A whole block is permuted
+#: and scored before the sequential decision sees its exceedances, so the
+#: common first-exceedance exit must not pay for a full-budget block;
+#: blocks ramp geometrically from here up to the memory-bounded size.
+EARLY_EXIT_INITIAL_BLOCK = 8
+
+#: Confidence of the Clopper–Pearson early-exit bound (two-sided).
+CP_CONFIDENCE = 0.9999
+
+#: The Clopper–Pearson bound only engages after this many permutations, so
+#: small permutation budgets are decided purely by the deterministic
+#: (verdict-preserving) bracket.
+CP_MIN_PERMUTATIONS = 100
+
+
+# --------------------------------------------------------------------------- #
+# stratified permutation plan
+# --------------------------------------------------------------------------- #
+class PermutationPlan:
+    """Precomputed strata of a conditioning code array.
+
+    The plan derives, once, the row-index lists of every stratum with more
+    than one member — the only strata that consume randomness.  Iteration
+    order matches the historical per-permutation derivation exactly:
+    strata sorted by code value, indices ascending within a stratum.
+    """
+
+    __slots__ = ("n_rows", "groups")
+
+    def __init__(self, strata: np.ndarray):
+        strata = np.asarray(strata)
+        self.n_rows = len(strata)
+        groups: List[np.ndarray] = []
+        if self.n_rows:
+            order = np.argsort(strata, kind="stable").astype(np.int64)
+            sorted_strata = strata[order]
+            boundaries = np.flatnonzero(sorted_strata[1:] != sorted_strata[:-1]) + 1
+            groups = [group for group in np.split(order, boundaries)
+                      if len(group) > 1]
+        self.groups = groups
+
+    def permute(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """One stratified permutation of ``x`` (same RNG stream as legacy)."""
+        permuted = x.copy()
+        for indices in self.groups:
+            permuted[indices] = x[rng.permutation(indices)]
+        return permuted
+
+    def permute_block(self, x: np.ndarray, rng: np.random.Generator,
+                      count: int) -> np.ndarray:
+        """A ``(count, n)`` matrix of stratified permutations of ``x``.
+
+        Row ``b`` equals the ``b``-th sequential :meth:`permute` draw, so a
+        block of ``count`` permutations consumes the RNG exactly as
+        ``count`` scalar draws would.
+        """
+        block = np.tile(np.asarray(x), (count, 1))
+        for row in block:
+            for indices in self.groups:
+                row[indices] = x[rng.permutation(indices)]
+        return block
+
+
+# --------------------------------------------------------------------------- #
+# sequential early-exit decision
+# --------------------------------------------------------------------------- #
+def clopper_pearson_interval(successes: int, trials: int,
+                             confidence: float = CP_CONFIDENCE,
+                             ) -> Tuple[float, float]:
+    """Two-sided Clopper–Pearson interval for a binomial proportion.
+
+    Falls back to the trivial ``(0, 1)`` interval when SciPy is not
+    available — the deterministic bracket then remains the only early-exit
+    rule, which is always verdict-preserving.
+    """
+    if trials <= 0:
+        return 0.0, 1.0
+    try:
+        from scipy.stats import beta
+    except ImportError:  # pragma: no cover - scipy is an optional accelerator
+        return 0.0, 1.0
+    tail = (1.0 - confidence) / 2.0
+    lower = 0.0 if successes == 0 else float(
+        beta.ppf(tail, successes, trials - successes + 1))
+    upper = 1.0 if successes == trials else float(
+        beta.ppf(1.0 - tail, successes + 1, trials - successes))
+    return lower, upper
+
+
+def sequential_verdict(exceed: int, done: int, total: int,
+                       alpha: float) -> Optional[bool]:
+    """Early verdict (``True`` = independent) after ``done`` permutations.
+
+    ``None`` means undecided.  The deterministic bracket on the final
+    p-value never contradicts the full ``total``-permutation run; the
+    Clopper–Pearson rule (large ``done`` only) bounds the true exceedance
+    probability instead and is correct with probability ``CP_CONFIDENCE``.
+    """
+    if done >= total:
+        return None
+    # Final p = (K + 1) / (total + 1) with exceed <= K <= exceed + remaining.
+    if (exceed + 1) / (total + 1) > alpha:
+        return True
+    if (exceed + (total - done) + 1) / (total + 1) <= alpha:
+        return False
+    if done >= CP_MIN_PERMUTATIONS:
+        lower, upper = clopper_pearson_interval(exceed, done)
+        if lower > alpha:
+            return True
+        if upper < alpha:
+            return False
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# generic (estimator-agnostic) sequential driver
+# --------------------------------------------------------------------------- #
+def sequential_permutation_test(
+        x: np.ndarray, plan: PermutationPlan, rng: np.random.Generator,
+        observed: float, n_permutations: int, alpha: float,
+        null_statistic: Callable[[np.ndarray], float],
+        early_exit: bool = False) -> Tuple[int, int, Optional[bool], int]:
+    """Drive a per-permutation statistic through the plan.
+
+    Returns ``(exceed, n_run, verdict, computed)`` where ``verdict`` is
+    the early decision (``None`` when the test ran to completion — the
+    caller then derives the verdict from the p-value as before) and
+    ``computed`` is the number of null statistics actually evaluated
+    (equal to ``n_run`` here; the blocked driver may look ahead).  With
+    ``early_exit=False`` this is a bit-identical restructuring of the
+    historical loop: same permutations, same statistics, same counts.
+    """
+    exceed = 0
+    for done in range(1, n_permutations + 1):
+        permuted = plan.permute(x, rng)
+        if null_statistic(permuted) >= observed:
+            exceed += 1
+        if early_exit:
+            verdict = sequential_verdict(exceed, done, n_permutations, alpha)
+            if verdict is not None:
+                return exceed, done, verdict, done
+    return exceed, n_permutations, None, n_permutations
+
+
+# --------------------------------------------------------------------------- #
+# blocked kernel driver (fused conditioning codes)
+# --------------------------------------------------------------------------- #
+def _block_null_cmis(x_block: np.ndarray, y: np.ndarray, z: np.ndarray,
+                     n_z: int, weights: Optional[np.ndarray],
+                     estimator: str, base: float) -> np.ndarray:
+    """Null CMIs of every permutation row of ``x_block`` in one bincount.
+
+    Bit-identical to calling :func:`repro.infotheory.kernel.contingency_cmi`
+    per row: cells accumulate in the same row order, and the entropies are
+    read off per-permutation *prefix-trimmed* views of the count tensor so
+    every reduction runs over exactly the array the scalar kernel builds.
+    """
+    from repro.infotheory.kernel import entropy_from_counts
+
+    n_block, n_rows = x_block.shape
+    base_mask = (y >= 0) & (z >= 0)
+    valid = base_mask[None, :] & (x_block >= 0)
+    # Per-permutation cardinalities: the scalar kernel derives n_x / n_y
+    # from each permutation's complete cases (n_z arrives precomputed).
+    masked_x = np.where(valid, x_block, -1)
+    masked_y = np.where(valid, y[None, :], -1)
+    n_x_rows = masked_x.max(axis=1) + 1
+    n_y_rows = masked_y.max(axis=1) + 1
+    n_x = int(n_x_rows.max()) if n_block else 0
+    n_y = int(n_y_rows.max()) if n_block else 0
+    cmis = np.zeros(n_block, dtype=np.float64)
+    if n_x <= 0 or n_y <= 0:
+        return cmis
+    cells = n_x * n_y * n_z
+    fused = (z[None, :] * n_y + y[None, :]) * n_x + masked_x
+    fused += np.arange(n_block, dtype=np.int64)[:, None] * cells
+    flat_valid = valid.ravel()
+    flat_fused = fused.ravel()[flat_valid]
+    if weights is not None:
+        flat_weights = np.broadcast_to(weights, (n_block, n_rows)).ravel()[flat_valid]
+        counts = np.bincount(flat_fused, weights=flat_weights,
+                             minlength=n_block * cells)
+    else:
+        counts = np.bincount(flat_fused, minlength=n_block * cells).astype(np.float64)
+    counts = counts.reshape(n_block, n_z, n_y, n_x)
+    for index in range(n_block):
+        if not valid[index].any():
+            continue
+        # Prefix-trim to this permutation's (n_z, n_y_b, n_x_b) shape — and
+        # make it contiguous — so the marginal reductions run over the exact
+        # arrays the scalar kernel would reduce (identical layouts and
+        # therefore identical pairwise-summation trees).
+        tensor = np.ascontiguousarray(
+            counts[index, :, :int(n_y_rows[index]), :int(n_x_rows[index])])
+        h_xyz = entropy_from_counts(tensor.ravel(), estimator=estimator, base=base)
+        h_xz = entropy_from_counts(tensor.sum(axis=1).ravel(),
+                                   estimator=estimator, base=base)
+        h_yz = entropy_from_counts(tensor.sum(axis=2).ravel(),
+                                   estimator=estimator, base=base)
+        h_z = entropy_from_counts(tensor.sum(axis=(1, 2)),
+                                  estimator=estimator, base=base)
+        cmis[index] = max(0.0, h_xz + h_yz - h_xyz - h_z)
+    return cmis
+
+
+def blocked_permutation_test(
+        x: np.ndarray, y: np.ndarray, z: np.ndarray, n_z: int,
+        weights: Optional[np.ndarray], observed: float,
+        n_permutations: int, alpha: float, rng: np.random.Generator,
+        estimator: str = "plugin", base: float = 2.0,
+        early_exit: bool = False, block_size: Optional[int] = None,
+        ) -> Tuple[int, int, Optional[bool], int]:
+    """Blocked permutation p-value machinery over fused conditioning codes.
+
+    Samples permutations in blocks (one fancy-index + one shared bincount
+    per block) and feeds the exceedance count through the sequential
+    decision.  Returns ``(exceed, n_run, verdict, computed)`` like
+    :func:`sequential_permutation_test` — ``computed`` counts the null
+    CMIs actually evaluated, which on an early exit includes the current
+    block's look-ahead beyond ``n_run`` (the decision only sees a block
+    after it is scored), so callers reporting savings use ``computed``,
+    not ``n_run``.  With ``early_exit=False`` the exceedance count — and
+    therefore the p-value — is bit-identical to the per-permutation
+    kernel loop over the same RNG stream.
+    """
+    from repro.infotheory import kernel
+
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    z = np.asarray(z, dtype=np.int64)
+    plan = PermutationPlan(z)
+    present_x = x[x >= 0]
+    present_y = y[y >= 0]
+    n_x_bound = int(present_x.max()) + 1 if present_x.size else 1
+    n_y_bound = int(present_y.max()) + 1 if present_y.size else 1
+    cells_bound = n_x_bound * n_y_bound * max(1, n_z)
+    if cells_bound > kernel.DENSE_CELL_LIMIT:
+        # Pathologically wide code spaces take the scalar kernel per
+        # permutation (which compacts / falls back as needed); the plan
+        # still removes the per-permutation strata re-derivation.
+        return sequential_permutation_test(
+            x, plan, rng, observed, n_permutations, alpha,
+            lambda permuted: kernel.contingency_cmi(
+                permuted, y, z, n_z=n_z, weights=weights,
+                estimator=estimator, base=base),
+            early_exit=early_exit)
+    if block_size is None:
+        block_size = max(1, min(n_permutations,
+                                BLOCK_CELL_BUDGET // cells_bound,
+                                BLOCK_ROW_BUDGET // max(1, len(x))))
+    exceed = 0
+    done = 0
+    computed = 0
+    # Blocking never changes the RNG stream (permutations are drawn
+    # sequentially regardless of block boundaries), so the early-exit ramp
+    # below only trades batching width against wasted look-ahead.
+    ramp = EARLY_EXIT_INITIAL_BLOCK if early_exit else block_size
+    while done < n_permutations:
+        count = min(ramp, block_size, n_permutations - done)
+        ramp = min(ramp * 4, block_size)
+        block = plan.permute_block(x, rng, count)
+        null_cmis = _block_null_cmis(block, y, z, n_z, weights, estimator, base)
+        computed += count
+        for value in null_cmis:
+            done += 1
+            if value >= observed:
+                exceed += 1
+            if early_exit:
+                verdict = sequential_verdict(exceed, done, n_permutations, alpha)
+                if verdict is not None:
+                    return exceed, done, verdict, computed
+    return exceed, n_permutations, None, computed

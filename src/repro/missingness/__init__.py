@@ -14,9 +14,13 @@ This package provides:
   that the paper compares against.
 """
 
+from repro.missingness.fitcache import (
+    SelectionFitCache,
+    compute_ipw_weights_batched,
+)
 from repro.missingness.imputation import complete_cases, impute_mean, impute_mode
 from repro.missingness.ipw import IPWWeights, compute_ipw_weights
-from repro.missingness.logistic import LogisticRegression
+from repro.missingness.logistic import LogisticRegression, fit_logistic_multi
 from repro.missingness.patterns import inject_biased_removal, inject_mcar
 from repro.missingness.recoverability import (
     RecoverabilityReport,
@@ -30,8 +34,11 @@ __all__ = [
     "impute_mean",
     "impute_mode",
     "IPWWeights",
+    "SelectionFitCache",
     "compute_ipw_weights",
+    "compute_ipw_weights_batched",
     "LogisticRegression",
+    "fit_logistic_multi",
     "inject_biased_removal",
     "inject_mcar",
     "RecoverabilityReport",

@@ -142,6 +142,129 @@ class LogisticRegression:
         return (self.predict_proba(features) >= threshold).astype(np.int64)
 
 
+def fit_logistic_multi(features: np.ndarray, labels_matrix: np.ndarray,
+                       row_groups: Optional[np.ndarray] = None,
+                       l2: float = 1e-3, max_iter: int = 50,
+                       tol: float = 1e-8) -> List[LogisticRegression]:
+    """Fit one logistic model per column of ``labels_matrix`` in one solve.
+
+    The IPW layer fits a selection model per biased attribute over the
+    *same* design matrix; running those fits one by one repeats the whole
+    Newton machinery per attribute.  This multi-label IRLS path batches the
+    per-iteration work across all labels:
+
+    * one ``design @ Beta`` matmul evaluates every label's linear
+      predictor;
+    * one ``einsum`` assembles every label's Hessian
+      ``X^T diag(w_l) X``;
+    * one *batched* ``np.linalg.solve`` over the stacked ``(L, d, d)``
+      Hessians performs every label's Newton step.
+
+    Per label, every iteration computes exactly the quantities of
+    :meth:`LogisticRegression.fit` (same grouping decision, same degenerate
+    fallback, same per-label convergence test on the step norm), so each
+    returned model follows the same Newton trajectory as an individual fit
+    up to floating-point summation order — coefficients agree to well below
+    the tolerances the estimators care about.  Labels that converge are
+    frozen; the loop continues with the still-active columns only.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    labels_matrix = np.asarray(labels_matrix, dtype=np.float64)
+    if features.ndim != 2:
+        raise MissingDataError(f"features must be 2-dimensional, got shape {features.shape}")
+    if labels_matrix.ndim != 2:
+        raise MissingDataError(
+            f"labels_matrix must be 2-dimensional, got shape {labels_matrix.shape}")
+    if len(features) != len(labels_matrix):
+        raise MissingDataError(
+            f"features ({len(features)} rows) and labels_matrix "
+            f"({len(labels_matrix)}) differ in length")
+    if not np.isin(labels_matrix, (0.0, 1.0)).all():
+        raise MissingDataError("labels must be binary (0/1)")
+    n_rows, n_features = features.shape
+    n_labels = labels_matrix.shape[1]
+    models = [LogisticRegression(l2=l2, max_iter=max_iter, tol=tol)
+              for _ in range(n_labels)]
+    if n_labels == 0:
+        return models
+    design = np.hstack([np.ones((n_rows, 1)), features])
+    penalty = np.full(n_features + 1, l2)
+    penalty[0] = 0.0
+    beta = np.zeros((n_features + 1, n_labels))
+
+    active: List[int] = []
+    for label in range(n_labels):
+        column = labels_matrix[:, label]
+        if n_rows == 0 or column.min() == column.max():
+            rate = float(np.clip(column.mean() if n_rows else 0.5, 1e-6, 1 - 1e-6))
+            frozen = np.zeros(n_features + 1)
+            frozen[0] = np.log(rate / (1 - rate))
+            models[label]._store(frozen, converged=True, iterations=0)
+            beta[:, label] = frozen
+        else:
+            active.append(label)
+    active_idx = np.array(active, dtype=np.int64)
+
+    totals = np.ones(n_rows)
+    successes = labels_matrix
+    if row_groups is not None and len(active_idx):
+        row_groups = np.asarray(row_groups, dtype=np.int64)
+        if len(row_groups) != n_rows:
+            raise MissingDataError(
+                f"row_groups ({len(row_groups)} rows) and features "
+                f"({n_rows}) differ in length")
+        n_groups = int(row_groups.max()) + 1 if n_rows else 0
+        if 0 < n_groups <= n_rows // 2:
+            representatives = np.zeros(n_groups, dtype=np.int64)
+            representatives[row_groups[::-1]] = np.arange(n_rows - 1, -1, -1)
+            design = design[representatives]
+            totals = np.bincount(row_groups, minlength=n_groups).astype(np.float64)
+            successes = np.stack(
+                [np.bincount(row_groups, weights=labels_matrix[:, label],
+                             minlength=n_groups)
+                 for label in range(n_labels)], axis=1)
+
+    for iteration in range(1, max_iter + 1):
+        if not len(active_idx):
+            break
+        current = beta[:, active_idx]
+        linear = design @ current
+        probabilities = np.clip(_sigmoid(linear), 1e-9, 1 - 1e-9)
+        weights = totals[:, None] * probabilities * (1.0 - probabilities)
+        gradients = design.T @ (successes[:, active_idx]
+                                - totals[:, None] * probabilities) \
+            - penalty[:, None] * current
+        # Batched X^T diag(w_l) X via stacked GEMMs: (A, d, n) @ (A, n, d).
+        weighted = design[None, :, :] * weights.T[:, :, None]
+        hessians = np.matmul(
+            np.broadcast_to(design.T, (len(active_idx),) + design.T.shape),
+            weighted)
+        hessians += np.diag(penalty + 1e-12)[None, :, :]
+        try:
+            steps = np.linalg.solve(hessians, gradients.T[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError:
+            steps = np.empty((len(active_idx), n_features + 1))
+            for position in range(len(active_idx)):
+                try:
+                    steps[position] = np.linalg.solve(
+                        hessians[position], gradients[:, position])
+                except np.linalg.LinAlgError:
+                    steps[position] = np.linalg.lstsq(
+                        hessians[position], gradients[:, position], rcond=None)[0]
+        updated = current + steps.T
+        beta[:, active_idx] = updated
+        converged_now = np.abs(steps).max(axis=1) < tol
+        for position in np.flatnonzero(converged_now):
+            label = int(active_idx[position])
+            models[label]._store(beta[:, label], converged=True,
+                                 iterations=iteration)
+        active_idx = active_idx[~converged_now]
+    for label in active_idx:
+        models[int(label)]._store(beta[:, int(label)], converged=False,
+                                  iterations=max_iter)
+    return models
+
+
 def one_hot_encode_codes(code_arrays: List[np.ndarray]) -> np.ndarray:
     """One-hot encode a list of integer code arrays into a dense feature matrix.
 

@@ -34,9 +34,12 @@ def _independence(x: np.ndarray, y: np.ndarray, conditioning: Sequence[np.ndarra
 
     The recoverability conditions only ever condition on a single variable,
     so the kernel path needs no joint coding — the conditioning codes are
-    their own strata, and verdicts match the reference test exactly.
+    their own strata, and verdicts match the reference test exactly.  The
+    kernel path runs on the blocked permutation engine by default
+    (``use_blocked`` / ``early_exit`` forward through ``kwargs``).
     """
     if not use_kernel:
+        kwargs.pop("use_blocked", None)
         return conditional_independence_test(x, y, conditioning, **kwargs)
     if not conditioning:
         return fast_independence_test(x, y, None, **kwargs)
@@ -79,7 +82,8 @@ def _selection_indicator(frame: EncodedFrame, attribute: str) -> np.ndarray:
 
 def cmi_is_recoverable(frame: EncodedFrame, outcome: str, treatment: str, attribute: str,
                        cmi_threshold: float = 0.02, n_permutations: int = 20,
-                       seed: Optional[int] = 0, use_kernel: bool = True) -> Dict[str, bool]:
+                       seed: Optional[int] = 0, use_kernel: bool = True,
+                       **test_kwargs) -> Dict[str, bool]:
     """Check the (testable surrogate of the) conditions of Proposition 3.1.
 
     The proposition's conditions condition on ``E`` itself, which cannot be
@@ -101,10 +105,12 @@ def cmi_is_recoverable(frame: EncodedFrame, outcome: str, treatment: str, attrib
     first = _independence(
         outcome_codes, selection, [], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
+        **test_kwargs,
     )
     second = _independence(
         outcome_codes, selection, [treatment_codes], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
+        **test_kwargs,
     )
     return {
         "O_indep_R": first.independent,
@@ -115,7 +121,8 @@ def cmi_is_recoverable(frame: EncodedFrame, outcome: str, treatment: str, attrib
 
 def mi_is_recoverable(frame: EncodedFrame, attribute: str, other: str,
                       cmi_threshold: float = 0.02, n_permutations: int = 20,
-                      seed: Optional[int] = 0, use_kernel: bool = True) -> Dict[str, bool]:
+                      seed: Optional[int] = 0, use_kernel: bool = True,
+                      **test_kwargs) -> Dict[str, bool]:
     """Check the two conditions of Proposition 3.2 for ``I(E; E')``."""
     selection_pair = joint_codes([
         _selection_indicator(frame, attribute),
@@ -126,10 +133,12 @@ def mi_is_recoverable(frame: EncodedFrame, attribute: str, other: str,
     first = _independence(
         attribute_codes, selection_pair, [], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
+        **test_kwargs,
     )
     second = _independence(
         attribute_codes, selection_pair, [other_codes], use_kernel,
         threshold=cmi_threshold, n_permutations=n_permutations, seed=seed,
+        **test_kwargs,
     )
     return {
         "E_indep_R": first.independent,
@@ -142,7 +151,8 @@ def attribute_selection_bias(frame: EncodedFrame, outcome: str, treatment: str,
                              attribute: str, cmi_threshold: float = 0.02,
                              n_permutations: int = 20,
                              seed: Optional[int] = 0,
-                             use_kernel: bool = True) -> RecoverabilityReport:
+                             use_kernel: bool = True,
+                             **test_kwargs) -> RecoverabilityReport:
     """Full recoverability report for one candidate attribute.
 
     An attribute with no missing values is trivially recoverable.  Otherwise
@@ -160,7 +170,7 @@ def attribute_selection_bias(frame: EncodedFrame, outcome: str, treatment: str,
     verdicts = cmi_is_recoverable(frame, outcome, treatment, attribute,
                                   cmi_threshold=cmi_threshold,
                                   n_permutations=n_permutations, seed=seed,
-                                  use_kernel=use_kernel)
+                                  use_kernel=use_kernel, **test_kwargs)
     recoverable = verdicts.pop("recoverable")
     return RecoverabilityReport(
         attribute=attribute,

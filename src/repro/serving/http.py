@@ -23,7 +23,10 @@ Endpoints
     Liveness probe: ``{"status": "ok", "datasets": [...]}``.
 
 Errors map to JSON bodies with an ``errors`` list: 400 for validation and
-query errors, 404 for unknown datasets and routes, 500 for engine failures.
+query errors, 404 for unknown datasets and routes, 422 for missing-data
+failures (the request is well-formed but the referenced data cannot support
+the analysis — a client-data problem, not a server fault), 500 for engine
+failures.
 """
 
 from __future__ import annotations
@@ -36,6 +39,7 @@ from repro import __version__
 from repro.exceptions import (
     DatasetNotRegisteredError,
     ExplanationError,
+    MissingDataError,
     QueryError,
     RequestValidationError,
 )
@@ -186,6 +190,11 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
             # On the serving path both are client-input errors: malformed
             # queries, contexts selecting zero rows, candidate misuse.
             status, body = 400, {"errors": [str(exc)]}
+        except MissingDataError as exc:
+            # The request was valid but the referenced data cannot support
+            # the analysis (e.g. degenerate selection-model inputs): a
+            # client-data problem, not a server fault.
+            status, body = 422, {"errors": [str(exc)]}
         except DatasetNotRegisteredError as exc:
             status, body = 404, {"errors": [str(exc)]}
         except Exception as exc:  # engine failures must not kill the thread

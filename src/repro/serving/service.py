@@ -17,6 +17,11 @@ registered dataset and layers the serving concerns on top:
   thread driving a dataset's pipeline, so any number of HTTP threads can
   submit concurrently without racing the engine's per-query memos (engine
   parallelism still applies *inside* a batch via ``config.n_jobs``);
+* a **negative cache** — client-input failures (``QueryError`` /
+  ``ExplanationError``: malformed contexts, zero-row contexts) are cached
+  under the same canonical key, so hostile or buggy clients repeating an
+  expensive-to-diagnose bad query never reach the engine again
+  (``service.negative_hit`` counts the shield);
 * **observability** — cache hit/miss counters fold into the pipeline
   context's counters (``service.cache_hit`` / ``service.cache_miss`` next
   to ``extraction_runs`` and friends) and :meth:`stats` snapshots
@@ -33,7 +38,12 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.engine.config import MESAConfig
 from repro.engine.envelope import ExplanationEnvelope
 from repro.engine.pipeline import ExplanationPipeline
-from repro.exceptions import ConfigurationError, DatasetNotRegisteredError
+from repro.exceptions import (
+    ConfigurationError,
+    DatasetNotRegisteredError,
+    ExplanationError,
+    QueryError,
+)
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import TTLCache
@@ -69,6 +79,11 @@ class ExplanationService:
         still batches requests that arrive while a batch is executing.
     max_batch:
         Flush a batch early once this many distinct requests are pending.
+    negative_cache_size:
+        Bound on the negative cache of client-input error verdicts
+        (``QueryError`` / ``ExplanationError``); repeats of a cached bad
+        query raise immediately without reaching the engine.  Shares the
+        service TTL.
     clock:
         Monotonic time source shared by the cache and batchers
         (injectable for TTL/window tests).
@@ -78,10 +93,13 @@ class ExplanationService:
                  ttl_seconds: Optional[float] = None,
                  coalesce_window_seconds: float = 0.005,
                  max_batch: int = 64,
+                 negative_cache_size: int = 256,
                  clock: Callable[[], float] = time.monotonic):
         self._clock = clock
         self._cache = TTLCache(max_entries=cache_size, ttl_seconds=ttl_seconds,
                                clock=clock)
+        self._negative = TTLCache(max_entries=negative_cache_size,
+                                  ttl_seconds=ttl_seconds, clock=clock)
         self.coalesce_window_seconds = coalesce_window_seconds
         self.max_batch = max_batch
         self._pipelines: Dict[str, ExplanationPipeline] = {}
@@ -184,9 +202,25 @@ class ExplanationService:
                 query.aggregate.lower(), canonical_predicate_key(query.context),
                 query.name, query.table_name, k)
 
+    def _raise_cached_error(self, pipeline: ExplanationPipeline, error) -> None:
+        """Re-raise a negative-cache verdict as a fresh exception."""
+        pipeline.context.count("service.negative_hit")
+        raise type(error)(*error.args)
+
+    def _cache_negative(self, key, error) -> None:
+        """Record a client-input failure under the canonical query key.
+
+        Only deterministic client-input verdicts are cached — the query
+        itself is bad (zero-row context, candidate misuse), so repeating it
+        can never succeed and must not re-run the engine.  Transient engine
+        failures keep raising normally.
+        """
+        if isinstance(error, (QueryError, ExplanationError)):
+            self._negative.put(key, error)
+
     def explain(self, dataset: str, query: AggregateQuery,
                 k: Optional[int] = None) -> ServedExplanation:
-        """Serve one explanation (cache -> coalesced batch -> engine)."""
+        """Serve one explanation (cache -> negative cache -> batch -> engine)."""
         pipeline = self.pipeline(dataset)
         resolved_k = k if k is not None else pipeline.config.k
         key = self.query_key(dataset, query, resolved_k)
@@ -195,9 +229,16 @@ class ExplanationService:
             pipeline.context.count("service.cache_hit")
             return ServedExplanation(dataset=dataset, envelope=envelope,
                                      cache_hit=True)
+        cached_error = self._negative.get(key)
+        if cached_error is not None:
+            self._raise_cached_error(pipeline, cached_error)
         pipeline.context.count("service.cache_miss")
         future, attached = self._batcher(dataset).submit(key, query, resolved_k)
-        envelope = future.result()
+        try:
+            envelope = future.result()
+        except Exception as error:
+            self._cache_negative(key, error)
+            raise
         self._cache.put(key, envelope)
         return ServedExplanation(dataset=dataset, envelope=envelope,
                                  cache_hit=False, coalesced=attached)
@@ -223,6 +264,11 @@ class ExplanationService:
                 served[index] = ServedExplanation(
                     dataset=dataset, envelope=envelope, cache_hit=True)
             else:
+                cached_error = self._negative.get(key)
+                if cached_error is not None:
+                    if hits:
+                        pipeline.context.count("service.cache_hit", hits)
+                    self._raise_cached_error(pipeline, cached_error)
                 misses.append((index, query, key))
         if hits:
             pipeline.context.count("service.cache_hit", hits)
@@ -233,7 +279,11 @@ class ExplanationService:
                         batcher.submit(key, query, resolved_k))
                        for index, query, key in misses]
             for index, key, (future, attached) in futures:
-                envelope = future.result()
+                try:
+                    envelope = future.result()
+                except Exception as error:
+                    self._cache_negative(key, error)
+                    raise
                 self._cache.put(key, envelope)
                 served[index] = ServedExplanation(
                     dataset=dataset, envelope=envelope, cache_hit=False,
@@ -260,14 +310,16 @@ class ExplanationService:
             "uptime_seconds": self._clock() - self._started_at,
             "datasets": sorted(pipelines),
             "cache": self._cache.stats(),
+            "negative_cache": self._negative.stats(),
             "batchers": {name: batcher.stats()
                          for name, batcher in batchers.items()},
             "contexts": contexts,
         }
 
     def clear_cache(self) -> None:
-        """Drop every cached explanation (counters are kept)."""
+        """Drop every cached explanation and error verdict (counters kept)."""
         self._cache.clear()
+        self._negative.clear()
 
     def close(self) -> None:
         """Stop the per-dataset batcher threads; the service stops serving."""

@@ -117,7 +117,11 @@ class TestPipeline:
         started = [name for kind, name in events if kind == "start"]
         assert started == ["extraction", "candidates", "offline_pruning",
                            "online_pruning", "selection_bias", "search"]
-        assert pipeline.context.stage_seconds.keys() == set(started)
+        # Stage timings are all present; the batched inference backends may
+        # add fine-grained phase entries (permutation_test, ipw_fit) on top.
+        assert set(started) <= pipeline.context.stage_seconds.keys()
+        assert pipeline.context.stage_seconds.keys() <= \
+            set(started) | {"permutation_test", "ipw_fit"}
 
 
 class TestRegistry:

@@ -121,6 +121,40 @@ class TestEnvelopeBackend:
             pipeline.explain_many_envelopes(covid_queries, backend="ray")
 
 
+class TestSpawnBackend:
+    """The spawn-safe process path (platforms without fork)."""
+
+    def test_forced_spawn_matches_serial(self, covid_bundle, covid_queries,
+                                         serial_results):
+        from repro.engine.parallel import explain_many_forked
+
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, covid_bundle.knowledge_graph,
+            covid_bundle.extraction_specs,
+            config=_config(covid_bundle, parallel_backend="process"))
+        envelopes = explain_many_forked(pipeline, covid_queries, 3, 2,
+                                        start_method="spawn")
+        expected = [result.to_envelope() for result in serial_results]
+        assert [_strip_timings(a) for a in envelopes] == \
+            [_strip_timings(b) for b in expected]
+        counters = pipeline.context.counters
+        assert counters["parallel_batches"] == 1
+        assert counters["parallel_workers"] == 2
+        # Each spawned worker builds its own pipeline from the pickled
+        # dataset parts and warms it exactly once.
+        assert counters["queries_explained"] == len(covid_queries)
+
+    def test_invalid_start_method_rejected(self, covid_bundle, covid_queries):
+        from repro.engine.parallel import explain_many_forked
+
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, covid_bundle.knowledge_graph,
+            covid_bundle.extraction_specs, config=_config(covid_bundle))
+        with pytest.raises(ConfigurationError):
+            explain_many_forked(pipeline, covid_queries, 3, 2,
+                                start_method="forkserver")
+
+
 class TestKernelOracleWiring:
     def test_kernel_and_legacy_modes_agree(self, covid_bundle, covid_queries,
                                            serial_results):

@@ -24,9 +24,12 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.engine import ExplanationPipeline
+from repro.engine.stages import PipelineStage
 from repro.exceptions import (
     ConfigurationError,
     DatasetNotRegisteredError,
+    ExplanationError,
+    MissingDataError,
     RequestValidationError,
 )
 from repro.mesa.config import MESAConfig
@@ -333,6 +336,62 @@ class TestExplanationService:
         finally:
             service.close()
 
+    def test_negative_cache_shields_engine_from_hostile_repeats(
+            self, covid_bundle):
+        service = ExplanationService(cache_size=8, coalesce_window_seconds=0.0)
+        config = MESAConfig(excluded_columns=tuple(covid_bundle.id_columns), k=3)
+        service.register_bundle(covid_bundle, config=config)
+        context = service.pipeline(covid_bundle.name).context
+        bad = AggregateQuery(exposure="Country", outcome="Deaths_per_100_cases",
+                             context=Eq("Country", "Atlantis"))
+        try:
+            with pytest.raises(ExplanationError, match="selects no rows"):
+                service.explain(covid_bundle.name, bad, k=3)
+            submitted = service.stats()["batchers"][covid_bundle.name][
+                "requests_submitted"]
+            # The repeat raises the identical verdict without reaching the
+            # engine: no new batcher submission, a negative_hit counter.
+            with pytest.raises(ExplanationError, match="selects no rows"):
+                service.explain(covid_bundle.name, bad, k=3)
+            assert context.counters["service.negative_hit"] == 1
+            assert service.stats()["batchers"][covid_bundle.name][
+                "requests_submitted"] == submitted
+            # The batch path is shielded by the same verdict cache.
+            with pytest.raises(ExplanationError, match="selects no rows"):
+                service.explain_batch(covid_bundle.name, [bad], k=3)
+            assert context.counters["service.negative_hit"] == 2
+            assert service.stats()["negative_cache"]["size"] == 1
+            # clear_cache drops the verdict: the engine is reached again.
+            service.clear_cache()
+            with pytest.raises(ExplanationError, match="selects no rows"):
+                service.explain(covid_bundle.name, bad, k=3)
+            assert context.counters["service.negative_hit"] == 2
+        finally:
+            service.close()
+
+    def test_negative_cache_respects_ttl(self, covid_bundle):
+        clock = FakeClock()
+        service = ExplanationService(cache_size=8, ttl_seconds=60.0,
+                                     coalesce_window_seconds=0.0, clock=clock)
+        config = MESAConfig(excluded_columns=tuple(covid_bundle.id_columns), k=3)
+        service.register_bundle(covid_bundle, config=config)
+        context = service.pipeline(covid_bundle.name).context
+        bad = AggregateQuery(exposure="Country", outcome="Deaths_per_100_cases",
+                             context=Eq("Country", "Atlantis"))
+        try:
+            with pytest.raises(ExplanationError):
+                service.explain(covid_bundle.name, bad, k=3)
+            with pytest.raises(ExplanationError):
+                service.explain(covid_bundle.name, bad, k=3)
+            assert context.counters["service.negative_hit"] == 1
+            clock.advance(61.0)
+            with pytest.raises(ExplanationError):
+                service.explain(covid_bundle.name, bad, k=3)
+            # Expired verdict: the request went to the engine, not the cache.
+            assert context.counters["service.negative_hit"] == 1
+        finally:
+            service.close()
+
     def test_frame_cache_hits_for_repeated_context(self, covid_service,
                                                    covid_bundle):
         # All representative queries already ran through the service above;
@@ -418,6 +477,15 @@ class TestSchema:
 # --------------------------------------------------------------------------- #
 # HTTP front end
 # --------------------------------------------------------------------------- #
+class _MissingDataStage(PipelineStage):
+    """A stage that fails like a degenerate IPW fit (HTTP 422 mapping)."""
+
+    name = "boom"
+
+    def run(self, state, context):
+        raise MissingDataError("degenerate selection-model input")
+
+
 @pytest.fixture(scope="module")
 def http_endpoint(covid_service):
     server = make_server(covid_service, port=0)
@@ -534,6 +602,26 @@ class TestHTTP:
             "context": [{"column": "Country", "op": "eq", "value": "Atlantis"}]})
         assert status == 400
         assert "selects no rows" in payload["errors"][0]
+        # The repeat is answered from the negative cache — same status, same
+        # message, no second engine run.
+        repeat_status, repeat_payload = _post(http_endpoint, "/explain", {
+            "dataset": covid_bundle.name,
+            "exposure": "Country", "outcome": "Deaths_per_100_cases",
+            "context": [{"column": "Country", "op": "eq", "value": "Atlantis"}]})
+        assert repeat_status == 400
+        assert repeat_payload["errors"] == payload["errors"]
+
+    def test_missing_data_error_gets_422(self, http_endpoint, covid_service,
+                                         covid_bundle):
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, config=MESAConfig(k=3),
+            stages=[_MissingDataStage()])
+        covid_service.register("covid-422", pipeline, warm=False)
+        status, payload = _post(http_endpoint, "/explain", {
+            "dataset": "covid-422",
+            "exposure": "Country", "outcome": "Deaths_per_100_cases"})
+        assert status == 422
+        assert "degenerate selection-model input" in payload["errors"][0]
 
     def test_oversized_body_gets_413(self, http_endpoint):
         request = urllib.request.Request(
