@@ -1,0 +1,219 @@
+"""Cluster benchmark: 1-worker vs N-worker throughput, mixed contexts.
+
+Plays a **mixed-context workload** — many distinct queries (several WHERE
+clauses x several exposures), repeated over multiple passes, the shape of
+a dashboard fleet refreshing against the service — through two cluster
+topologies behind the *same* ``ClusterClient`` API:
+
+* **1 worker** — one service process; its bounded explanation cache is
+  smaller than the workload's distinct-key count, so the repeat passes
+  thrash the LRU and mostly recompute;
+* **N workers** (default 4) — the canonical query keys shard by stable
+  hash, each worker holds only its key range, the aggregate cache capacity
+  is N x one worker's — the repeat passes serve from cache.  On multi-core
+  hosts the cold pass additionally computes N shards in parallel (one GIL
+  per worker); the cache-capacity effect is machine-independent.
+
+Every envelope served by the N-worker cluster is verified (canonically
+byte-identical) against a fresh single-engine run — cache layers and the
+process boundary change nothing but latency.
+
+Writes ``BENCH_cluster.json`` (``cluster.seconds`` is what
+``check_regression.py`` gates) and exits non-zero when the N-worker
+speedup falls below ``--min-speedup`` (default 2x) or any served envelope
+diverges from the engine.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_cluster.py [--workers 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import __version__
+from repro.datasets.registry import load_dataset
+from repro.engine import ExplanationPipeline
+from repro.mesa.config import MESAConfig
+from repro.query.aggregate_query import AggregateQuery
+from repro.serving import ClusterClient, ServiceCluster
+
+DATASET = "SO"
+N_ROWS = 600
+K = 3
+EXPOSURES = ("Country", "EdLevel")
+OUTCOME = "Salary"
+#: Per-worker explanation-cache bound.  The workload below has 80 distinct
+#: canonical keys over 40 distinct contexts: past *every* bounded
+#: per-process cache — the 32-entry envelope cache here, the engine's
+#: 64-entry prepared-state memo and 32-entry frame cache — so one worker
+#: recomputes on every pass, while 4 workers' shards (~20 keys / ~10
+#: contexts each, with slack for hash imbalance) stay fully resident.
+#: That is the cluster's machine-independent scaling mechanism: stable
+#: routing makes the aggregate cache capacity N x one process's.  (On
+#: multi-core hosts the cold pass additionally computes shards in
+#: parallel.)
+CACHE_SIZE = 32
+PASSES = 4
+CLIENT_THREADS = 8
+
+
+def mixed_contexts() -> list:
+    """40 distinct WHERE clauses with healthy row counts (SO value ranges)."""
+    from repro.table.expressions import Gt, Lt
+    contexts = []
+    contexts += [(f"yc-gt-{t}", Gt("YearsCode", t)) for t in range(0, 10)]
+    contexts += [(f"yc-lt-{t}", Lt("YearsCode", t)) for t in range(6, 16)]
+    contexts += [(f"age-gt-{a}", Gt("Age", a)) for a in range(22, 32)]
+    contexts += [(f"sal-lt-{s}", Lt("Salary", s)) for s in range(50, 100, 5)]
+    return contexts
+
+
+def mixed_context_queries() -> list:
+    queries = []
+    for context_name, context in mixed_contexts():
+        for exposure in EXPOSURES:
+            queries.append(AggregateQuery(
+                exposure=exposure, outcome=OUTCOME, aggregate="avg",
+                context=context, table_name=DATASET,
+                name=f"{context_name}-{exposure}"))
+    return queries
+
+
+def run_topology(bundle, config, n_workers: int, queries) -> dict:
+    """Serve PASSES passes of the workload; returns timing + final stats."""
+    cluster = ServiceCluster(
+        n_workers=n_workers,
+        service_kwargs={"cache_size": CACHE_SIZE})
+    cluster.register_bundle(bundle, config=config)
+    startup_begin = time.perf_counter()
+    with ClusterClient(cluster) as client:  # start() waits for worker warm-up
+        startup_seconds = time.perf_counter() - startup_begin
+        served_last = None
+        start = time.perf_counter()
+        for _ in range(PASSES):
+            # A thread-pool client: on multi-core hosts the shards compute
+            # concurrently; on one core the pool degrades to sequential.
+            with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+                served_last = list(pool.map(
+                    lambda query: client.explain(DATASET, query, k=K),
+                    queries))
+        seconds = time.perf_counter() - start
+        stats = client.stats()
+    merged = stats["contexts"][DATASET]["counters"]
+    cache = stats["cache"]
+    requests = PASSES * len(queries)
+    return {
+        "n_workers": n_workers,
+        "seconds": round(seconds, 6),
+        "startup_seconds": round(startup_seconds, 6),
+        "requests": requests,
+        "throughput_rps": round(requests / seconds, 3),
+        "queries_explained": merged.get("queries_explained", 0),
+        "cache_hits": cache.get("hits", 0),
+        "cache_misses": cache.get("misses", 0),
+        "cache_hit_rate": round(
+            cache.get("hits", 0) /
+            max(1, cache.get("hits", 0) + cache.get("misses", 0)), 4),
+        "cache_size_by_worker": cache.get("by_worker", {}),
+        "start_method": stats["cluster"]["start_method"],
+        "envelopes": {one.envelope.query["name"]: one.envelope
+                      for one in served_last},
+    }
+
+
+def verify_against_engine(bundle, config, queries, envelopes) -> list:
+    """Canonical equality of every served envelope vs. a fresh engine."""
+    pipeline = ExplanationPipeline(
+        bundle.table, bundle.knowledge_graph, bundle.extraction_specs,
+        config=config)
+    mismatches = []
+    for query in queries:
+        direct = pipeline.explain(query, k=K).to_envelope()
+        served = envelopes[query.name]
+        if served.canonical_json() != direct.canonical_json():
+            mismatches.append(query.name)
+    return mismatches
+
+
+def run_bench(n_workers: int) -> dict:
+    bundle = load_dataset(DATASET, seed=7, n_rows=N_ROWS)
+    config = MESAConfig(excluded_columns=tuple(bundle.id_columns), k=K)
+    queries = mixed_context_queries()
+
+    single = run_topology(bundle, config, 1, queries)
+    sharded = run_topology(bundle, config, n_workers, queries)
+    speedup = single["seconds"] / sharded["seconds"]
+
+    mismatches = verify_against_engine(
+        bundle, config, queries, sharded.pop("envelopes"))
+    single.pop("envelopes")
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "dataset": DATASET,
+        "n_rows": bundle.table.n_rows,
+        "k": K,
+        "workload": f"mixed-context ({len(mixed_contexts())} contexts x "
+                    f"{len(EXPOSURES)} exposures = {len(queries)} distinct "
+                    f"keys), {PASSES} passes, per-worker cache bound "
+                    f"{CACHE_SIZE}",
+        "n_distinct_queries": len(queries),
+        "passes": PASSES,
+        "per_worker_cache_size": CACHE_SIZE,
+        "single": single,
+        "cluster": sharded,
+        "speedup": round(speedup, 3),
+        "served_equals_engine": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_cluster.json")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="Worker count of the sharded topology")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="Fail when the N-worker speedup is below this")
+    args = parser.parse_args()
+
+    results = run_bench(args.workers)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+
+    single, cluster = results["single"], results["cluster"]
+    print(f"mixed-context workload: {results['n_distinct_queries']} distinct "
+          f"keys x {results['passes']} passes "
+          f"(per-worker cache {results['per_worker_cache_size']})")
+    print(f"  1 worker : {single['seconds']:.2f}s "
+          f"({single['throughput_rps']:.1f} rps, "
+          f"hit rate {single['cache_hit_rate']:.0%}, "
+          f"{single['queries_explained']} engine runs)")
+    print(f"  {cluster['n_workers']} workers: {cluster['seconds']:.2f}s "
+          f"({cluster['throughput_rps']:.1f} rps, "
+          f"hit rate {cluster['cache_hit_rate']:.0%}, "
+          f"{cluster['queries_explained']} engine runs)")
+    print(f"  speedup  : {results['speedup']:.2f}x "
+          f"(start method {cluster['start_method']})")
+    print(f"  served == fresh engine: {results['served_equals_engine']}")
+
+    if not results["served_equals_engine"]:
+        print(f"FAIL: served envelopes diverge from the engine for "
+              f"{results['mismatches']}", file=sys.stderr)
+        raise SystemExit(1)
+    if results["speedup"] < args.min_speedup:
+        print(f"FAIL: cluster speedup {results['speedup']:.2f}x is below "
+              f"the {args.min_speedup:.1f}x gate", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"OK: cluster scaling >= {args.min_speedup:.1f}x with "
+          f"engine-identical envelopes")
+
+
+if __name__ == "__main__":
+    main()

@@ -113,6 +113,32 @@ def main() -> None:
               f"repeat cache_hit={repeat.cache_hit} "
               f"(same envelope: {repeat.envelope is served.envelope})")
 
+    # 8. Scaling out: callers program against the transport-agnostic
+    #    ExplanationClient protocol (explain / explain_batch / stats / warm
+    #    / close), so *where* explanations compute is a deployment choice,
+    #    not a code change:
+    #      - LocalClient    wraps an in-process ExplanationService;
+    #      - HTTPClient     speaks to any remote JSON deployment;
+    #      - ClusterClient  shards canonical query keys over N worker
+    #        processes (ServiceCluster) — stable hashing keeps each
+    #        worker's caches hot for its key range, the front tier dedupes
+    #        in-flight keys, merges per-worker stats and restarts dead
+    #        workers.  `python -m repro.serving --workers 4` serves the
+    #        same HTTP API from such a cluster.
+    from repro.serving import ClusterClient, ServiceCluster
+
+    cluster = ServiceCluster(n_workers=2)
+    cluster.register_bundle(bundle, config=pipeline.config)
+    with ClusterClient(cluster) as client:
+        sharded = client.explain(bundle.name, query, k=3)
+        same = sharded.envelope.canonical_json() == \
+            served.envelope.canonical_json()
+        merged = client.stats()
+        print(f"Cluster: served from worker shard "
+              f"(identical envelope: {same}); merged stats cover "
+              f"{merged['cluster']['n_workers']} workers, "
+              f"{merged['cluster']['requests_routed']} routed requests")
+
     print()
     print("Interpretation: the death-rate differences between countries are")
     print("largely explained by country development (HDI / GDP, mined from the")

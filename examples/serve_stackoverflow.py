@@ -1,25 +1,30 @@
 """Serve Stack Overflow salary explanations over HTTP, end to end.
 
-Starts an :class:`~repro.serving.ExplanationService` for the synthetic
-Stack Overflow dataset, brings up the JSON-over-HTTP front end on a free
-port, and then plays a short traffic script against it:
+Starts a serving backend for the synthetic Stack Overflow dataset — an
+in-process :class:`~repro.serving.ExplanationService` by default, or a
+sharded :class:`~repro.serving.ServiceCluster` of worker processes with
+``--workers N`` (the *same* HTTP handler serves both) — brings up the
+JSON-over-HTTP front end on a free port, and then plays a short traffic
+script against it:
 
 1. a cold ``POST /explain`` (full engine run),
 2. the same request again (explanation-cache hit, byte-identical),
 3. a repeated-context batch (``POST /explain_batch`` — the context-level
    frame cache means the shared WHERE clause is encoded once),
 4. a burst of identical concurrent requests (coalesced to one execution),
-5. ``GET /stats`` to show what the serving layer did.
+5. ``GET /stats`` to show what the serving layer did — in cluster mode
+   including the merged counter view and per-worker cache hit rates.
 
-Run with:  PYTHONPATH=src python examples/serve_stackoverflow.py
+Run with:  PYTHONPATH=src python examples/serve_stackoverflow.py [--workers 4]
 
 For a long-running server use the CLI instead:
 
-    PYTHONPATH=src python -m repro.serving --dataset SO --port 8080
+    PYTHONPATH=src python -m repro.serving --dataset SO --port 8080 --workers 4
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import threading
 import time
@@ -27,7 +32,13 @@ import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
 from repro import MESAConfig, load_dataset
-from repro.serving import ExplanationService, make_server
+from repro.serving import (
+    ClusterClient,
+    ExplanationService,
+    LocalClient,
+    ServiceCluster,
+    make_server,
+)
 
 
 def post(base: str, path: str, body: dict) -> dict:
@@ -42,15 +53,32 @@ def get(base: str, path: str) -> dict:
         return json.loads(response.read())
 
 
-def main() -> None:
-    bundle = load_dataset("SO", seed=7, n_rows=2000)
-    service = ExplanationService(cache_size=4096, coalesce_window_seconds=0.01)
-    print(f"Registering {bundle.name} ({bundle.table.n_rows} rows) and "
-          f"warming the cross-query caches ...")
-    service.register_bundle(
-        bundle, config=MESAConfig(excluded_columns=tuple(bundle.id_columns), k=3))
+def build_client(bundle, n_workers: int):
+    config = MESAConfig(excluded_columns=tuple(bundle.id_columns), k=3)
+    if n_workers <= 1:
+        service = ExplanationService(cache_size=4096,
+                                     coalesce_window_seconds=0.01)
+        print(f"Registering {bundle.name} ({bundle.table.n_rows} rows) and "
+              f"warming the cross-query caches ...")
+        service.register_bundle(bundle, config=config)
+        return LocalClient(service)
+    cluster = ServiceCluster(n_workers=n_workers)
+    cluster.register_bundle(bundle, config=config)
+    print(f"Starting {n_workers} worker processes for {bundle.name} "
+          f"({bundle.table.n_rows} rows); each warms its own caches ...")
+    return ClusterClient(cluster)
 
-    server = make_server(service, port=0)
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="1 = in-process service, N > 1 = sharded cluster")
+    args = parser.parse_args()
+
+    bundle = load_dataset("SO", seed=7, n_rows=2000)
+    client = build_client(bundle, args.workers)
+
+    server = make_server(client, port=0)
     threading.Thread(target=server.serve_forever, daemon=True).start()
     base = "http://{}:{}".format(*server.server_address[:2])
     print(f"Serving on {base}\n")
@@ -107,17 +135,33 @@ def main() -> None:
     # 5. What the serving layer did.
     stats = get(base, "/stats")
     cache = stats["cache"]
-    batcher = stats["batchers"]["SO"]
     counters = stats["contexts"]["SO"]["counters"]
-    print(f"\nStats: cache {cache['hits']} hits / {cache['misses']} misses; "
-          f"batcher deduplicated {batcher['requests_deduplicated']} of "
-          f"{batcher['requests_submitted']} submissions; "
+    print(f"\nStats: cache {cache['hits']} hits / {cache['misses']} misses "
+          f"(per dataset: {cache['by_dataset']}); "
           f"engine explained {counters['queries_explained']} queries, "
           f"frame cache {counters.get('frame_cache_hits', 0)} hits")
+    if "batchers" in stats:
+        batcher = stats["batchers"]["SO"]
+        print(f"Batcher deduplicated {batcher['requests_deduplicated']} of "
+              f"{batcher['requests_submitted']} submissions")
+    if "cluster" in stats:
+        front = stats["cluster"]
+        print(f"Front tier: {front['requests_routed']} requests routed over "
+              f"{front['n_workers']} workers, "
+              f"{front['requests_deduplicated']} deduplicated in flight, "
+              f"{front['worker_restarts']} restarts")
+        print("Per-worker cache hit rates (merged stats keep the breakdown):")
+        for worker_id, snapshot in sorted(stats["workers"].items()):
+            worker_cache = snapshot["cache"]
+            total = worker_cache["hits"] + worker_cache["misses"]
+            rate = worker_cache["hits"] / total if total else 0.0
+            print(f"  worker {worker_id}: {worker_cache['hits']:>3} hits / "
+                  f"{worker_cache['misses']:>3} misses "
+                  f"({rate:.0%} hit rate, {worker_cache['size']} resident)")
 
     server.shutdown()
     server.server_close()
-    service.close()
+    client.close()
 
 
 if __name__ == "__main__":

@@ -117,12 +117,38 @@ micro-batcher that coalesces concurrent requests into single engine
 batches and deduplicates identical in-flight queries.  Client-input
 failures (zero-row contexts and other deterministic ``QueryError`` /
 ``ExplanationError`` verdicts) are negative-cached under the same key, so
-hostile repeats never reach the engine (``service.negative_hit``).  A
-stdlib JSON-over-HTTP front end (``python -m repro.serving --dataset SO``)
-exposes ``POST /explain``, ``POST /explain_batch``, ``GET /stats`` and
-``GET /healthz`` with strict request validation mapped to HTTP 400s and
-missing-data failures to 422.  See ``examples/serve_stackoverflow.py``
-for an end-to-end tour.
+hostile repeats never reach the engine (``service.negative_hit``).
+
+Callers program against the transport-agnostic
+:class:`~repro.serving.ExplanationClient` protocol — ``explain`` /
+``explain_batch`` / ``stats`` / ``warm`` / ``close`` — with three
+interchangeable implementations: :class:`~repro.serving.LocalClient`
+(in-process service), :class:`~repro.serving.HTTPClient` (stdlib JSON
+client for any remote deployment) and
+:class:`~repro.serving.ClusterClient`, which shards canonical query keys
+over the N worker processes of a :class:`~repro.serving.ServiceCluster`
+by **stable hash** — each worker's explanation/frame/fit caches stay hot
+for exactly its key range, so the cluster's aggregate cache capacity (and,
+on multi-core hosts, its compute) scales with N.  The thin front tier
+dedupes in-flight keys, merges per-worker ``stats()`` into one counter
+view, restarts dead workers (retrying the failed request and re-warming
+the new worker from recorded top-K history), and broadcasts
+``clear_cache`` — every canonical key carries a **dataset version** that
+bumps on registration/invalidation, so envelope, negative and frame
+caches in every process retire coherently.  On the serving path the
+permutation early exit is on by default (the p-value audit: nothing
+consumes more than the boolean independence verdict, which the exit
+provably never flips); construct ``ExplanationService(...,
+permutation_early_exit=False)`` to opt out.
+
+A stdlib JSON-over-HTTP front end serves **any** client — one process or
+a whole cluster is just ``python -m repro.serving --dataset SO --workers
+4`` — exposing ``POST /explain``, ``POST /explain_batch``, ``POST
+/warm``, ``POST /clear_cache``, ``GET /stats`` and ``GET /healthz``
+(503 while any worker is down) with strict request validation mapped to
+HTTP 400s and missing-data failures to 422.  See
+``examples/serve_stackoverflow.py`` for an end-to-end tour, including the
+``--workers`` cluster demo with per-worker cache hit rates.
 
 Migration note
 --------------

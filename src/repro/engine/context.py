@@ -90,6 +90,12 @@ class PipelineContext:
             )
         self.counters: Dict[str, int] = {}
         self.stage_seconds: Dict[str, float] = {}
+        #: Monotonic dataset-version component of every canonical cache key
+        #: derived from this context (frame cache, serving query keys).
+        #: Bumped by the serving layer on registration and cache
+        #: invalidation, so cached artefacts age out coherently across
+        #: every cache layer — and every process — at once.
+        self.dataset_version: int = 0
         # Counters are written from serving threads (cache verdicts) and
         # batch workers concurrently; the read-modify-write increments and
         # the observability snapshots need a lock to stay exact.
@@ -97,7 +103,7 @@ class PipelineContext:
         self.hooks: List[StageHook] = []
         self._extraction: Dict[int, Tuple[Table, Tuple[ExtractionResult, ...]]] = {}
         self._offline: Dict[Tuple[int, float, float], PruningResult] = {}
-        self._frames: "OrderedDict[Tuple[int, int, str], Tuple[Table, EncodedFrame]]" = \
+        self._frames: "OrderedDict[Tuple[int, int, str, int], Tuple[Table, EncodedFrame]]" = \
             OrderedDict()
         #: Finished IPW selection fits keyed by (design signature, observed
         #: mask hash) — queries sharing a context (and attributes sharing a
@@ -160,11 +166,30 @@ class PipelineContext:
         """
         forked = PipelineContext(self.table, self.knowledge_graph,
                                  self.extraction_specs)
+        forked.dataset_version = self.dataset_version
         forked._extraction = dict(self._extraction)
         forked._offline = dict(self._offline)
         forked._frames = OrderedDict(self._frames)
         forked.ipw_fit_cache = self.ipw_fit_cache.copy()
         return forked
+
+    def bump_dataset_version(self) -> int:
+        """Advance the dataset version, invalidating version-keyed caches.
+
+        The new version becomes part of every canonical key derived from
+        this context, so the encoded-frame cache (and the serving layer's
+        envelope/negative caches, which embed the version in their query
+        keys) stop answering from pre-bump artefacts immediately; the stale
+        entries age out of their bounded LRUs.  The IPW fit cache is keyed
+        by content digests rather than canonical keys, so it is dropped
+        outright.
+        """
+        with self._counter_lock:
+            self.dataset_version += 1
+            version = self.dataset_version
+        self.ipw_fit_cache = SelectionFitCache(self.MAX_IPW_FIT_CACHE)
+        self.count("dataset_version_bumps")
+        return version
 
     def add_hook(self, hook: StageHook) -> None:
         """Register an instrumentation hook fired around every stage."""
@@ -262,7 +287,8 @@ class PipelineContext:
         on its first query.  Frames encode lazily, so a cache hit also
         inherits every column the earlier queries already touched.
         """
-        key = (hops, n_bins, canonical_predicate_key(context))
+        key = (hops, n_bins, canonical_predicate_key(context),
+               self.dataset_version)
         entry = self._frames.get(key)
         if entry is not None:
             self._frames.move_to_end(key)

@@ -171,6 +171,24 @@ class ExplanationEnvelope:
         """``json.dumps(self.to_dict())``."""
         return json.dumps(self.to_dict(), **kwargs)
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """The dict rendering with the run-dependent timings nulled out.
+
+        Two runs of the same query produce equal canonical dicts exactly
+        when they found the same explanation — wall-clock timings are the
+        only envelope fields that legitimately differ between runs, so
+        equality tests across serving tiers (local vs. cluster worker vs. a
+        fresh engine) compare this form.
+        """
+        data = self.to_dict()
+        data["timings"] = None
+        data["explanation"]["runtime_seconds"] = None
+        return data
+
+    def canonical_json(self) -> str:
+        """Sorted-key JSON of :meth:`canonical_dict` (byte-comparable)."""
+        return json.dumps(self.canonical_dict(), sort_keys=True)
+
     @classmethod
     def from_json(cls, payload: str) -> "ExplanationEnvelope":
         """Parse an envelope serialized with :meth:`to_json`."""

@@ -107,24 +107,42 @@ def _warm_context(pipeline) -> None:
 # --------------------------------------------------------------------------- #
 # thread backend
 # --------------------------------------------------------------------------- #
+def _write_back_fits(parent_context, fit_entries) -> None:
+    """Merge a worker's new selection fits into the parent's fit cache.
+
+    Forked worker contexts copy the parent's IPW fit cache but fit new
+    selection models privately; without this merge the parent would refit
+    them for the next batch.  ``ipw_fit_writeback`` counts the fits that
+    actually came home (duplicates across workers merge once).
+    """
+    if not fit_entries:
+        return
+    added = parent_context.ipw_fit_cache.merge_new_entries(fit_entries)
+    if added:
+        parent_context.count("ipw_fit_writeback", added)
+
+
 def explain_many_threaded(pipeline, queries: Sequence, k: Optional[int],
                           n_jobs: int) -> List:
     """Fan ``explain`` out over threads; returns full ExplanationResults."""
     _warm_context(pipeline)
     results: List = [None] * len(queries)
 
-    def run_chunk(indices: List[int]) -> Tuple[Dict[str, int], Dict[str, float]]:
+    def run_chunk(indices: List[int]):
         worker = _worker_pipeline(pipeline)
         for index in indices:
             results[index] = worker.explain(queries[index], k=k)
-        return dict(worker.context.counters), dict(worker.context.stage_seconds)
+        return (dict(worker.context.counters),
+                dict(worker.context.stage_seconds),
+                worker.context.ipw_fit_cache.drain_new_entries())
 
     chunks = _chunks(len(queries), n_jobs)
     with ThreadPoolExecutor(max_workers=len(chunks)) as executor:
         futures = [executor.submit(run_chunk, chunk) for chunk in chunks]
         for future in futures:
-            counters, stage_seconds = future.result()
+            counters, stage_seconds, fit_entries = future.result()
             _merge_worker_context(pipeline.context, counters, stage_seconds)
+            _write_back_fits(pipeline.context, fit_entries)
     pipeline.context.count("parallel_batches")
     pipeline.context.count("parallel_workers", len(chunks))
     return results
@@ -150,12 +168,15 @@ def _run_worker_chunk(worker, payload: Tuple[List[int], List, Optional[int]]):
     envelope_blob = json.dumps(envelopes, separators=(",", ":"))
     # Snapshot-and-reset: a pool process may execute several chunks, and the
     # parent merges every returned snapshot — each payload must report only
-    # its own delta or earlier chunks' counters would be merged twice.
+    # its own delta or earlier chunks' counters would be merged twice.  The
+    # same applies to new selection fits: drain_new_entries resets the
+    # marker, so each chunk ships only the fits it performed itself.
     counters = dict(worker.context.counters)
     stage_seconds = dict(worker.context.stage_seconds)
     worker.context.counters.clear()
     worker.context.stage_seconds.clear()
-    return indices, envelope_blob, counters, stage_seconds
+    fit_entries = worker.context.ipw_fit_cache.drain_new_entries()
+    return indices, envelope_blob, counters, stage_seconds, fit_entries
 
 
 def _process_worker(payload: Tuple[List[int], List, Optional[int]]):
@@ -231,11 +252,13 @@ def explain_many_forked(pipeline, queries: Sequence, k: Optional[int],
     envelopes: List[Optional[ExplanationEnvelope]] = [None] * len(queries)
 
     def drain(results_iter) -> None:
-        for indices, envelope_blob, counters, stage_seconds in results_iter:
+        for indices, envelope_blob, counters, stage_seconds, fit_entries \
+                in results_iter:
             chunk_envelopes = json.loads(envelope_blob)
             for index, envelope_dict in zip(indices, chunk_envelopes):
                 envelopes[index] = ExplanationEnvelope.from_dict(envelope_dict)
             _merge_worker_context(pipeline.context, counters, stage_seconds)
+            _write_back_fits(pipeline.context, fit_entries)
 
     if start_method == "fork":
         # Warm the cross-query caches before forking so every worker

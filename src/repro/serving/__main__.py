@@ -1,11 +1,21 @@
-"""``python -m repro.serving`` — serve a registry dataset over HTTP.
+"""``python -m repro.serving`` — serve registry datasets over HTTP.
 
-Loads one of the evaluation datasets (synthetic table + knowledge graph)
-from :mod:`repro.datasets.registry`, registers it on a fresh
-:class:`~repro.serving.service.ExplanationService` (warming the cross-query
-caches up front) and serves the JSON API until interrupted::
+Loads evaluation datasets (synthetic table + knowledge graph) from
+:mod:`repro.datasets.registry` and serves the JSON API until interrupted.
+The ``--workers`` flag picks the topology behind the *same* HTTP handler:
 
-    PYTHONPATH=src python -m repro.serving --dataset SO --port 8080
+* ``--workers 1`` (default) — one in-process
+  :class:`~repro.serving.service.ExplanationService` behind a
+  :class:`~repro.serving.client.LocalClient`;
+* ``--workers N`` — a :class:`~repro.serving.cluster.ServiceCluster` of N
+  worker processes behind a :class:`~repro.serving.cluster.ClusterClient`:
+  requests shard by the stable hash of their canonical query key, so each
+  worker's caches stay hot for its key range and throughput scales past
+  one GIL.
+
+::
+
+    PYTHONPATH=src python -m repro.serving --dataset SO --port 8080 --workers 4
 
     curl -s localhost:8080/healthz
     curl -s -X POST localhost:8080/explain -d '{
@@ -21,6 +31,8 @@ import argparse
 
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.engine.config import MESAConfig
+from repro.serving.client import LocalClient
+from repro.serving.cluster import ClusterClient, ServiceCluster
 from repro.serving.http import serve_forever
 from repro.serving.service import ExplanationService
 
@@ -39,12 +51,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080,
                         help="Listen port (0 picks a free one)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="Serving processes: 1 = in-process service, "
+                             "N > 1 = sharded worker cluster")
+    parser.add_argument("--start-method", choices=("fork", "spawn"),
+                        default=None,
+                        help="Worker start method (default: fork where "
+                             "available, else spawn)")
     parser.add_argument("--cache-size", type=int, default=4096,
-                        help="Bound on the explanation cache")
+                        help="Bound on the explanation cache (per worker)")
     parser.add_argument("--ttl", type=float, default=None,
                         help="Optional TTL (seconds) for cached explanations")
     parser.add_argument("--coalesce-window", type=float, default=0.005,
-                        help="Micro-batching window in seconds")
+                        help="Micro-batching window in seconds "
+                             "(single-process mode)")
     parser.add_argument("--n-jobs", type=int, default=1,
                         help="Engine workers per coalesced batch (-1 = all CPUs)")
     return parser
@@ -53,17 +73,35 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
     datasets = args.datasets or ["SO"]
-    service = ExplanationService(
-        cache_size=args.cache_size, ttl_seconds=args.ttl,
-        coalesce_window_seconds=args.coalesce_window)
-    for name in dict.fromkeys(datasets):
-        bundle = load_dataset(name, seed=args.seed, n_rows=args.rows)
-        config = MESAConfig(excluded_columns=tuple(bundle.id_columns),
-                            n_jobs=args.n_jobs)
-        print(f"Registering {name} ({bundle.table.n_rows} rows) and warming "
-              f"the cross-query caches ...")
-        service.register_bundle(bundle, config=config)
-    serve_forever(service, host=args.host, port=args.port)
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    bundles = [load_dataset(name, seed=args.seed, n_rows=args.rows)
+               for name in dict.fromkeys(datasets)]
+    configs = {bundle.name: MESAConfig(
+        excluded_columns=tuple(bundle.id_columns), n_jobs=args.n_jobs)
+        for bundle in bundles}
+
+    if args.workers == 1:
+        service = ExplanationService(
+            cache_size=args.cache_size, ttl_seconds=args.ttl,
+            coalesce_window_seconds=args.coalesce_window)
+        for bundle in bundles:
+            print(f"Registering {bundle.name} ({bundle.table.n_rows} rows) "
+                  f"and warming the cross-query caches ...")
+            service.register_bundle(bundle, config=configs[bundle.name])
+        client = LocalClient(service)
+    else:
+        cluster = ServiceCluster(
+            n_workers=args.workers, start_method=args.start_method,
+            service_kwargs={"cache_size": args.cache_size,
+                            "ttl_seconds": args.ttl})
+        for bundle in bundles:
+            cluster.register_bundle(bundle, config=configs[bundle.name])
+        print(f"Starting {args.workers} worker processes "
+              f"({cluster.start_method}); each registers "
+              f"{[bundle.name for bundle in bundles]} and warms its caches ...")
+        client = ClusterClient(cluster)
+    serve_forever(client, host=args.host, port=args.port)
 
 
 if __name__ == "__main__":

@@ -164,12 +164,16 @@ class MicroBatcher:
                     raise ConfigurationError(
                         f"batch runner returned {len(results)} results "
                         f"for {len(group)} queries")
-            except BaseException as exc:  # propagate to every waiter
-                with self._lock:
-                    for pending in group:
-                        self._inflight.pop(pending.key, None)
-                for pending in group:
-                    pending.future.set_exception(exc)
+            except BaseException:
+                # One bad query aborts the whole engine batch, but the
+                # error belongs to *one* request — re-run the group's
+                # queries individually so every waiter gets a verdict
+                # attributable to its own key.  (The service negative-caches
+                # errors under the request's canonical key; propagating a
+                # group-mate's failure would poison valid queries that
+                # merely coalesced into the wrong batch.)  Failures are the
+                # rare path, so the retry cost is acceptable.
+                self._execute_individually(group, k)
                 continue
             # Unregister before resolving: a submitter observing the
             # resolved future must be able to enqueue a fresh run.
@@ -179,6 +183,23 @@ class MicroBatcher:
             for pending, result in zip(group, results):
                 pending.future.set_result(result)
             self.batches_executed += 1
+
+    def _execute_individually(self, group: List[_Pending],
+                              k: Optional[int]) -> None:
+        """Resolve each request of a failed batch with its own verdict."""
+        for pending in group:
+            try:
+                results = self._runner([pending.query], k)
+                result = results[0]
+            except BaseException as exc:
+                with self._lock:
+                    self._inflight.pop(pending.key, None)
+                pending.future.set_exception(exc)
+                continue
+            with self._lock:
+                self._inflight.pop(pending.key, None)
+            pending.future.set_result(result)
+        self.batches_executed += 1
 
     # ------------------------------------------------------------------ #
     # lifecycle and observability

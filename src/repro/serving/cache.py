@@ -94,6 +94,25 @@ class TTLCache:
         with self._lock:
             self._entries.clear()
 
+    def sizes_by(self, selector: Callable[[Hashable], Any]) -> Dict[Any, int]:
+        """Live-entry counts grouped by ``selector(key)``.
+
+        The serving layer groups its canonical query keys by their dataset
+        component, so ``GET /stats`` can report per-dataset cache
+        occupancy from one shared cache.  Entries past their TTL are
+        skipped — expiry is otherwise lazy (applied on ``get``), and an
+        occupancy report must not count entries that can never be served.
+        """
+        sizes: Dict[Any, int] = {}
+        with self._lock:
+            now = self._clock() if self.ttl_seconds is not None else None
+            for key, (stored_at, _value) in self._entries.items():
+                if now is not None and now - stored_at > self.ttl_seconds:
+                    continue
+                group = selector(key)
+                sizes[group] = sizes.get(group, 0) + 1
+        return sizes
+
     def stats(self) -> Dict[str, int]:
         """Hit/miss/eviction/expiration counters plus the current size."""
         with self._lock:

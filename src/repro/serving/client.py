@@ -1,0 +1,254 @@
+"""Transport-agnostic clients for the explanation serving tier.
+
+Callers should not care *where* explanations are computed — in their own
+process, behind an HTTP endpoint, or sharded over a cluster of worker
+processes.  :class:`ExplanationClient` is the one surface they program
+against:
+
+* ``explain(dataset, query, k)`` / ``explain_batch(dataset, queries, k)``
+  serve :class:`~repro.serving.service.ServedExplanation` objects;
+* ``stats()`` returns the serving tier's observability snapshot;
+* ``warm(dataset, queries=...)`` builds cross-query artefacts and replays
+  hot queries into the caches;
+* ``clear_cache()`` invalidates every cache layer (dataset versions bump,
+  see :meth:`~repro.engine.context.PipelineContext.bump_dataset_version`);
+* ``close()`` releases whatever the transport holds (threads, sockets,
+  worker processes).
+
+Three interchangeable implementations ship with the package:
+
+* :class:`LocalClient` — wraps an in-process
+  :class:`~repro.serving.service.ExplanationService`; zero transport cost,
+  one GIL.
+* :class:`HTTPClient` — a dependency-free stdlib JSON client for the
+  :mod:`repro.serving.http` API; talk to any remote deployment.
+* :class:`~repro.serving.cluster.ClusterClient` — routes requests by the
+  stable hash of their canonical query key over N local worker processes
+  (:class:`~repro.serving.cluster.ServiceCluster`), scaling beyond one GIL
+  while keeping each worker's caches hot for its key range.
+
+Because the HTTP front end (:mod:`repro.serving.http`) itself serves *any*
+client, the same handler code exposes a single process or a whole cluster —
+pick the topology with ``python -m repro.serving --workers N``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.envelope import ExplanationEnvelope
+from repro.exceptions import (
+    DatasetNotRegisteredError,
+    ExplanationError,
+    MissingDataError,
+    QueryError,
+    RequestValidationError,
+)
+from repro.query.aggregate_query import AggregateQuery
+from repro.serving.schema import query_payload
+from repro.serving.service import ExplanationService, ServedExplanation
+
+
+class ExplanationClient(ABC):
+    """The transport-agnostic serving API (see the module docstring).
+
+    Implementations must be thread-safe: the HTTP front end calls one
+    client from many handler threads concurrently.
+    """
+
+    @abstractmethod
+    def explain(self, dataset: str, query: AggregateQuery,
+                k: Optional[int] = None) -> ServedExplanation:
+        """Serve one explanation."""
+
+    @abstractmethod
+    def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
+                      k: Optional[int] = None) -> List[ServedExplanation]:
+        """Serve a batch of explanations, in request order."""
+
+    @abstractmethod
+    def stats(self) -> Dict[str, Any]:
+        """The serving tier's observability snapshot (JSON-safe)."""
+
+    @abstractmethod
+    def warm(self, dataset: str, queries: Optional[Sequence] = None,
+             top: int = 8) -> int:
+        """Build cross-query artefacts and replay hot queries; returns count."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the transport's resources; the client stops serving."""
+
+    # ---- standard extensions every implementation provides ------------- #
+    @abstractmethod
+    def clear_cache(self) -> None:
+        """Invalidate every cache layer (bumps dataset versions)."""
+
+    @abstractmethod
+    def health(self) -> Dict[str, Any]:
+        """Liveness verdict: ``{"status": "ok" | "degraded" | "down", ...}``."""
+
+    def datasets(self) -> List[str]:
+        """Names of the datasets this client can serve, sorted."""
+        return sorted(self.health().get("datasets", []))
+
+    def __enter__(self) -> "ExplanationClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class LocalClient(ExplanationClient):
+    """An in-process client over one :class:`ExplanationService`.
+
+    ``close_service=False`` leaves the wrapped service running on close —
+    for a service shared with other consumers (e.g. tests driving both the
+    service object and a client view of it).
+    """
+
+    def __init__(self, service: ExplanationService, close_service: bool = True):
+        self.service = service
+        self._close_service = close_service
+
+    def explain(self, dataset: str, query: AggregateQuery,
+                k: Optional[int] = None) -> ServedExplanation:
+        return self.service.explain(dataset, query, k=k)
+
+    def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
+                      k: Optional[int] = None) -> List[ServedExplanation]:
+        return self.service.explain_batch(dataset, queries, k=k)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.service.stats()
+
+    def warm(self, dataset: str, queries: Optional[Sequence] = None,
+             top: int = 8) -> int:
+        return self.service.warm(dataset, queries=queries, top=top)
+
+    def clear_cache(self) -> None:
+        self.service.clear_cache()
+
+    def health(self) -> Dict[str, Any]:
+        return self.service.health()
+
+    def datasets(self) -> List[str]:
+        return self.service.datasets()
+
+    def close(self) -> None:
+        if self._close_service:
+            self.service.close()
+
+
+def _raise_for_http_error(status: int, body: Dict[str, Any]) -> None:
+    """Map an error response back onto the exception the server mapped from."""
+    errors = body.get("errors") or [f"HTTP {status}"]
+    message = "; ".join(str(error) for error in errors)
+    if status == 400:
+        raise QueryError(message)
+    if status == 404:
+        raise DatasetNotRegisteredError(message)
+    if status == 422:
+        raise MissingDataError(message)
+    raise ExplanationError(f"server error (HTTP {status}): {message}")
+
+
+class HTTPClient(ExplanationClient):
+    """A stdlib JSON client for the :mod:`repro.serving.http` API.
+
+    Parameters
+    ----------
+    base_url:
+        Where the server listens, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Per-request socket timeout in seconds.  Cold explanations run a
+        full engine pipeline, so the default is generous.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 300.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                payload = json.loads(error.read())
+            except (ValueError, OSError):
+                payload = {}
+            _raise_for_http_error(error.code, payload)
+
+    @staticmethod
+    def _served(body: Dict[str, Any]) -> ServedExplanation:
+        return ServedExplanation(
+            dataset=body["dataset"],
+            envelope=ExplanationEnvelope.from_dict(body["envelope"]),
+            cache_hit=bool(body.get("cache_hit", False)),
+            coalesced=bool(body.get("coalesced", False)))
+
+    # ------------------------------------------------------------------ #
+    # the client protocol
+    # ------------------------------------------------------------------ #
+    def explain(self, dataset: str, query: AggregateQuery,
+                k: Optional[int] = None) -> ServedExplanation:
+        body = self._request(
+            "POST", "/explain", query_payload(query, k=k, dataset=dataset))
+        return self._served(body)
+
+    def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
+                      k: Optional[int] = None) -> List[ServedExplanation]:
+        payload: Dict[str, Any] = {
+            "dataset": dataset,
+            "queries": [query_payload(query) for query in queries],
+        }
+        if k is not None:
+            payload["k"] = k
+        body = self._request("POST", "/explain_batch", payload)
+        return [self._served(dict(result, dataset=body["dataset"]))
+                for result in body["results"]]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def warm(self, dataset: str, queries: Optional[Sequence] = None,
+             top: int = 8) -> int:
+        payload: Dict[str, Any] = {"dataset": dataset, "top": top}
+        if queries is not None:
+            if any(not isinstance(query, AggregateQuery) for query in queries):
+                raise RequestValidationError(
+                    "warm queries must be AggregateQuery objects")
+            payload["queries"] = [query_payload(query) for query in queries]
+        return int(self._request("POST", "/warm", payload).get("warmed", 0))
+
+    def clear_cache(self) -> None:
+        self._request("POST", "/clear_cache", {})
+
+    def health(self) -> Dict[str, Any]:
+        # /healthz answers 503 with the degraded body; return it rather
+        # than raising so callers can inspect worker status.
+        request = urllib.request.Request(self.base_url + "/healthz")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            try:
+                return json.loads(error.read())
+            except ValueError:
+                return {"status": "down", "errors": [f"HTTP {error.code}"]}
+
+    def close(self) -> None:
+        """Nothing to release: requests use one-shot stdlib connections."""

@@ -1,0 +1,871 @@
+"""Sharded multi-process serving: a cluster of explanation services.
+
+One :class:`~repro.serving.service.ExplanationService` owns one process —
+and therefore one GIL.  A :class:`ServiceCluster` scales past that by
+spawning N worker processes, each running a full service (warm context,
+explanation cache, negative cache, micro-batcher) over its own copy of the
+registered datasets, and routing every request **by the stable hash of its
+canonical query key** (:func:`~repro.table.expressions.stable_key_digest`;
+the builtin ``hash`` is per-process salted and would scatter keys on every
+restart).  Stable routing is what makes the shards *useful*: the key space
+partitions deterministically, so each worker's explanation/frame/fit
+caches stay hot for exactly its key range and the cluster's aggregate
+cache capacity is N times one worker's — repeated traffic that would
+thrash a single process's bounded LRUs stays resident.
+
+The front tier stays thin — it owns no engine state:
+
+* **in-flight dedup** — concurrent requests for one canonical key collapse
+  to a single worker execution (the same shield the in-process
+  micro-batcher provides, lifted above the process boundary);
+* **stats merge** — per-worker ``stats()`` snapshots merge into one
+  counter view (summed per dataset) with the per-worker breakdown kept;
+* **health + restart** — a dead worker (crash, OOM-kill) is detected on
+  its next request *or* health probe, respawned from the recorded dataset
+  specs (the spawn-safe initializer pattern: the dataset pickles into the
+  worker exactly once, at process start), the failed request is retried on
+  the fresh worker, and the front tier's recorded top-K history for the
+  worker's key range is replayed to re-warm its caches in the background;
+* **coherent invalidation** — ``clear_cache()`` broadcasts to every
+  worker, bumping each dataset's version so version-keyed caches in all
+  processes retire their entries at once.
+
+Workers communicate over :mod:`multiprocessing` pipes with a strict
+request/response discipline (the parent serializes requests per worker);
+results cross the boundary as compact envelope-JSON blobs, mirroring the
+batch executor's IPC shape.  The ``fork`` start method is used where
+available (workers inherit nothing mutable they use — each builds its own
+service); ``spawn`` is fully supported and exercised by the tests.
+
+:class:`ClusterClient` adapts a cluster to the
+:class:`~repro.serving.client.ExplanationClient` protocol, so the HTTP
+front end (and any other consumer) serves a cluster with the same code
+that serves one process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import exceptions as _exceptions
+from repro.engine.config import MESAConfig
+from repro.engine.envelope import ExplanationEnvelope
+from repro.exceptions import ConfigurationError, ReproError
+from repro.query.aggregate_query import AggregateQuery
+from repro.serving.client import ExplanationClient
+from repro.serving.service import ExplanationService, ServedExplanation
+from repro.table.expressions import stable_key_digest
+
+
+class WorkerDiedError(ReproError):
+    """A cluster worker went away mid-request (crash / kill / closed pipe).
+
+    Deliberately *not* an :class:`ExplanationError`: that family means "the
+    request was bad" (HTTP 400 on the serving path), while a dead worker is
+    a server fault (500) — and one the cluster usually heals by restarting
+    the worker and retrying before any caller sees this.
+    """
+
+
+class WorkerFaultError(ReproError):
+    """A worker raised an exception type the cluster cannot reconstruct.
+
+    Covers internal bugs (``KeyError``, ``LinAlgError``, ``MemoryError``,
+    ...) whose types do not live in :mod:`repro.exceptions`.  Like
+    :class:`WorkerDiedError` this is a *server* fault (HTTP 500) — it must
+    never be folded into the client-error family, or switching from one
+    process to a cluster would reclassify crashes as bad requests.  Unlike
+    a died worker it is not retried: the process is healthy, the request
+    deterministically fails.
+    """
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Everything a worker needs to (re)build one dataset's service entry.
+
+    This is the spawn-safe initializer payload: it is pickled into each
+    worker exactly once — at process start (and again only on a restart) —
+    so per-request messages carry queries, never data.
+    """
+
+    name: str
+    table: Any
+    knowledge_graph: Any = None
+    extraction_specs: Tuple = ()
+    config: Optional[MESAConfig] = None
+    warm: bool = True
+
+
+def _worker_safe_config(config: Optional[MESAConfig]) -> MESAConfig:
+    """The per-worker engine config: no nested process pools.
+
+    Cluster workers are daemonic processes and may not spawn children, so
+    a ``process`` engine backend inside one would fail; the cluster is the
+    process-level parallelism, workers keep intra-batch fan-out on
+    threads.
+    """
+    config = config or MESAConfig()
+    if config.parallel_backend != "thread":
+        config = config.with_overrides(parallel_backend="thread")
+    return config
+
+
+def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
+                         service_kwargs: Dict[str, Any]) -> None:
+    """The worker process: one warm service, a request/response loop.
+
+    Replies are ``("ok", payload)`` or ``("error", (type_name, args))``;
+    envelopes travel as one compact JSON blob per reply (the pickle cost
+    of a flat string beats a tree of small dicts, as in the batch
+    executor's IPC path).
+    """
+    service = ExplanationService(**service_kwargs)
+    for spec in specs:
+        service.register_dataset(
+            spec.name, spec.table, spec.knowledge_graph,
+            spec.extraction_specs, config=_worker_safe_config(spec.config),
+            warm=spec.warm)
+
+    def serve_one(op: str, payload):
+        if op == "explain":
+            dataset, query, k = payload
+            served = service.explain(dataset, query, k=k)
+            return (served.envelope.to_json(), served.cache_hit,
+                    served.coalesced)
+        if op == "explain_batch":
+            dataset, queries, k = payload
+            served = service.explain_batch(dataset, queries, k=k)
+            blob = json.dumps([one.envelope.to_dict() for one in served],
+                              separators=(",", ":"))
+            return blob, [(one.cache_hit, one.coalesced) for one in served]
+        if op == "stats":
+            return service.stats()
+        if op == "warm":
+            dataset, queries, top = payload
+            return service.warm(dataset, queries=queries, top=top)
+        if op == "clear_cache":
+            service.clear_cache()
+            return None
+        if op == "register":
+            spec = payload
+            # Idempotent: a worker respawned after this spec was appended
+            # to the cluster's spec list already registered it at start-up,
+            # and the broadcast's restart-and-retry path re-sends the op.
+            if spec.name not in service.datasets():
+                service.register_dataset(
+                    spec.name, spec.table, spec.knowledge_graph,
+                    spec.extraction_specs,
+                    config=_worker_safe_config(spec.config), warm=spec.warm)
+            return None
+        if op == "ping":
+            return "pong"
+        raise ConfigurationError(f"unknown cluster op {op!r}")
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op, payload = message
+            if op == "shutdown":
+                conn.send(("ok", None))
+                break
+            try:
+                conn.send(("ok", serve_one(op, payload)))
+            except Exception as error:
+                conn.send(("error", (type(error).__name__, error.args)))
+    finally:
+        service.close()
+        conn.close()
+
+
+def _rebuild_error(type_name: str, args: Tuple) -> Exception:
+    """Reconstruct a worker-side exception in the parent process.
+
+    Library exceptions rebuild as their own type (so 400/404/422 HTTP
+    mappings and caller ``except`` clauses behave exactly as in-process);
+    everything else is a worker-internal fault and surfaces as
+    :class:`WorkerFaultError`.
+    """
+    error_class = getattr(_exceptions, type_name, None)
+    if error_class is None or not isinstance(error_class, type) \
+            or not issubclass(error_class, Exception):
+        return WorkerFaultError(
+            f"worker failed with {type_name}: "
+            + "; ".join(str(arg) for arg in args))
+    try:
+        return error_class(*args)
+    except TypeError:
+        return WorkerFaultError(f"worker failed with {type_name}: {args}")
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side view of one worker: process, pipe, request lock."""
+
+    index: int
+    process: Any
+    conn: Any
+    #: Serialises request/response round-trips on the pipe.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Bumped on every restart; lets a failing thread detect that another
+    #: thread already replaced the process it observed dying.
+    generation: int = 0
+    restarts: int = 0
+    #: Last successful ``stats`` snapshot (served when the worker is busy).
+    last_stats: Optional[Dict[str, Any]] = None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ServiceCluster:
+    """N worker processes serving one dataset set, sharded by query key.
+
+    Parameters
+    ----------
+    n_workers:
+        How many worker processes to spawn.
+    service_kwargs:
+        Keyword arguments for each worker's ``ExplanationService`` (cache
+        sizes, TTL...).  The coalescing window defaults to 0 inside
+        workers — the front tier already serialises per-worker traffic.
+    start_method:
+        ``"fork"`` / ``"spawn"``; default prefers fork where available
+        (cheapest start), spawn is fully supported (and what Windows /
+        macOS get).
+    request_timeout:
+        Seconds to wait for a worker's reply before declaring it dead.
+        Cold explanations run full engine pipelines — keep this generous.
+    restart_warm_top:
+        After a worker restart, how many of the front tier's recorded
+        top-K historical queries for that worker's key range to replay
+        (in the background) to re-warm its caches; 0 disables.
+    """
+
+    def __init__(self, n_workers: int = 2,
+                 service_kwargs: Optional[Dict[str, Any]] = None,
+                 start_method: Optional[str] = None,
+                 request_timeout: float = 600.0,
+                 restart_warm_top: int = 8,
+                 history_size: int = 1024):
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        import multiprocessing
+
+        available = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in available else "spawn"
+        if start_method not in ("fork", "spawn"):
+            raise ConfigurationError(
+                f"start_method must be 'fork' or 'spawn', got {start_method!r}")
+        self._mp = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.n_workers = n_workers
+        self.request_timeout = request_timeout
+        self.restart_warm_top = restart_warm_top
+        self.history_size = history_size
+        self.service_kwargs = dict({"coalesce_window_seconds": 0.0},
+                                   **(service_kwargs or {}))
+        self._specs: List[DatasetSpec] = []
+        self._handles: List[_WorkerHandle] = []
+        self._lock = threading.Lock()
+        self._inflight: Dict[Tuple, Future] = {}
+        #: Front-tier request history per dataset: routing key -> [query, k,
+        #: hits]; feeds the post-restart re-warm of a worker's key range.
+        self._history: Dict[str, "Dict[Tuple, List]"] = {}
+        self._started = False
+        self._closed = False
+        self.requests_routed = 0
+        self.requests_deduplicated = 0
+        self.worker_restarts = 0
+        self.request_retries = 0
+        #: The most recent post-restart warmer thread (join in tests).
+        self.last_restart_warmer: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    # registration and lifecycle
+    # ------------------------------------------------------------------ #
+    def register_dataset(self, name: str, table, knowledge_graph=None,
+                         extraction_specs: Sequence = (),
+                         config: Optional[MESAConfig] = None,
+                         warm: bool = True) -> DatasetSpec:
+        """Record (and, once started, broadcast) a dataset to serve."""
+        if any(spec.name == name for spec in self._specs):
+            raise ConfigurationError(f"dataset {name!r} is already registered")
+        spec = DatasetSpec(name=name, table=table,
+                           knowledge_graph=knowledge_graph,
+                           extraction_specs=tuple(extraction_specs),
+                           config=config, warm=warm)
+        # Append before broadcasting: a worker that dies mid-broadcast is
+        # respawned from the spec list and therefore still learns the
+        # dataset (the worker-side op is idempotent for exactly this case).
+        self._specs.append(spec)
+        self._history.setdefault(name, {})
+        if self._started:
+            for handle in self._handles:
+                self._dispatch(handle.index, "register", spec)
+        return spec
+
+    def register_bundle(self, bundle, config: Optional[MESAConfig] = None,
+                        warm: bool = True) -> DatasetSpec:
+        """Register a :class:`~repro.datasets.registry.DatasetBundle`."""
+        if config is None:
+            config = MESAConfig(excluded_columns=tuple(bundle.id_columns))
+        return self.register_dataset(
+            bundle.name, bundle.table, bundle.knowledge_graph,
+            bundle.extraction_specs, config=config, warm=warm)
+
+    def start(self) -> "ServiceCluster":
+        """Spawn the worker processes and wait until all serve (idempotent).
+
+        Workers build their services — including the registration warm-up
+        of every dataset's cross-query artefacts — concurrently; start
+        returns once each has answered a ping, so the first real request
+        never queues behind worker initialisation.
+        """
+        if self._started:
+            return self
+        if self._closed:
+            raise ConfigurationError("ServiceCluster is closed")
+        if not self._specs:
+            raise ConfigurationError(
+                "register at least one dataset before starting the cluster")
+        self._handles = [self._spawn_worker(index)
+                         for index in range(self.n_workers)]
+        for handle in self._handles:
+            self._request(handle, "ping", None)
+        self._started = True
+        return self
+
+    def _spawn_worker(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_cluster_worker_main,
+            args=(child_conn, list(self._specs), self.service_kwargs),
+            name=f"repro-serving-worker-{index}", daemon=True)
+        process.start()
+        child_conn.close()  # the parent keeps only its end
+        return _WorkerHandle(index=index, process=process, conn=parent_conn)
+
+    def close(self) -> None:
+        """Shut every worker down (gracefully, then firmly).
+
+        The graceful half waits only briefly for each worker's pipe lock —
+        a worker mid-way through a long explanation holds it for the whole
+        engine run, and shutdown must not stall behind request traffic; an
+        unreachable worker is simply terminated below.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            if not handle.lock.acquire(timeout=2.0):
+                continue  # busy worker: skip graceful, terminate below
+            try:
+                handle.conn.send(("shutdown", None))
+                handle.conn.poll(2.0)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            finally:
+                handle.lock.release()
+        for handle in handles:
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+                if handle.process.is_alive():  # pragma: no cover - stuck worker
+                    handle.process.terminate()
+                    handle.process.join(timeout=2.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def __enter__(self) -> "ServiceCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def routing_key(dataset: str, query: AggregateQuery,
+                    k: Optional[int]) -> Tuple:
+        """The front-tier canonical key a request is routed (and deduped) by.
+
+        The dataset-version component is deliberately absent: versions
+        live in the workers (the front tier owns no caches to invalidate),
+        and routing must not move a key between shards when a version
+        bumps — that would cool every cache the bump did not invalidate.
+        """
+        return ExplanationService.query_key(dataset, query, k)[:-1]
+
+    def _resolve_k(self, dataset: str, k: Optional[int]) -> Optional[int]:
+        """The explanation-size budget a worker will actually apply.
+
+        Resolving ``k`` *before* routing means a request with ``k``
+        omitted and the same request with ``k`` equal to the dataset's
+        configured default share one shard, one in-flight execution and
+        one worker cache entry — exactly as they share one canonical key
+        inside a worker's service.  Unknown datasets pass through; the
+        worker answers with its own ``DatasetNotRegisteredError``.
+        """
+        if k is not None:
+            return k
+        for spec in self._specs:
+            if spec.name == dataset:
+                return (spec.config or MESAConfig()).k
+        return None
+
+    def worker_index(self, key: Tuple) -> int:
+        """Deterministic shard of a routing key (stable across processes)."""
+        return stable_key_digest(key) % self.n_workers
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def explain(self, dataset: str, query: AggregateQuery,
+                k: Optional[int] = None) -> ServedExplanation:
+        """Serve one explanation from the key's worker (deduped in flight)."""
+        self._ensure_serving()
+        k = self._resolve_k(dataset, k)
+        key = self.routing_key(dataset, query, k)
+        with self._lock:
+            self.requests_routed += 1
+            self._record_history(dataset, key, query, k)
+            existing = self._inflight.get(key)
+            if existing is None:
+                future: Future = Future()
+                self._inflight[key] = future
+        if existing is not None:
+            with self._lock:
+                self.requests_deduplicated += 1
+            served = existing.result()
+            return ServedExplanation(dataset=served.dataset,
+                                     envelope=served.envelope,
+                                     cache_hit=served.cache_hit,
+                                     coalesced=True)
+        try:
+            envelope_json, cache_hit, coalesced = self._dispatch(
+                self.worker_index(key), "explain", (dataset, query, k))
+            served = ServedExplanation(
+                dataset=dataset,
+                envelope=ExplanationEnvelope.from_json(envelope_json),
+                cache_hit=cache_hit, coalesced=coalesced)
+        except BaseException as error:
+            future.set_exception(error)
+            with self._lock:
+                self._inflight.pop(key, None)
+            # The future's exception was consumed by set_exception; waiters
+            # re-raise it, and so do we.
+            raise
+        future.set_result(served)
+        with self._lock:
+            self._inflight.pop(key, None)
+        return served
+
+    def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
+                      k: Optional[int] = None) -> List[ServedExplanation]:
+        """Serve a batch: shard, dedupe, fan sub-batches out, reassemble."""
+        self._ensure_serving()
+        k = self._resolve_k(dataset, k)
+        keys: List[Tuple] = []
+        owned: Dict[Tuple, Future] = {}
+        joined: Dict[Tuple, Future] = {}
+        owned_queries: Dict[Tuple, AggregateQuery] = {}
+        with self._lock:
+            for query in queries:
+                key = self.routing_key(dataset, query, k)
+                keys.append(key)
+                self.requests_routed += 1
+                self._record_history(dataset, key, query, k)
+                if key in owned or key in joined:
+                    self.requests_deduplicated += 1
+                    continue
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    self.requests_deduplicated += 1
+                    joined[key] = existing
+                else:
+                    future = Future()
+                    self._inflight[key] = future
+                    owned[key] = future
+                    owned_queries[key] = query
+        shards: Dict[int, List[Tuple]] = {}
+        for key in owned:
+            shards.setdefault(self.worker_index(key), []).append(key)
+
+        def run_shard(index: int, shard_keys: List[Tuple]) -> None:
+            shard_queries = [owned_queries[key] for key in shard_keys]
+            try:
+                blob, flags = self._dispatch(
+                    index, "explain_batch", (dataset, shard_queries, k))
+                envelopes = [ExplanationEnvelope.from_dict(envelope_dict)
+                             for envelope_dict in json.loads(blob)]
+            except BaseException as error:
+                with self._lock:
+                    for key in shard_keys:
+                        self._inflight.pop(key, None)
+                for key in shard_keys:
+                    owned[key].set_exception(error)
+                return
+            with self._lock:
+                for key in shard_keys:
+                    self._inflight.pop(key, None)
+            for key, envelope, (cache_hit, coalesced) in zip(
+                    shard_keys, envelopes, flags):
+                owned[key].set_result(ServedExplanation(
+                    dataset=dataset, envelope=envelope,
+                    cache_hit=cache_hit, coalesced=coalesced))
+
+        if shards:
+            with ThreadPoolExecutor(max_workers=len(shards)) as executor:
+                for index, shard_keys in shards.items():
+                    executor.submit(run_shard, index, shard_keys)
+        served: List[ServedExplanation] = []
+        first_of: Dict[Tuple, int] = {}
+        for position, key in enumerate(keys):
+            future = owned.get(key) or joined[key]
+            result = future.result()
+            duplicate = key in first_of or key in joined
+            first_of.setdefault(key, position)
+            if duplicate:
+                result = ServedExplanation(
+                    dataset=result.dataset, envelope=result.envelope,
+                    cache_hit=result.cache_hit, coalesced=True)
+            served.append(result)
+        return served
+
+    # ------------------------------------------------------------------ #
+    # broadcast operations
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Merged observability: summed counters + per-worker breakdown."""
+        self._ensure_serving()
+
+        def probe(handle: _WorkerHandle) -> Dict[str, Any]:
+            # A worker busy with a long cold explanation holds its pipe
+            # lock for the whole round-trip; observability must answer
+            # *now*, so wait briefly and fall back to the worker's last
+            # known snapshot (marked stale) instead of queueing behind the
+            # request.  Abandoning a sent request mid-pipe is not an
+            # option — it would desynchronise the request/response framing
+            # — hence the bounded wait happens on the lock, before
+            # sending.  Probes run concurrently so the stall is ~2s total,
+            # not 2s per busy worker.
+            if not handle.lock.acquire(timeout=2.0):
+                stale = dict(handle.last_stats or {})
+                stale["stale"] = True
+                return stale
+            try:
+                snapshot = self._request_locked(handle, "stats", None)
+                handle.last_stats = snapshot
+                return snapshot
+            except Exception as error:
+                return {"error": f"{type(error).__name__}: {error}"}
+            finally:
+                handle.lock.release()
+
+        with ThreadPoolExecutor(max_workers=len(self._handles)) as executor:
+            snapshots = list(executor.map(probe, self._handles))
+        workers: Dict[str, Any] = {
+            str(handle.index): snapshot
+            for handle, snapshot in zip(self._handles, snapshots)}
+        merged_contexts: Dict[str, Dict[str, Any]] = {}
+        cache = {"size": 0, "hits": 0, "misses": 0, "by_dataset": {},
+                 "by_worker": {}}
+        negative = {"size": 0, "hits": 0, "misses": 0, "by_dataset": {},
+                    "by_worker": {}}
+        for worker_id, snapshot in workers.items():
+            if "error" in snapshot:
+                continue
+            for name, context in snapshot.get("contexts", {}).items():
+                merged = merged_contexts.setdefault(
+                    name, {"counters": {}, "dataset_version": 0})
+                for counter, value in context.get("counters", {}).items():
+                    merged["counters"][counter] = \
+                        merged["counters"].get(counter, 0) + value
+                merged["dataset_version"] = max(
+                    merged["dataset_version"],
+                    context.get("dataset_version", 0))
+            for view, merged_view in ((snapshot.get("cache", {}), cache),
+                                      (snapshot.get("negative_cache", {}),
+                                       negative)):
+                for field_name in ("size", "hits", "misses"):
+                    merged_view[field_name] += view.get(field_name, 0)
+                for name, size in view.get("by_dataset", {}).items():
+                    merged_view["by_dataset"][name] = \
+                        merged_view["by_dataset"].get(name, 0) + size
+                merged_view["by_worker"][worker_id] = view.get("size", 0)
+        with self._lock:
+            front = {
+                "n_workers": self.n_workers,
+                "start_method": self.start_method,
+                "workers_alive": sum(handle.alive()
+                                     for handle in self._handles),
+                "requests_routed": self.requests_routed,
+                "requests_deduplicated": self.requests_deduplicated,
+                "worker_restarts": self.worker_restarts,
+                "request_retries": self.request_retries,
+                "inflight": len(self._inflight),
+            }
+        return {
+            "mode": "cluster",
+            "datasets": sorted(spec.name for spec in self._specs),
+            "cluster": front,
+            "cache": cache,
+            "negative_cache": negative,
+            "contexts": merged_contexts,
+            "workers": workers,
+        }
+
+    def warm(self, dataset: str, queries: Optional[Sequence] = None,
+             top: int = 8) -> int:
+        """Warm every worker (artefacts + replay); returns total replayed.
+
+        With explicit ``queries`` each is replayed only on the worker its
+        key routes to — warming a worker with keys it will never serve
+        would just evict its useful entries; with ``queries=None`` each
+        worker replays the top of its *own* recorded history.  Routing
+        resolves ``k`` exactly as :meth:`explain` does, so the warmed
+        shard is the shard live traffic will hit.
+        """
+        self._ensure_serving()
+        resolved_k = self._resolve_k(dataset, None)
+        total = 0
+        for handle in self._handles:
+            if queries is not None:
+                routed = [query for query in queries
+                          if self.worker_index(self.routing_key(
+                              dataset, query, resolved_k)) == handle.index]
+            else:
+                routed = None
+            total += int(self._dispatch(handle.index, "warm",
+                                        (dataset, routed, top)) or 0)
+        return total
+
+    def clear_cache(self) -> None:
+        """Invalidate every cache layer on every worker, coherently.
+
+        A worker found dead here is restarted — its replacement starts
+        with empty caches, which *is* the invalidated state.
+        """
+        self._ensure_serving()
+        for handle in self._handles:
+            self._dispatch(handle.index, "clear_cache", None)
+
+    def datasets(self) -> List[str]:
+        """Names of the registered datasets, sorted."""
+        return sorted(spec.name for spec in self._specs)
+
+    def health(self) -> Dict[str, Any]:
+        """Cluster liveness: degraded while any worker process is down.
+
+        Uses the cheap non-blocking process check — a ping would queue
+        behind an in-progress explanation and stall the probe.
+        """
+        with self._lock:
+            handles = list(self._handles)
+            closed = self._closed
+        worker_health = {
+            str(handle.index): {"alive": handle.alive(),
+                                "restarts": handle.restarts}
+            for handle in handles}
+        alive = sum(1 for one in worker_health.values() if one["alive"])
+        if closed or not self._started:
+            status = "down"
+        elif alive == len(handles):
+            status = "ok"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "datasets": sorted(spec.name for spec in self._specs),
+            "mode": "cluster",
+            "workers_alive": alive,
+            "n_workers": len(handles),
+            "workers": worker_health,
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals: request transport, restart, history
+    # ------------------------------------------------------------------ #
+    def _ensure_serving(self) -> None:
+        if not self._started:
+            raise ConfigurationError("ServiceCluster.start() has not been called")
+        if self._closed:
+            raise ConfigurationError("ServiceCluster is closed")
+
+    def _poll_reply(self, handle: _WorkerHandle, op: str) -> None:
+        """Wait for a reply, failing fast when the worker process dies.
+
+        A SIGKILLed worker closes its pipe end, which ``poll`` surfaces —
+        but a worker that never came up (or is wedged before its accept
+        loop) would otherwise block for the full request timeout, so the
+        wait is sliced and the process liveness re-checked between slices.
+        """
+        deadline = self.request_timeout
+        slice_seconds = 0.2
+        waited = 0.0
+        while waited < deadline:
+            if handle.conn.poll(min(slice_seconds, deadline - waited)):
+                return
+            waited += slice_seconds
+            if not handle.process.is_alive():
+                # One final poll: the reply may have raced the exit.
+                if handle.conn.poll(0):
+                    return
+                raise WorkerDiedError(
+                    f"worker {handle.index} exited while handling {op!r}")
+        raise WorkerDiedError(
+            f"worker {handle.index} did not answer {op!r} within "
+            f"{self.request_timeout}s")
+
+    def _request(self, handle: _WorkerHandle, op: str, payload) -> Any:
+        """One request/response round-trip (raises worker-side errors)."""
+        with handle.lock:
+            return self._request_locked(handle, op, payload)
+
+    def _request_locked(self, handle: _WorkerHandle, op: str, payload) -> Any:
+        """The round-trip body; the caller must hold ``handle.lock``."""
+        try:
+            handle.conn.send((op, payload))
+            self._poll_reply(handle, op)
+            verdict, result = handle.conn.recv()
+        except WorkerDiedError:
+            raise
+        except (EOFError, OSError, BrokenPipeError, ValueError) as error:
+            raise WorkerDiedError(
+                f"worker {handle.index} died during {op!r}: "
+                f"{type(error).__name__}: {error}") from error
+        if verdict == "error":
+            raise _rebuild_error(*result)
+        return result
+
+    def _dispatch(self, index: int, op: str, payload) -> Any:
+        """Route an op to a worker; on a dead worker, restart and retry once."""
+        handle = self._handles[index]
+        generation = handle.generation
+        try:
+            return self._request(handle, op, payload)
+        except WorkerDiedError:
+            self._restart_worker(index, observed_generation=generation)
+            with self._lock:
+                self.request_retries += 1
+            return self._request(self._handles[index], op, payload)
+
+    def _restart_worker(self, index: int, observed_generation: int) -> None:
+        """Replace a dead worker's process (once per observed death)."""
+        handle = self._handles[index]
+        with handle.lock:
+            if handle.generation != observed_generation:
+                return  # another thread already replaced this process
+            if self._closed:
+                raise WorkerDiedError(
+                    f"worker {index} died and the cluster is closed")
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.terminate()
+            if handle.process is not None:
+                handle.process.join(timeout=5.0)
+            fresh = self._spawn_worker(index)
+            handle.process = fresh.process
+            handle.conn = fresh.conn
+            handle.generation += 1
+            handle.restarts += 1
+        with self._lock:
+            self.worker_restarts += 1
+        self._rewarm_worker(index)
+
+    def _rewarm_worker(self, index: int) -> None:
+        """Replay the restarted worker's hottest keys in the background."""
+        if self.restart_warm_top < 1:
+            return
+        replay: List[Tuple[str, AggregateQuery, Optional[int]]] = []
+        with self._lock:
+            for dataset, history in self._history.items():
+                mine = [(hits, dataset, query, k)
+                        for key, (query, k, hits) in history.items()
+                        if self.worker_index(key) == index]
+                mine.sort(key=lambda entry: entry[0], reverse=True)
+                replay.extend((dataset, query, k) for _, dataset, query, k
+                              in mine[:self.restart_warm_top])
+        if not replay:
+            return
+
+        def run_replay() -> None:
+            for dataset, query, k in replay:
+                try:
+                    self.explain(dataset, query, k=k)
+                except Exception:
+                    continue
+
+        thread = threading.Thread(target=run_replay, daemon=True,
+                                  name=f"repro-cluster-rewarm-{index}")
+        self.last_restart_warmer = thread
+        thread.start()
+
+    def _record_history(self, dataset: str, key: Tuple,
+                        query: AggregateQuery, k: Optional[int]) -> None:
+        """Caller must hold ``self._lock``."""
+        history = self._history.setdefault(dataset, {})
+        entry = history.get(key)
+        if entry is None:
+            if len(history) >= self.history_size:
+                return  # full: keep the established hot set
+            history[key] = [query, k, 1]
+        else:
+            entry[2] += 1
+
+
+class ClusterClient(ExplanationClient):
+    """The :class:`ExplanationClient` face of a :class:`ServiceCluster`.
+
+    Starts the cluster if needed; ``close()`` shuts the workers down
+    unless ``close_cluster=False`` (a cluster shared with other views).
+    """
+
+    def __init__(self, cluster: ServiceCluster, close_cluster: bool = True):
+        self.cluster = cluster.start()
+        self._close_cluster = close_cluster
+
+    def explain(self, dataset: str, query: AggregateQuery,
+                k: Optional[int] = None) -> ServedExplanation:
+        return self.cluster.explain(dataset, query, k=k)
+
+    def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
+                      k: Optional[int] = None) -> List[ServedExplanation]:
+        return self.cluster.explain_batch(dataset, queries, k=k)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.cluster.stats()
+
+    def warm(self, dataset: str, queries: Optional[Sequence] = None,
+             top: int = 8) -> int:
+        return self.cluster.warm(dataset, queries=queries, top=top)
+
+    def clear_cache(self) -> None:
+        self.cluster.clear_cache()
+
+    def health(self) -> Dict[str, Any]:
+        return self.cluster.health()
+
+    def datasets(self) -> List[str]:
+        return self.cluster.datasets()
+
+    def close(self) -> None:
+        if self._close_cluster:
+            self.cluster.close()

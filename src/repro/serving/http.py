@@ -1,10 +1,18 @@
-"""JSON-over-HTTP front end for the :class:`ExplanationService`.
+"""JSON-over-HTTP front end for any :class:`ExplanationClient`.
 
 A deliberately dependency-free server on the stdlib's
 :class:`~http.server.ThreadingHTTPServer` — one OS thread per connection,
-which is exactly the traffic shape the service layer is built for: threads
-hit the explanation cache concurrently and funnel misses into the
-per-dataset micro-batcher.
+which is exactly the traffic shape the serving layer is built for: threads
+hit the explanation caches concurrently and the backend coalesces misses.
+
+The handler is written against the transport-agnostic
+:class:`~repro.serving.client.ExplanationClient` protocol, *not* a concrete
+service: hand :func:`make_server` an in-process
+:class:`~repro.serving.service.ExplanationService` (wrapped in a
+:class:`~repro.serving.client.LocalClient` automatically) or a
+:class:`~repro.serving.cluster.ClusterClient` over N worker processes and
+the same handler code serves both topologies —
+``python -m repro.serving --workers N`` is exactly that switch.
 
 Endpoints
 ---------
@@ -16,11 +24,20 @@ Endpoints
 ``POST /explain_batch``
     Body: ``{"dataset": ..., "queries": [...], "k": ...}``.  Returns
     ``{"results": [...]}`` in request order.
+``POST /warm``
+    Body: ``{"dataset": ..., "queries": [...]?, "top": ...?}``.  Builds the
+    dataset's cross-query artefacts and replays the given (or recorded
+    top-K) queries into the caches; returns ``{"warmed": N}``.
+``POST /clear_cache``
+    Invalidates every cache layer (dataset versions bump on every backend
+    process).
 ``GET /stats``
-    Service observability snapshot: cache hit rates, batcher coalescing
-    counters, per-dataset engine counters.
+    Serving-tier observability snapshot: cache hit rates and per-dataset
+    occupancy, coalescing counters, per-dataset engine counters — and, in
+    cluster mode, the merged view plus the per-worker breakdown.
 ``GET /healthz``
-    Liveness probe: ``{"status": "ok", "datasets": [...]}``.
+    Liveness probe: ``{"status": "ok", "datasets": [...]}``; answers
+    **503** with ``status: "degraded"`` while any cluster worker is down.
 
 Errors map to JSON bodies with an ``errors`` list: 400 for validation and
 query errors, 404 for unknown datasets and routes, 422 for missing-data
@@ -33,7 +50,7 @@ from __future__ import annotations
 
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import __version__
 from repro.exceptions import (
@@ -43,6 +60,7 @@ from repro.exceptions import (
     QueryError,
     RequestValidationError,
 )
+from repro.serving.client import ExplanationClient, LocalClient
 from repro.serving.schema import (
     API_SCHEMA_VERSION,
     BatchExplainRequest,
@@ -91,11 +109,12 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0]
         try:
             if path == "/healthz":
-                self._respond(200, {"status": "ok",
-                                    "version": __version__,
-                                    "datasets": self._service.datasets()})
+                health = dict(self._client.health())
+                health.setdefault("version", __version__)
+                status = 200 if health.get("status") == "ok" else 503
+                self._respond(status, health)
             elif path == "/stats":
-                self._respond(200, self._service.stats())
+                self._respond(200, self._client.stats())
             else:
                 self._respond(404, {"errors": [f"no such endpoint: GET {path}"]})
         except Exception as exc:  # snapshot failures must answer, not abort
@@ -107,6 +126,10 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
             self._handle(self._explain)
         elif path == "/explain_batch":
             self._handle(self._explain_batch)
+        elif path == "/warm":
+            self._handle(self._warm)
+        elif path == "/clear_cache":
+            self._handle(self._clear_cache)
         else:
             self._respond(404, {"errors": [f"no such endpoint: POST {path}"]})
 
@@ -116,7 +139,7 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
     def _explain(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         dataset, body = self._split_dataset(payload)
         request = ExplainRequest.from_dict(body)
-        served = self._service.explain(dataset, request.query, k=request.k)
+        served = self._client.explain(dataset, request.query, k=request.k)
         return 200, _served_to_dict(served)
 
     def _explain_batch(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
@@ -130,19 +153,47 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
                             []).append(index)
         results: List[Optional[Dict[str, Any]]] = [None] * len(batch.requests)
         for k, indices in by_k.items():
-            served = self._service.explain_batch(
+            served = self._client.explain_batch(
                 dataset, [batch.requests[i].query for i in indices], k=k)
             for index, one in zip(indices, served):
                 results[index] = _served_to_dict(one)
         return 200, {"api_schema_version": API_SCHEMA_VERSION,
                      "dataset": dataset, "results": results}
 
+    def _warm(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        dataset, body = self._split_dataset(payload)
+        top = body.pop("top", 8)
+        if not isinstance(top, int) or isinstance(top, bool) or top < 0:
+            raise RequestValidationError(f"top must be an integer >= 0, got {top!r}")
+        raw_queries = body.pop("queries", None)
+        if body:
+            raise RequestValidationError(
+                f"unknown field(s) {sorted(body)} in warm request")
+        queries = None
+        if raw_queries is not None:
+            if not isinstance(raw_queries, (list, tuple)):
+                raise RequestValidationError(
+                    "queries must be a list of request objects")
+            queries = [ExplainRequest.from_dict(raw).query
+                       for raw in raw_queries]
+        warmed = self._client.warm(dataset, queries=queries, top=top)
+        return 200, {"api_schema_version": API_SCHEMA_VERSION,
+                     "dataset": dataset, "warmed": int(warmed)}
+
+    def _clear_cache(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        if payload not in (None, {}, []):
+            raise RequestValidationError(
+                "clear_cache takes an empty JSON body")
+        self._client.clear_cache()
+        return 200, {"api_schema_version": API_SCHEMA_VERSION,
+                     "status": "cleared"}
+
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
     @property
-    def _service(self) -> ExplanationService:
-        return self.server.service  # type: ignore[attr-defined]
+    def _client(self) -> ExplanationClient:
+        return self.server.client  # type: ignore[attr-defined]
 
     @staticmethod
     def _split_dataset(payload: Any) -> Tuple[str, Dict[str, Any]]:
@@ -170,6 +221,8 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
             raise _HTTPFault(
                 413, f"request body of {length} bytes exceeds the "
                      f"{MAX_BODY_BYTES}-byte limit", close=True)
+        if length == 0:
+            return None
         raw = self.rfile.read(length)
         try:
             return json.loads(raw.decode("utf-8"))
@@ -216,30 +269,47 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
 
 
 class ExplanationHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`ExplanationService`."""
+    """A threading HTTP server bound to one :class:`ExplanationClient`.
+
+    A bare :class:`ExplanationService` is accepted too (wrapped in a
+    :class:`LocalClient`), so existing single-process deployments keep
+    working unchanged.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: ExplanationService,
+    def __init__(self, address: Tuple[str, int],
+                 backend: Union[ExplanationClient, ExplanationService],
                  quiet: bool = True):
         super().__init__(address, ExplanationRequestHandler)
-        self.service = service
+        if isinstance(backend, ExplanationService):
+            backend = LocalClient(backend)
+        self.client: ExplanationClient = backend
         self.quiet = quiet
 
+    @property
+    def service(self) -> Optional[ExplanationService]:
+        """The in-process service, when the backend is local (else None)."""
+        return getattr(self.client, "service", None)
 
-def make_server(service: ExplanationService, host: str = "127.0.0.1",
-                port: int = 8080, quiet: bool = True) -> ExplanationHTTPServer:
+
+def make_server(backend: Union[ExplanationClient, ExplanationService],
+                host: str = "127.0.0.1", port: int = 8080,
+                quiet: bool = True) -> ExplanationHTTPServer:
     """Bind an :class:`ExplanationHTTPServer` (``port=0`` picks a free port)."""
-    return ExplanationHTTPServer((host, port), service, quiet=quiet)
+    return ExplanationHTTPServer((host, port), backend, quiet=quiet)
 
 
-def serve_forever(service: ExplanationService, host: str = "127.0.0.1",
-                  port: int = 8080, quiet: bool = False) -> None:
+def serve_forever(backend: Union[ExplanationClient, ExplanationService],
+                  host: str = "127.0.0.1", port: int = 8080,
+                  quiet: bool = False) -> None:
     """Blocking convenience entry point (used by ``python -m repro.serving``)."""
-    server = make_server(service, host, port, quiet=quiet)
+    server = make_server(backend, host, port, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
-    print(f"repro serving {service.datasets()} on http://{bound_host}:{bound_port} "
-          f"(POST /explain, POST /explain_batch, GET /stats, GET /healthz)")
+    datasets = server.client.datasets()
+    print(f"repro serving {datasets} on http://{bound_host}:{bound_port} "
+          f"(POST /explain, POST /explain_batch, POST /warm, "
+          f"GET /stats, GET /healthz)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path
@@ -247,4 +317,4 @@ def serve_forever(service: ExplanationService, host: str = "127.0.0.1",
     finally:
         server.shutdown()
         server.server_close()
-        service.close()
+        server.client.close()

@@ -154,6 +154,74 @@ def _parse_k(raw: Any, errors: List[str]) -> Optional[int]:
     return raw
 
 
+def context_clauses(predicate: Predicate) -> List[Dict[str, Any]]:
+    """Render a context predicate as the wire format's clause list.
+
+    The inverse of the ``context`` parsing above, used by
+    :class:`~repro.serving.client.HTTPClient` to ship an
+    :class:`~repro.query.aggregate_query.AggregateQuery` over the JSON API.
+    Round-trip guarantee: parsing the returned clauses yields a predicate
+    with the same :func:`~repro.table.expressions.canonical_predicate_key`.
+    Predicates the wire format cannot express (``OR``, nested ``NOT``)
+    raise :class:`RequestValidationError`.
+    """
+    if predicate is TRUE or isinstance(predicate, And) and not predicate.operands:
+        return []
+    if isinstance(predicate, And):
+        clauses: List[Dict[str, Any]] = []
+        for operand in predicate.operands:
+            clauses.extend(context_clauses(operand))
+        return clauses
+    if isinstance(predicate, Not):
+        inner = context_clauses(predicate.operand)
+        if len(inner) != 1 or inner[0].get("negate"):
+            raise RequestValidationError(
+                f"cannot serialize predicate {predicate!r}: NOT is only "
+                "supported around a single simple clause")
+        inner[0]["negate"] = True
+        return inner
+    for op, factory in _COMPARISONS.items():
+        if isinstance(predicate, factory):
+            return [{"column": predicate.column, "op": op,
+                     "value": predicate.value}]
+    if isinstance(predicate, In):
+        return [{"column": predicate.column, "op": "in",
+                 "values": list(predicate.values)}]
+    if isinstance(predicate, Between):
+        return [{"column": predicate.column, "op": "between",
+                 "low": predicate.low, "high": predicate.high}]
+    if isinstance(predicate, IsNull):
+        return [{"column": predicate.column, "op": "is_null"}]
+    if isinstance(predicate, NotNull):
+        return [{"column": predicate.column, "op": "not_null"}]
+    raise RequestValidationError(
+        f"cannot serialize predicate {predicate!r} into the wire format; "
+        "supported: AND of eq/ne/in/gt/ge/lt/le/between/is_null/not_null "
+    "clauses (optionally negated)")
+
+
+def query_payload(query: AggregateQuery, k: Optional[int] = None,
+                  dataset: Optional[str] = None) -> Dict[str, Any]:
+    """The structural request body for a query (HTTP client's wire form)."""
+    payload: Dict[str, Any] = {
+        "exposure": query.exposure,
+        "outcome": query.outcome,
+        "aggregate": query.aggregate,
+    }
+    clauses = context_clauses(query.context)
+    if clauses:
+        payload["context"] = clauses
+    if query.table_name != "table":
+        payload["table_name"] = query.table_name
+    if query.name is not None:
+        payload["name"] = query.name
+    if k is not None:
+        payload["k"] = k
+    if dataset is not None:
+        payload["dataset"] = dataset
+    return payload
+
+
 @dataclass(frozen=True)
 class ExplainRequest:
     """One validated explanation request (the body of ``POST /explain``)."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -84,6 +85,20 @@ class ExplanationService:
         (``QueryError`` / ``ExplanationError``); repeats of a cached bad
         query raise immediately without reaching the engine.  Shares the
         service TTL.
+    permutation_early_exit:
+        The *serving-path* default for the sequential permutation early
+        exit.  An audit of the p-value consumers (recoverability and the
+        responsibility stopping criterion read only the boolean
+        ``independent`` verdict, which the early exit provably never
+        flips; nothing gates on p-value resolution) makes the exit safe to
+        enable for served traffic, so pipelines built by
+        :meth:`register_dataset` / :meth:`register_bundle` get it switched
+        on unless the caller opts out here.  The engine default stays off —
+        offline analyses may care about exact permutation counts — and
+        pre-built pipelines handed to :meth:`register` are never rewritten.
+    history_size:
+        How many distinct historical queries to remember per dataset (for
+        the :meth:`warm` replay of top-K traffic).
     clock:
         Monotonic time source shared by the cache and batchers
         (injectable for TTL/window tests).
@@ -94,6 +109,8 @@ class ExplanationService:
                  coalesce_window_seconds: float = 0.005,
                  max_batch: int = 64,
                  negative_cache_size: int = 256,
+                 permutation_early_exit: bool = True,
+                 history_size: int = 256,
                  clock: Callable[[], float] = time.monotonic):
         self._clock = clock
         self._cache = TTLCache(max_entries=cache_size, ttl_seconds=ttl_seconds,
@@ -102,11 +119,18 @@ class ExplanationService:
                                   ttl_seconds=ttl_seconds, clock=clock)
         self.coalesce_window_seconds = coalesce_window_seconds
         self.max_batch = max_batch
+        self.permutation_early_exit = permutation_early_exit
+        self.history_size = history_size
         self._pipelines: Dict[str, ExplanationPipeline] = {}
         self._batchers: Dict[str, MicroBatcher] = {}
+        #: Per-dataset request history: canonical key -> [query, k, hits],
+        #: most recent last (bounded LRU), feeding the top-K cache warmer.
+        self._history: Dict[str, "OrderedDict[Tuple, List]"] = {}
         self._lock = threading.Lock()
         self._started_at = clock()
         self._closed = False
+        #: The most recently started background warmer thread (join in tests).
+        self.last_warmer: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------ #
     # dataset registration
@@ -127,10 +151,19 @@ class ExplanationService:
             if name in self._pipelines:
                 raise ConfigurationError(f"dataset {name!r} is already registered")
             self._pipelines[name] = pipeline
+            self._history.setdefault(name, OrderedDict())
             self._batchers[name] = MicroBatcher(
                 runner=self._runner_for(pipeline),
                 window_seconds=self.coalesce_window_seconds,
                 max_batch=self.max_batch, clock=self._clock)
+        # Re-registration of a context that served before (its version
+        # moved past the initial 0) bumps the version, so canonical keys
+        # minted against the earlier registration can never answer
+        # requests for this one.  A first-time registration keeps version
+        # 0 — bumping would needlessly invalidate the frame cache of a
+        # caller-warmed pipeline.
+        if pipeline.context.dataset_version > 0:
+            pipeline.context.bump_dataset_version()
         if warm:
             self.warm(name)
         return pipeline
@@ -139,7 +172,14 @@ class ExplanationService:
                          extraction_specs: Sequence = (),
                          config: Optional[MESAConfig] = None,
                          warm: bool = True) -> ExplanationPipeline:
-        """Build and register a pipeline from dataset parts."""
+        """Build and register a pipeline from dataset parts.
+
+        The pipeline configuration gets the serving-path defaults applied
+        (currently ``permutation_early_exit``, see the class docstring).
+        """
+        config = config or MESAConfig()
+        if self.permutation_early_exit and not config.permutation_early_exit:
+            config = config.with_overrides(permutation_early_exit=True)
         pipeline = ExplanationPipeline(table, knowledge_graph, extraction_specs,
                                        config=config)
         return self.register(name, pipeline, warm=warm)
@@ -157,8 +197,26 @@ class ExplanationService:
             bundle.name, bundle.table, bundle.knowledge_graph,
             bundle.extraction_specs, config=config, warm=warm)
 
-    def warm(self, name: str) -> None:
-        """Build the dataset's cross-query artefacts now (idempotent)."""
+    def warm(self, name: str, queries: Optional[Sequence] = None,
+             top: int = 8, background: bool = False,
+             k: Optional[int] = None) -> int:
+        """Build the dataset's cross-query artefacts and replay hot queries.
+
+        The artefact half (augmented table, offline-pruning verdicts) is
+        idempotent and always runs synchronously.  The *replay* half then
+        pushes explanations back into the result caches: ``queries`` names
+        them explicitly, or — with ``queries=None`` — the ``top`` most
+        requested queries from the dataset's recorded history are replayed
+        (the cold-start cure after :meth:`clear_cache` or a cluster worker
+        restart).  Each replay is an ordinary :meth:`explain`, so every
+        cache layer (frame, fit, envelope) warms exactly as live traffic
+        would; replay failures are swallowed — warming is best-effort.
+
+        With ``background=True`` the replay runs on a daemon thread (the
+        thread object is stored on ``self.last_warmer`` for tests to join)
+        and the method returns the number of queries *scheduled*; otherwise
+        it returns the number successfully replayed.
+        """
         pipeline = self.pipeline(name)
         config = pipeline.config
         pipeline.context.augmented_table(config.hops)
@@ -167,6 +225,54 @@ class ExplanationService:
                 [], hops=config.hops,
                 max_missing_fraction=config.max_missing_fraction,
                 high_entropy_unique_ratio=config.high_entropy_unique_ratio)
+        if queries is not None:
+            replay: List[Tuple] = [(query, k) for query in queries]
+        else:
+            replay = self.top_queries(name, top)
+        if not replay:
+            return 0
+
+        def run_replay() -> int:
+            warmed = 0
+            for query, replay_k in replay:
+                try:
+                    self.explain(name, query, k=replay_k)
+                    warmed += 1
+                except Exception:
+                    continue
+            pipeline.context.count("service.warmed_queries", warmed)
+            return warmed
+
+        if background:
+            thread = threading.Thread(target=run_replay,
+                                      name=f"repro-serving-warmer-{name}",
+                                      daemon=True)
+            self.last_warmer = thread
+            thread.start()
+            return len(replay)
+        return run_replay()
+
+    def top_queries(self, name: str, top: int) -> List[Tuple]:
+        """The ``top`` most requested ``(query, k)`` pairs of a dataset."""
+        with self._lock:
+            history = list(self._history.get(name, {}).values())
+        history.sort(key=lambda entry: entry[2], reverse=True)
+        return [(query, k) for query, k, _hits in history[:max(0, top)]]
+
+    def _record_history(self, name: str, key: Tuple, query: AggregateQuery,
+                        k: Optional[int]) -> None:
+        with self._lock:
+            history = self._history.get(name)
+            if history is None:
+                return
+            entry = history.get(key)
+            if entry is None:
+                history[key] = [query, k, 1]
+            else:
+                entry[2] += 1
+                history.move_to_end(key)
+            while len(history) > self.history_size:
+                history.popitem(last=False)
 
     def datasets(self) -> List[str]:
         """Names of the registered datasets, sorted."""
@@ -187,7 +293,8 @@ class ExplanationService:
     # serving
     # ------------------------------------------------------------------ #
     @staticmethod
-    def query_key(dataset: str, query: AggregateQuery, k: int) -> Tuple:
+    def query_key(dataset: str, query: AggregateQuery, k: int,
+                  version: int = 0) -> Tuple:
         """The canonical cache key of a request.
 
         Two requests that ask the same question — same dataset, exposure,
@@ -197,10 +304,23 @@ class ExplanationService:
         are part of the key because they are echoed back inside the
         envelope's query descriptor: a client using ``name`` as a
         correlation id must never receive another request's id.
+
+        ``version`` is the dataset version (see
+        :meth:`~repro.engine.context.PipelineContext.bump_dataset_version`):
+        bumping it on registration or invalidation retires every cached
+        envelope and error verdict for the dataset at once — in this
+        process and, because the version travels inside the key rather
+        than in any one cache's state, in every process serving it.
         """
         return (dataset, query.exposure, query.outcome,
                 query.aggregate.lower(), canonical_predicate_key(query.context),
-                query.name, query.table_name, k)
+                query.name, query.table_name, k, version)
+
+    def _live_key(self, dataset: str, pipeline: ExplanationPipeline,
+                  query: AggregateQuery, k: int) -> Tuple:
+        """The canonical key at the dataset's *current* version."""
+        return self.query_key(dataset, query, k,
+                              pipeline.context.dataset_version)
 
     def _raise_cached_error(self, pipeline: ExplanationPipeline, error) -> None:
         """Re-raise a negative-cache verdict as a fresh exception."""
@@ -223,7 +343,8 @@ class ExplanationService:
         """Serve one explanation (cache -> negative cache -> batch -> engine)."""
         pipeline = self.pipeline(dataset)
         resolved_k = k if k is not None else pipeline.config.k
-        key = self.query_key(dataset, query, resolved_k)
+        key = self._live_key(dataset, pipeline, query, resolved_k)
+        self._record_history(dataset, key[:-1], query, k)
         envelope = self._cache.get(key)
         if envelope is not None:
             pipeline.context.count("service.cache_hit")
@@ -257,7 +378,8 @@ class ExplanationService:
         misses: List[Tuple[int, AggregateQuery, Hashable]] = []
         hits = 0
         for index, query in enumerate(queries):
-            key = self.query_key(dataset, query, resolved_k)
+            key = self._live_key(dataset, pipeline, query, resolved_k)
+            self._record_history(dataset, key[:-1], query, k)
             envelope = self._cache.get(key)
             if envelope is not None:
                 hits += 1
@@ -294,7 +416,14 @@ class ExplanationService:
     # observability and lifecycle
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, object]:
-        """A JSON-safe snapshot of cache, batcher and engine counters."""
+        """A JSON-safe snapshot of cache, batcher and engine counters.
+
+        The shared explanation/negative caches additionally report their
+        occupancy *per dataset* (the dataset is the first component of
+        every canonical query key), and each dataset context reports its
+        current version — what a cluster front tier merges into its
+        per-worker stats view.
+        """
         with self._lock:
             pipelines = dict(self._pipelines)
             batchers = dict(self._batchers)
@@ -305,19 +434,43 @@ class ExplanationService:
                 "counters": counters,
                 "stage_seconds": {stage: round(seconds, 6)
                                   for stage, seconds in stage_seconds.items()},
+                "dataset_version": pipeline.context.dataset_version,
             }
+        cache_stats = self._cache.stats()
+        cache_stats["by_dataset"] = self._cache.sizes_by(lambda key: key[0])
+        negative_stats = self._negative.stats()
+        negative_stats["by_dataset"] = self._negative.sizes_by(lambda key: key[0])
         return {
             "uptime_seconds": self._clock() - self._started_at,
             "datasets": sorted(pipelines),
-            "cache": self._cache.stats(),
-            "negative_cache": self._negative.stats(),
+            "cache": cache_stats,
+            "negative_cache": negative_stats,
             "batchers": {name: batcher.stats()
                          for name, batcher in batchers.items()},
             "contexts": contexts,
         }
 
+    def health(self) -> Dict[str, object]:
+        """Liveness verdict: a single-process service is up iff it is open."""
+        with self._lock:
+            closed = self._closed
+            datasets = sorted(self._pipelines)
+        return {"status": "down" if closed else "ok", "datasets": datasets}
+
     def clear_cache(self) -> None:
-        """Drop every cached explanation and error verdict (counters kept)."""
+        """Invalidate every cache layer for every dataset, coherently.
+
+        Besides dropping the local envelope and error-verdict entries, each
+        dataset's version is bumped — so version-keyed caches *anywhere*
+        (this process's encoded-frame cache, other processes' envelope
+        caches in a cluster once they observe the bump) stop serving
+        pre-invalidation artefacts.  Counters and recorded query history
+        are kept: :meth:`warm` can replay the top-K history to refill.
+        """
+        with self._lock:
+            pipelines = list(self._pipelines.values())
+        for pipeline in pipelines:
+            pipeline.context.bump_dataset_version()
         self._cache.clear()
         self._negative.clear()
 

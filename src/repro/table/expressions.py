@@ -10,6 +10,7 @@ the MESA report.
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Iterable, Sequence, Tuple
@@ -362,6 +363,20 @@ def canonical_predicate_key(predicate: Predicate) -> str:
         values = ",".join(sorted(repr(value) for value in predicate.values))
         return f"IN({predicate.column},[{values}])"
     return repr(predicate)
+
+
+def stable_key_digest(key: Sequence) -> int:
+    """A process-stable 64-bit digest of a canonical cache key.
+
+    Python's builtin ``hash`` is salted per process, so it cannot route a
+    canonical query key consistently across the processes of a serving
+    cluster (or across restarts).  This digest hashes the ``repr`` of the
+    key tuple — canonical keys are built from plain strings, numbers and
+    ``None``, whose reprs are deterministic — so every process maps the
+    same key to the same shard.
+    """
+    payload = repr(tuple(key)).encode("utf-8")
+    return int.from_bytes(hashlib.sha1(payload).digest()[:8], "big")
 
 
 class Condition:

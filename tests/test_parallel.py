@@ -155,6 +155,57 @@ class TestSpawnBackend:
                                 start_method="forkserver")
 
 
+class TestFitCacheWriteBack:
+    """Workers' new IPW selection fits merge back into the parent context."""
+
+    def test_thread_backend_writes_back_and_warms_next_batch(
+            self, covid_bundle, covid_queries):
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, covid_bundle.knowledge_graph,
+            covid_bundle.extraction_specs, config=_config(covid_bundle, n_jobs=2))
+        assert len(pipeline.context.ipw_fit_cache) == 0
+        pipeline.explain_many(covid_queries, k=3)
+        counters = pipeline.context.counters
+        written_back = counters.get("ipw_fit_writeback", 0)
+        assert written_back > 0
+        assert len(pipeline.context.ipw_fit_cache) == written_back
+        misses_after_first = counters["ipw_fit_miss"]
+        # The next batch (same contexts, different k) forks workers from
+        # the now-warm parent: every selection fit is a cache hit.
+        pipeline.explain_many(covid_queries, k=4)
+        assert pipeline.context.counters["ipw_fit_miss"] == misses_after_first
+        assert pipeline.context.counters.get("ipw_fit_hit", 0) >= written_back
+
+    def test_process_backend_ships_fits_across_the_boundary(
+            self, covid_bundle, covid_queries):
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, covid_bundle.knowledge_graph,
+            covid_bundle.extraction_specs,
+            config=_config(covid_bundle, n_jobs=2, parallel_backend="process"))
+        pipeline.explain_many_envelopes(covid_queries, k=3)
+        counters = pipeline.context.counters
+        assert counters.get("ipw_fit_writeback", 0) > 0
+        assert len(pipeline.context.ipw_fit_cache) == \
+            counters["ipw_fit_writeback"]
+        # Written-back entries are immutable, like every cached fit.
+        for _key, entry in pipeline.context.ipw_fit_cache.drain_new_entries():
+            assert not entry.weights.flags.writeable
+
+    def test_duplicate_fits_across_workers_merge_once(self, covid_bundle,
+                                                      covid_queries):
+        from repro.missingness.fitcache import SelectionFitCache
+
+        pipeline = ExplanationPipeline(
+            covid_bundle.table, covid_bundle.knowledge_graph,
+            covid_bundle.extraction_specs, config=_config(covid_bundle, n_jobs=2))
+        pipeline.explain_many(covid_queries, k=3)
+        entries = pipeline.context.ipw_fit_cache.drain_new_entries()
+        assert entries  # the write-back marked them as new on the parent
+        target = SelectionFitCache()
+        assert target.merge_new_entries(entries) == len(entries)
+        assert target.merge_new_entries(entries) == 0  # already known
+
+
 class TestKernelOracleWiring:
     def test_kernel_and_legacy_modes_agree(self, covid_bundle, covid_queries,
                                            serial_results):

@@ -98,6 +98,17 @@ class TestTTLCache:
         clock.advance(8.0)  # 16s after first put, 8s after refresh
         assert cache.get("key") == "new"
 
+    def test_sizes_by_skips_expired_entries(self):
+        clock = FakeClock()
+        cache = TTLCache(max_entries=8, ttl_seconds=10.0, clock=clock)
+        cache.put(("a", 1), "x")
+        cache.put(("a", 2), "y")
+        clock.advance(5.0)
+        cache.put(("b", 1), "z")
+        assert cache.sizes_by(lambda key: key[0]) == {"a": 2, "b": 1}
+        clock.advance(6.0)  # the "a" entries are now past their TTL
+        assert cache.sizes_by(lambda key: key[0]) == {"b": 1}
+
     def test_invalid_configuration(self):
         with pytest.raises(ConfigurationError):
             TTLCache(max_entries=0)
@@ -366,6 +377,40 @@ class TestExplanationService:
             with pytest.raises(ExplanationError, match="selects no rows"):
                 service.explain(covid_bundle.name, bad, k=3)
             assert context.counters["service.negative_hit"] == 2
+        finally:
+            service.close()
+
+    def test_coalesced_failure_does_not_poison_innocent_queries(
+            self, covid_bundle):
+        """A bad query sharing a batch must not fail (or negative-cache)
+        the valid queries that merely coalesced into it."""
+        service = ExplanationService(cache_size=8,
+                                     coalesce_window_seconds=0.2)
+        config = MESAConfig(excluded_columns=tuple(covid_bundle.id_columns), k=3)
+        service.register_bundle(covid_bundle, config=config)
+        good = covid_bundle.queries[0].query
+        bad = AggregateQuery(exposure="Country", outcome="Deaths_per_100_cases",
+                             context=Eq("Country", "Atlantis"))
+        try:
+            barrier = threading.Barrier(2)
+
+            def run(query):
+                barrier.wait()  # both land inside one coalescing window
+                return service.explain(covid_bundle.name, query, k=3)
+
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                good_future = pool.submit(run, good)
+                bad_future = pool.submit(run, bad)
+                served = good_future.result()
+                with pytest.raises(ExplanationError, match="selects no rows"):
+                    bad_future.result()
+            assert served.envelope.explanation.attributes is not None
+            # Only the bad key's verdict was negative-cached: the good
+            # query answers from the envelope cache, and repeating it
+            # never raises.
+            assert service.stats()["negative_cache"]["size"] == 1
+            repeat = service.explain(covid_bundle.name, good, k=3)
+            assert repeat.cache_hit
         finally:
             service.close()
 
