@@ -124,7 +124,8 @@ Callers program against the transport-agnostic
 ``explain_batch`` / ``stats`` / ``warm`` / ``close`` — with three
 interchangeable implementations: :class:`~repro.serving.LocalClient`
 (in-process service), :class:`~repro.serving.HTTPClient` (stdlib JSON
-client for any remote deployment) and
+client for any remote deployment, with per-thread keep-alive connections
+and a single idempotent retry when a pooled socket turns out stale) and
 :class:`~repro.serving.ClusterClient`, which shards canonical query keys
 over the N worker processes of a :class:`~repro.serving.ServiceCluster`
 by **stable hash** — each worker's explanation/frame/fit caches stay hot
@@ -140,6 +141,22 @@ permutation early exit is on by default (the p-value audit: nothing
 consumes more than the boolean independence verdict, which the exit
 provably never flips); construct ``ExplanationService(...,
 permutation_early_exit=False)`` to opt out.
+
+``ServiceCluster(shard="rows")`` scales the **data** axis instead of the
+key axis: each registered table is split into N contiguous row ranges —
+one per shard worker — and the engine scatter-gathers the row-sharded
+data plane (:mod:`repro.distributed`): per-shard partial contingency
+counts summed before the entropy step (weighted bincounts over fused
+codes are additive over row partitions, so estimates equal the
+single-process engine's exactly), permutation tests stratified *within*
+shards on chunk-aligned per-shard RNG streams (deterministic for a given
+shard count, and provably identical between early-exit and full runs),
+and IPW selection fits solved by distributed IRLS (per-shard ``X'WX`` /
+``X'Wz`` partials, coefficients matching the local solver to 1e-7).
+Every worker holds only ``O(rows / N)`` of the table, so the cluster
+serves tables no single worker could hold; ``stats()`` reports each
+worker's role and resident row count.  ``python -m repro.serving
+--workers 4 --shard rows`` serves this topology over the same HTTP API.
 
 A stdlib JSON-over-HTTP front end serves **any** client — one process or
 a whole cluster is just ``python -m repro.serving --dataset SO --workers

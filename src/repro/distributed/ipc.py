@@ -1,0 +1,160 @@
+"""Pipe-based worker transport shared by the serving and data-plane tiers.
+
+:class:`~repro.serving.cluster.ServiceCluster` (key-sharded replicas) and
+:class:`~repro.distributed.coordinator.ShardPool` (row shards) speak the
+same strict request/response discipline over :mod:`multiprocessing` pipes:
+one outstanding request per worker (a parent-side lock serialises the
+round-trips), replies framed as ``("ok", payload)`` or
+``("error", (type_name, args))``, liveness-aware waits, and library
+exceptions rebuilt by type in the parent.  This module is that shared
+machinery, extracted so the data plane does not reimplement (or import
+half of) the serving tier.
+
+``serving.cluster`` re-exports :class:`WorkerDiedError`,
+:class:`WorkerFaultError` and ``rebuild_error`` under their historical
+names, so existing callers and tests are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro import exceptions as _exceptions
+from repro.exceptions import ReproError
+
+
+class WorkerDiedError(ReproError):
+    """A worker went away mid-request (crash / kill / closed pipe).
+
+    Deliberately *not* an :class:`ExplanationError`: that family means "the
+    request was bad" (HTTP 400 on the serving path), while a dead worker is
+    a server fault (500) — and one the owning tier usually heals by
+    restarting the worker and retrying before any caller sees this.
+    """
+
+
+class WorkerFaultError(ReproError):
+    """A worker raised an exception type the parent cannot reconstruct.
+
+    Covers internal bugs (``KeyError``, ``LinAlgError``, ``MemoryError``,
+    ...) whose types do not live in :mod:`repro.exceptions`.  Like
+    :class:`WorkerDiedError` this is a *server* fault (HTTP 500) — it must
+    never be folded into the client-error family, or switching from one
+    process to a cluster would reclassify crashes as bad requests.  Unlike
+    a died worker it is not retried: the process is healthy, the request
+    deterministically fails.
+    """
+
+
+def rebuild_error(type_name: str, args: Tuple) -> Exception:
+    """Reconstruct a worker-side exception in the parent process.
+
+    Library exceptions rebuild as their own type (so 400/404/422 HTTP
+    mappings and caller ``except`` clauses behave exactly as in-process);
+    everything else is a worker-internal fault and surfaces as
+    :class:`WorkerFaultError`.
+    """
+    error_class = getattr(_exceptions, type_name, None)
+    if error_class is None or not isinstance(error_class, type) \
+            or not issubclass(error_class, Exception):
+        return WorkerFaultError(
+            f"worker failed with {type_name}: "
+            + "; ".join(str(arg) for arg in args))
+    try:
+        return error_class(*args)
+    except TypeError:
+        return WorkerFaultError(f"worker failed with {type_name}: {args}")
+
+
+def serve_pipe(conn, serve_one) -> None:
+    """The worker-side request/response loop shared by both tiers.
+
+    ``serve_one(op, payload)`` computes one reply; exceptions cross the
+    pipe as ``("error", (type_name, args))`` and are rebuilt by
+    :func:`rebuild_error` on the parent side.  A ``"shutdown"`` op is
+    acknowledged and ends the loop; a closed pipe ends it silently.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        op, payload = message
+        if op == "shutdown":
+            conn.send(("ok", None))
+            break
+        try:
+            conn.send(("ok", serve_one(op, payload)))
+        except Exception as error:
+            conn.send(("error", (type(error).__name__, error.args)))
+
+
+@dataclass
+class PipeWorkerHandle:
+    """Parent-side view of one worker: process, pipe, request lock."""
+
+    index: int
+    process: Any
+    conn: Any
+    #: Serialises request/response round-trips on the pipe.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Bumped on every restart; lets a failing thread detect that another
+    #: thread already replaced the process it observed dying.
+    generation: int = 0
+    restarts: int = 0
+    #: Last successful ``stats`` snapshot (served when the worker is busy).
+    last_stats: Optional[Dict[str, Any]] = None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+def poll_reply(handle: PipeWorkerHandle, op: str, timeout: float) -> None:
+    """Wait for a reply, failing fast when the worker process dies.
+
+    A SIGKILLed worker closes its pipe end, which ``poll`` surfaces — but
+    a worker that never came up (or is wedged before its accept loop)
+    would otherwise block for the full request timeout, so the wait is
+    sliced and the process liveness re-checked between slices.
+    """
+    slice_seconds = 0.2
+    waited = 0.0
+    while waited < timeout:
+        if handle.conn.poll(min(slice_seconds, timeout - waited)):
+            return
+        waited += slice_seconds
+        if not handle.process.is_alive():
+            # One final poll: the reply may have raced the exit.
+            if handle.conn.poll(0):
+                return
+            raise WorkerDiedError(
+                f"worker {handle.index} exited while handling {op!r}")
+    raise WorkerDiedError(
+        f"worker {handle.index} did not answer {op!r} within {timeout}s")
+
+
+def request_locked(handle: PipeWorkerHandle, op: str, payload,
+                   timeout: float) -> Any:
+    """One round-trip body; the caller must hold ``handle.lock``."""
+    try:
+        handle.conn.send((op, payload))
+        poll_reply(handle, op, timeout)
+        verdict, result = handle.conn.recv()
+    except WorkerDiedError:
+        raise
+    except (EOFError, OSError, BrokenPipeError, ValueError) as error:
+        raise WorkerDiedError(
+            f"worker {handle.index} died during {op!r}: "
+            f"{type(error).__name__}: {error}") from error
+    if verdict == "error":
+        raise rebuild_error(*result)
+    return result
+
+
+def request(handle: PipeWorkerHandle, op: str, payload,
+            timeout: float) -> Any:
+    """One request/response round-trip (raises worker-side errors)."""
+    with handle.lock:
+        return request_locked(handle, op, payload, timeout)

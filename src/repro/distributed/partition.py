@@ -1,0 +1,30 @@
+"""Row partitioning for the sharded data plane."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def row_ranges(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Split ``0..n_rows`` into ``n_shards`` balanced contiguous ranges.
+
+    Every shard receives ``n_rows // n_shards`` rows, the first
+    ``n_rows % n_shards`` shards one extra — so shard sizes differ by at
+    most one row and each worker's resident slice stays ``O(rows / N)``.
+    Empty ranges are legal (more shards than rows): the partial counts of
+    an empty slice are all-zero and merge away.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    if n_rows < 0:
+        raise ConfigurationError(f"n_rows must be >= 0, got {n_rows}")
+    base, extra = divmod(n_rows, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(n_shards):
+        stop = start + base + (1 if shard < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges

@@ -96,6 +96,15 @@ class PipelineContext:
         #: invalidation, so cached artefacts age out coherently across
         #: every cache layer — and every process — at once.
         self.dataset_version: int = 0
+        #: Optional row-sharded data plane
+        #: (:class:`repro.distributed.coordinator.ShardPool`).  When
+        #: attached, the engine stages build
+        #: :class:`~repro.distributed.problem.ShardedExplanationProblem`
+        #: instances whose counts scatter-gather across the pool's workers
+        #: instead of running on this process's arrays.  ``shard_label``
+        #: names the dataset inside the pool's context keys.
+        self.shard_pool = None
+        self.shard_label: Optional[str] = None
         # Counters are written from serving threads (cache verdicts) and
         # batch workers concurrently; the read-modify-write increments and
         # the observability snapshots need a lock to stay exact.
@@ -167,6 +176,8 @@ class PipelineContext:
         forked = PipelineContext(self.table, self.knowledge_graph,
                                  self.extraction_specs)
         forked.dataset_version = self.dataset_version
+        forked.shard_pool = self.shard_pool
+        forked.shard_label = self.shard_label
         forked._extraction = dict(self._extraction)
         forked._offline = dict(self._offline)
         forked._frames = OrderedDict(self._frames)
@@ -207,6 +218,22 @@ class PipelineContext:
                 self.stage_seconds.get(stage_name, 0.0) + seconds
         for hook in self.hooks:
             hook.on_stage_end(stage_name, state, seconds)
+
+    def shard_context(self, context: Predicate, *, hops: int, n_bins: int,
+                      n_rows: int):
+        """The shard pool's context handle for one context frame.
+
+        Keyed like :meth:`context_frame` plus the dataset label, so the
+        worker-resident column slices age out with the same identity as
+        the coordinator's encoded frames (a version bump strands the old
+        context, which the pool's LRU then evicts).
+        """
+        if self.shard_pool is None:
+            raise ConfigurationError("no shard pool is attached to this context")
+        return self.shard_pool.context_handle(
+            self.shard_label or self.table.name or "dataset",
+            self.dataset_version, hops, n_bins,
+            canonical_predicate_key(context), n_rows)
 
     # ------------------------------------------------------------------ #
     # extraction cache (across queries)

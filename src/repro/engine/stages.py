@@ -128,6 +128,38 @@ class OfflinePruningStage(PipelineStage):
                 state.pruning = PruningResult(kept=list(state.candidates), dropped={})
 
 
+def _build_problem(state: QueryState, context: PipelineContext,
+                   frame, context_table, attribute_weights=None,
+                   ) -> CorrelationExplanationProblem:
+    """Build the problem instance, sharded when a data plane is attached.
+
+    With ``context.shard_pool`` set (rows-mode serving) and the fast kernel
+    enabled, the problem routes its counts through the pool's row-shard
+    workers; otherwise — including ``use_fast_kernel=False``, where the
+    reference estimators need the local arrays anyway — it runs entirely in
+    this process.
+    """
+    config = state.config
+    kwargs = dict(
+        attribute_weights=attribute_weights, n_bins=config.n_bins,
+        use_kernel=config.use_fast_kernel,
+        frame=frame, context_table=context_table,
+        use_blocked_permutations=config.use_blocked_permutations,
+        permutation_early_exit=config.permutation_early_exit,
+        counter_hook=context.count, seconds_hook=context.add_seconds,
+    )
+    if context.shard_pool is not None and config.use_fast_kernel:
+        from repro.distributed.problem import ShardedExplanationProblem
+        handle = context.shard_context(
+            state.query.context, hops=config.hops, n_bins=config.n_bins,
+            n_rows=context_table.n_rows)
+        return ShardedExplanationProblem(
+            context.shard_pool, handle,
+            state.augmented, state.query, state.candidates, **kwargs)
+    return CorrelationExplanationProblem(
+        state.augmented, state.query, state.candidates, **kwargs)
+
+
 class OnlinePruningStage(PipelineStage):
     """Build the problem instance, then apply the query-specific rules."""
 
@@ -142,14 +174,7 @@ class OnlinePruningStage(PipelineStage):
             # every re-factorisation.
             context_table, frame = context.context_frame(
                 state.query.context, hops=config.hops, n_bins=config.n_bins)
-            state.problem = CorrelationExplanationProblem(
-                state.augmented, state.query, state.candidates, n_bins=config.n_bins,
-                use_kernel=config.use_fast_kernel,
-                frame=frame, context_table=context_table,
-                use_blocked_permutations=config.use_blocked_permutations,
-                permutation_early_exit=config.permutation_early_exit,
-                counter_hook=context.count, seconds_hook=context.add_seconds,
-            )
+            state.problem = _build_problem(state, context, frame, context_table)
         with state.timer.measure("online_pruning"):
             if config.use_online_pruning:
                 online = online_prune(
@@ -176,21 +201,14 @@ class SelectionBiasStage(PipelineStage):
                 state.selection_bias_reports = reports
                 state.ipw_weights = weights
                 if weights:
-                    state.problem = CorrelationExplanationProblem(
-                        state.augmented, state.query, state.candidates,
-                        attribute_weights={name: w.weights for name, w in weights.items()},
-                        n_bins=config.n_bins,
-                        use_kernel=config.use_fast_kernel,
-                        # The weighted rebuild covers the same context rows;
-                        # adopting the frame and table keeps every column
-                        # factorised (and the context filtered) at most once.
-                        frame=state.problem.frame,
-                        context_table=state.problem.context_table,
-                        use_blocked_permutations=config.use_blocked_permutations,
-                        permutation_early_exit=config.permutation_early_exit,
-                        counter_hook=context.count,
-                        seconds_hook=context.add_seconds,
-                    )
+                    # The weighted rebuild covers the same context rows;
+                    # adopting the frame and table keeps every column
+                    # factorised (and the context filtered) at most once.
+                    state.problem = _build_problem(
+                        state, context,
+                        state.problem.frame, state.problem.context_table,
+                        attribute_weights={name: w.weights
+                                           for name, w in weights.items()})
             # Narrow the problem to the surviving candidates; the CMI caches
             # are shared, so this is free.
             state.problem = state.problem.subset_candidates(state.candidates)
@@ -253,11 +271,17 @@ class SelectionBiasStage(PipelineStage):
         if config.use_ipw_fit_cache:
             # The design is built lazily, only when some fit misses the
             # cache — a fully cached query (the warm serving shape) skips
-            # the one-hot encoding entirely.
+            # the one-hot encoding entirely.  A sharded problem contributes
+            # its distributed IRLS solver, so cache misses fit on the row
+            # shards (with a local fallback inside the fitter).
+            fitter = None
+            if predictors and hasattr(problem, "distributed_fitter"):
+                fitter = problem.distributed_fitter(predictors)
             return compute_ipw_weights_batched(
                 problem.frame, biased, predictors,
                 design_factory=build_design,
-                cache=context.ipw_fit_cache, counter_hook=context.count)
+                cache=context.ipw_fit_cache, counter_hook=context.count,
+                fitter=fitter)
         features, row_groups = build_design()
         return {attribute: compute_ipw_weights(problem.frame, attribute,
                                                predictors, features=features,

@@ -134,6 +134,143 @@ def joint_fused(code_arrays: Sequence[np.ndarray],
 
 
 # --------------------------------------------------------------------------- #
+# partial counts (the scatter-gather contract)
+# --------------------------------------------------------------------------- #
+# Every estimate in this module reduces to entropies of one weighted
+# contingency count over fused codes — and counts are *additive over row
+# partitions*.  ``accumulate`` produces the partial counts of one row
+# slice, ``merge_counts`` sums partials, and ``finalize`` /
+# ``cmi_from_counts`` / ``conditional_entropy_from_counts`` perform the
+# entropy step on the merged totals.  A shard worker that owns a row range
+# can therefore return partial count vectors whose sum yields *exactly*
+# the whole-table estimate: integer (unweighted) counts merge exactly, and
+# weighted counts agree with the single-pass bincount to float summation
+# order (the property tests assert 1e-9).
+def accumulate(codes: np.ndarray, weights: Optional[np.ndarray] = None,
+               minlength: int = 0) -> np.ndarray:
+    """Partial contingency counts of one row slice (``-1`` rows dropped).
+
+    The returned vector is additive: summing the ``accumulate`` results of
+    any partition of the rows equals the whole-table count vector.  Counts
+    are float64 either way — integer counts are exact in float64 far past
+    any realistic row count, and a uniform dtype keeps merged partials
+    interchangeable with the single-process bincount.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    present = codes >= 0
+    if weights is None:
+        counts = np.bincount(codes[present], minlength=minlength)
+        return counts.astype(np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    return np.bincount(codes[present], weights=weights[present],
+                       minlength=minlength)
+
+
+def merge_counts(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Sum per-shard partial count vectors (ragged lengths are padded).
+
+    Shards that never observed the top codes return shorter vectors when
+    ``accumulate`` ran without ``minlength``; the merge pads every partial
+    to the widest shard's length before summing.
+    """
+    parts = [np.asarray(part, dtype=np.float64) for part in parts]
+    if not parts:
+        return np.zeros(0, dtype=np.float64)
+    width = max(part.shape[-1] if part.ndim else 0 for part in parts)
+    total = np.zeros(width, dtype=np.float64)
+    for part in parts:
+        total[:len(part)] += part
+    return total
+
+
+def finalize(counts: np.ndarray, estimator: str = "plugin",
+             base: float = 2.0) -> float:
+    """Entropy of merged partial counts — the gather half of the contract.
+
+    ``finalize(merge_counts(accumulate(part) for part in partition))``
+    equals ``contingency_entropy`` over the unpartitioned rows.
+    """
+    return entropy_from_counts(np.asarray(counts, dtype=np.float64),
+                               estimator=estimator, base=base)
+
+
+def cmi_counts(x: np.ndarray, y: np.ndarray,
+               z: Optional[np.ndarray] = None,
+               n_x: int = 0, n_y: int = 0, n_z: int = 1,
+               weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Partial ``(n_z, n_y, n_x)`` contingency counts of one row slice.
+
+    The cardinalities are *global* (supplied by the coordinator), so every
+    shard lays its cells out identically and the partial tensors add.
+    Rows with a missing component are dropped, matching the complete-case
+    restriction of :func:`contingency_cmi`; the global cardinalities may
+    be the unmasked code spaces — padding cells that the masked whole-table
+    pass would not allocate stay zero and entropies ignore empty cells, so
+    the merged estimate is unchanged.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if z is None:
+        z = np.zeros(len(x), dtype=np.int64)
+    else:
+        z = np.asarray(z, dtype=np.int64)
+    mask = (x >= 0) & (y >= 0) & (z >= 0)
+    fused = (z[mask] * n_y + y[mask]) * n_x + x[mask]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)[mask]
+        counts = np.bincount(fused, weights=weights, minlength=n_x * n_y * n_z)
+    else:
+        counts = np.bincount(fused, minlength=n_x * n_y * n_z).astype(np.float64)
+    return counts.reshape(n_z, n_y, n_x)
+
+
+def cmi_from_counts(counts: np.ndarray, estimator: str = "plugin",
+                    base: float = 2.0) -> float:
+    """``I(X;Y|Z)`` from a merged ``(n_z, n_y, n_x)`` count tensor."""
+    counts = np.asarray(counts, dtype=np.float64)
+    h_xyz = entropy_from_counts(counts.ravel(), estimator=estimator, base=base)
+    h_xz = entropy_from_counts(counts.sum(axis=1).ravel(),
+                               estimator=estimator, base=base)
+    h_yz = entropy_from_counts(counts.sum(axis=2).ravel(),
+                               estimator=estimator, base=base)
+    h_z = entropy_from_counts(counts.sum(axis=(1, 2)),
+                              estimator=estimator, base=base)
+    return max(0.0, h_xz + h_yz - h_xyz - h_z)
+
+
+def joint_counts(target: np.ndarray, given: Optional[np.ndarray] = None,
+                 n_target: int = 0, n_given: int = 1,
+                 weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Partial ``(n_given, n_target)`` counts for conditional entropies."""
+    target = np.asarray(target, dtype=np.int64)
+    if given is None:
+        given = np.zeros(len(target), dtype=np.int64)
+    else:
+        given = np.asarray(given, dtype=np.int64)
+    mask = (target >= 0) & (given >= 0)
+    fused = given[mask] * n_target + target[mask]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)[mask]
+        counts = np.bincount(fused, weights=weights,
+                             minlength=n_target * n_given)
+    else:
+        counts = np.bincount(fused, minlength=n_target * n_given) \
+            .astype(np.float64)
+    return counts.reshape(n_given, n_target)
+
+
+def conditional_entropy_from_counts(counts: np.ndarray,
+                                    estimator: str = "plugin",
+                                    base: float = 2.0) -> float:
+    """``H(target | given)`` from a merged ``(n_given, n_target)`` tensor."""
+    counts = np.asarray(counts, dtype=np.float64)
+    h_joint = entropy_from_counts(counts.ravel(), estimator=estimator, base=base)
+    h_given = entropy_from_counts(counts.sum(axis=1),
+                                  estimator=estimator, base=base)
+    return max(0.0, h_joint - h_given)
+
+
+# --------------------------------------------------------------------------- #
 # entropies from counts
 # --------------------------------------------------------------------------- #
 def entropy_from_counts(counts: np.ndarray, estimator: str = "plugin",
@@ -220,14 +357,7 @@ def contingency_cmi(x: np.ndarray, y: np.ndarray,
     fused = (z_c * n_y + y_c) * n_x + x_c
     counts = np.bincount(fused, weights=weights_c,
                          minlength=n_x * n_y * n_z).reshape(n_z, n_y, n_x)
-    h_xyz = entropy_from_counts(counts.ravel(), estimator=estimator, base=base)
-    h_xz = entropy_from_counts(counts.sum(axis=1).ravel(),
-                               estimator=estimator, base=base)
-    h_yz = entropy_from_counts(counts.sum(axis=2).ravel(),
-                               estimator=estimator, base=base)
-    h_z = entropy_from_counts(counts.sum(axis=(1, 2)),
-                              estimator=estimator, base=base)
-    return max(0.0, h_xz + h_yz - h_xyz - h_z)
+    return cmi_from_counts(counts, estimator=estimator, base=base)
 
 
 def contingency_mi(x: np.ndarray, y: np.ndarray,
@@ -273,9 +403,8 @@ def contingency_conditional_entropy(target: np.ndarray,
                                        estimator=estimator, base=base)
     counts = np.bincount(g_c * n_t + t_c, weights=weights_c,
                          minlength=n_t * n_given).reshape(n_given, n_t)
-    h_joint = entropy_from_counts(counts.ravel(), estimator=estimator, base=base)
-    h_given = entropy_from_counts(counts.sum(axis=1), estimator=estimator, base=base)
-    return max(0.0, h_joint - h_given)
+    return conditional_entropy_from_counts(counts, estimator=estimator,
+                                           base=base)
 
 
 # --------------------------------------------------------------------------- #

@@ -334,3 +334,72 @@ def blocked_permutation_test(
                 if verdict is not None:
                     return exceed, done, verdict, computed
     return exceed, n_permutations, None, computed
+
+
+# --------------------------------------------------------------------------- #
+# sharded permutation partials (scatter-gather data plane)
+# --------------------------------------------------------------------------- #
+def block_partial_counts(x: np.ndarray, y: np.ndarray,
+                         z: Optional[np.ndarray],
+                         n_x: int, n_y: int, n_z: int,
+                         weights: Optional[np.ndarray],
+                         rng: np.random.Generator,
+                         count: int) -> np.ndarray:
+    """Partial permutation-null count tensors of one row shard.
+
+    Permutes ``x`` within the strata of this shard's ``z`` slice — a
+    *finer* stratification than whole-table strata (shard × stratum), which
+    is equally valid under the permutation null — and returns a
+    ``(count, n_z * n_y * n_x)`` matrix of partial contingency counts.
+    All cardinalities are global, so summing the matrices of every shard
+    yields, per permutation, a full count tensor ready for
+    :func:`repro.infotheory.kernel.cmi_from_counts`.  Each shard draws from
+    its own generator, keeping the null distribution deterministic for any
+    shard count without coordinating RNG state.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if z is None:
+        z = np.zeros(len(x), dtype=np.int64)
+    else:
+        z = np.asarray(z, dtype=np.int64)
+    cells = n_x * n_y * max(1, n_z)
+    if len(x) == 0 or count <= 0:
+        return np.zeros((max(0, count), cells), dtype=np.float64)
+    plan = PermutationPlan(z)
+    block = plan.permute_block(x, rng, count)
+    valid = (y >= 0)[None, :] & (z >= 0)[None, :] & (block >= 0)
+    masked_x = np.where(valid, block, 0)
+    fused = (z[None, :] * n_y + y[None, :]) * n_x + masked_x
+    fused += np.arange(count, dtype=np.int64)[:, None] * cells
+    flat_valid = valid.ravel()
+    flat_fused = fused.ravel()[flat_valid]
+    if weights is not None:
+        flat_weights = np.broadcast_to(
+            np.asarray(weights, dtype=np.float64),
+            (count, len(x))).ravel()[flat_valid]
+        counts = np.bincount(flat_fused, weights=flat_weights,
+                             minlength=count * cells)
+    else:
+        counts = np.bincount(flat_fused,
+                             minlength=count * cells).astype(np.float64)
+    return counts.reshape(count, cells)
+
+
+def null_cmis_from_counts(counts: np.ndarray, n_x: int, n_y: int, n_z: int,
+                          estimator: str = "plugin",
+                          base: float = 2.0) -> np.ndarray:
+    """Null CMIs from merged ``(count, cells)`` permutation partials.
+
+    The tensors keep their global (untrimmed) dimensions; padding cells are
+    empty and entropies ignore empty cells, so each value equals the CMI of
+    the corresponding whole-table permutation counts.
+    """
+    from repro.infotheory.kernel import cmi_from_counts
+
+    counts = np.asarray(counts, dtype=np.float64)
+    cmis = np.zeros(counts.shape[0], dtype=np.float64)
+    for index in range(counts.shape[0]):
+        tensor = counts[index].reshape(max(1, n_z), n_y, n_x)
+        cmis[index] = cmi_from_counts(tensor, estimator=estimator, base=base)
+    return cmis

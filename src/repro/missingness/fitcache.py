@@ -168,7 +168,8 @@ def compute_ipw_weights_batched(frame, attributes: Sequence[str],
                                 row_groups: Optional[np.ndarray] = None,
                                 design_factory=None,
                                 cache: Optional[SelectionFitCache] = None,
-                                counter_hook=None) -> Dict[str, IPWWeights]:
+                                counter_hook=None,
+                                fitter=None) -> Dict[str, IPWWeights]:
     """IPW weights for several attributes: cache hits first, one solve for the rest.
 
     Semantics per attribute match
@@ -186,6 +187,12 @@ def compute_ipw_weights_batched(frame, attributes: Sequence[str],
     ``counter_hook`` (``(name, increment)``) observes ``ipw_fit_hit`` — a
     cache hit *or* a same-mask sibling inside the batch — and
     ``ipw_fit_miss`` for every fit actually performed.
+
+    ``fitter`` substitutes the multi-label solver — same signature and
+    return type as :func:`fit_logistic_multi`.  The row-sharded data plane
+    passes a distributed IRLS driver here; everything around the solve
+    (caching, sibling sharing, weight clipping) is row-count-agnostic and
+    stays on this side.
     """
     from repro.exceptions import MissingDataError
 
@@ -243,7 +250,8 @@ def compute_ipw_weights_batched(frame, attributes: Sequence[str],
     labels = np.stack(
         [pending_masks[mask_key].astype(np.float64) for mask_key in mask_keys],
         axis=1)
-    models = fit_logistic_multi(features, labels, row_groups=row_groups, l2=l2)
+    solve = fitter if fitter is not None else fit_logistic_multi
+    models = solve(features, labels, row_groups=row_groups, l2=l2)
     for mask_key, model in zip(mask_keys, models):
         observed = pending_masks[mask_key]
         selection_rate = float(observed.mean())

@@ -11,7 +11,7 @@ here with L2-regularised Newton/IRLS optimisation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -265,23 +265,38 @@ def fit_logistic_multi(features: np.ndarray, labels_matrix: np.ndarray,
     return models
 
 
-def one_hot_encode_codes(code_arrays: List[np.ndarray]) -> np.ndarray:
+def one_hot_encode_codes(code_arrays: List[np.ndarray],
+                         cards: Optional[List[int]] = None) -> np.ndarray:
     """One-hot encode a list of integer code arrays into a dense feature matrix.
 
     Missing codes (``-1``) get an all-zero row for that variable, which acts
     as its own implicit "missing" category once the intercept absorbs the
     baseline.  Used to turn the fully observed dataset attributes into
     features for the selection model.
+
+    ``cards`` optionally pins each variable's category count.  A row shard
+    may never observe the top categories of a column, so encoding from the
+    local maximum would misalign its design columns against the other
+    shards; passing the *global* cardinalities gives every shard the same
+    layout (extra categories only append all-zero columns, which the ridge
+    penalty keeps harmless).
     """
     if not code_arrays:
         raise MissingDataError("one_hot_encode_codes requires at least one code array")
+    if cards is not None and len(cards) != len(code_arrays):
+        raise MissingDataError(
+            f"cards ({len(cards)}) and code arrays ({len(code_arrays)}) "
+            f"differ in length")
     n = len(code_arrays[0])
     blocks = []
-    for codes in code_arrays:
+    for position, codes in enumerate(code_arrays):
         codes = np.asarray(codes, dtype=np.int64)
         if len(codes) != n:
             raise MissingDataError("code arrays have different lengths")
-        n_categories = int(codes.max()) + 1 if codes.max() >= 0 else 0
+        if cards is not None:
+            n_categories = int(cards[position])
+        else:
+            n_categories = int(codes.max()) + 1 if n and codes.max() >= 0 else 0
         if n_categories == 0:
             continue
         block = np.zeros((n, n_categories), dtype=np.float64)
@@ -294,3 +309,31 @@ def one_hot_encode_codes(code_arrays: List[np.ndarray]) -> np.ndarray:
     if not blocks:
         return np.zeros((n, 0), dtype=np.float64)
     return np.hstack(blocks)
+
+
+def logistic_partials(design: np.ndarray, successes: np.ndarray,
+                      beta: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-shard Newton partials: unpenalised gradients and Hessians.
+
+    ``design`` is this shard's slice of the (intercept-augmented) design
+    matrix, ``successes`` its ``(n, L)`` label slice, and ``beta`` the
+    current ``(d, L)`` coefficients broadcast by the coordinator.  Returns
+    ``(gradients, hessians)`` of shapes ``(d, L)`` and ``(L, d, d)`` —
+    exactly the ``X^T (s - p)`` and ``X^T diag(w) X`` terms of
+    :func:`fit_logistic_multi` restricted to this shard's rows, with no
+    penalty (the coordinator applies it once after merging).  Both terms
+    are sums over rows, so the merged partials of any row partition equal
+    the whole-table quantities up to float summation order.
+    """
+    design = np.asarray(design, dtype=np.float64)
+    successes = np.asarray(successes, dtype=np.float64)
+    beta = np.asarray(beta, dtype=np.float64)
+    linear = design @ beta
+    probabilities = np.clip(_sigmoid(linear), 1e-9, 1 - 1e-9)
+    weights = probabilities * (1.0 - probabilities)
+    gradients = design.T @ (successes - probabilities)
+    weighted = design[None, :, :] * weights.T[:, :, None]
+    hessians = np.matmul(
+        np.broadcast_to(design.T, (beta.shape[1],) + design.T.shape),
+        weighted)
+    return gradients, hessians

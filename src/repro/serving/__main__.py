@@ -12,10 +12,17 @@ The ``--workers`` flag picks the topology behind the *same* HTTP handler:
   requests shard by the stable hash of their canonical query key, so each
   worker's caches stay hot for its key range and throughput scales past
   one GIL.
+* ``--workers N --shard rows`` — the same cluster front end, but workers
+  shard the *data* instead of the requests: each holds one contiguous row
+  range and answers partial-count / partial-IRLS jobs, so the cluster can
+  serve tables no single worker could hold in memory.
 
 ::
 
     PYTHONPATH=src python -m repro.serving --dataset SO --port 8080 --workers 4
+
+    PYTHONPATH=src python -m repro.serving --dataset SO --rows 200000 \
+        --workers 4 --shard rows
 
     curl -s localhost:8080/healthz
     curl -s -X POST localhost:8080/explain -d '{
@@ -54,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="Serving processes: 1 = in-process service, "
                              "N > 1 = sharded worker cluster")
+    parser.add_argument("--shard", choices=("keys", "rows"), default="keys",
+                        help="Cluster sharding axis: 'keys' replicates the "
+                             "data and routes requests by query key; 'rows' "
+                             "splits each table into row ranges and "
+                             "scatter-gathers partial counts (needs "
+                             "--workers > 1)")
     parser.add_argument("--start-method", choices=("fork", "spawn"),
                         default=None,
                         help="Worker start method (default: fork where "
@@ -93,13 +106,15 @@ def main(argv=None) -> None:
     else:
         cluster = ServiceCluster(
             n_workers=args.workers, start_method=args.start_method,
+            shard=args.shard,
             service_kwargs={"cache_size": args.cache_size,
                             "ttl_seconds": args.ttl})
         for bundle in bundles:
             cluster.register_bundle(bundle, config=configs[bundle.name])
-        print(f"Starting {args.workers} worker processes "
-              f"({cluster.start_method}); each registers "
-              f"{[bundle.name for bundle in bundles]} and warms its caches ...")
+        topology = ("row-shard" if args.shard == "rows" else "replica")
+        print(f"Starting {args.workers} {topology} worker processes "
+              f"({cluster.start_method}) for "
+              f"{[bundle.name for bundle in bundles]} ...")
         client = ClusterClient(cluster)
     serve_forever(client, host=args.host, port=args.port)
 

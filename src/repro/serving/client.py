@@ -21,7 +21,9 @@ Three interchangeable implementations ship with the package:
   :class:`~repro.serving.service.ExplanationService`; zero transport cost,
   one GIL.
 * :class:`HTTPClient` — a dependency-free stdlib JSON client for the
-  :mod:`repro.serving.http` API; talk to any remote deployment.
+  :mod:`repro.serving.http` API; talk to any remote deployment.  Keeps
+  one persistent connection per calling thread (HTTP/1.1 keep-alive) and
+  retries a request once on a fresh socket when a reused one went stale.
 * :class:`~repro.serving.cluster.ClusterClient` — routes requests by the
   stable hash of their canonical query key over N local worker processes
   (:class:`~repro.serving.cluster.ServiceCluster`), scaling beyond one GIL
@@ -34,11 +36,12 @@ pick the topology with ``python -m repro.serving --workers N``.
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import threading
 from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional, Sequence
+from urllib.parse import urlsplit
 
 from repro.engine.envelope import ExplanationEnvelope
 from repro.exceptions import (
@@ -157,8 +160,29 @@ def _raise_for_http_error(status: int, body: Dict[str, Any]) -> None:
     raise ExplanationError(f"server error (HTTP {status}): {message}")
 
 
+#: Failures that mean the kept-alive socket went stale between requests —
+#: typically the server (or an intermediary) closed an idle connection.
+#: ``RemoteDisconnected`` subclasses ``BadStatusLine``, so it is covered.
+_STALE_SOCKET_ERRORS = (
+    http.client.NotConnected,
+    http.client.CannotSendRequest,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
+
 class HTTPClient(ExplanationClient):
     """A stdlib JSON client for the :mod:`repro.serving.http` API.
+
+    Connections are persistent (HTTP/1.1 keep-alive): each calling thread
+    holds one :class:`http.client.HTTPConnection` and reuses it across
+    requests, avoiding a TCP handshake per call.  When a reused socket
+    turns out to be stale — the server closed it while idle — the request
+    is retried exactly once on a fresh connection.  Every server endpoint
+    is idempotent (explanations are deterministic and cached), so the
+    single retry is safe.  A connection that fails on its *first* request
+    is not retried: that is a real connectivity error, not staleness.
 
     Parameters
     ----------
@@ -172,25 +196,94 @@ class HTTPClient(ExplanationClient):
     def __init__(self, base_url: str, timeout: float = 300.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parts = urlsplit(self.base_url)
+        if parts.scheme not in ("http", "https") or not parts.hostname:
+            raise RequestValidationError(
+                f"base_url must be an http(s) URL, got {base_url!r}")
+        self._scheme = parts.scheme
+        self._host = parts.hostname
+        self._port = parts.port
+        self._path_prefix = parts.path.rstrip("/")
+        self._local = threading.local()
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        #: How many requests were retried on a fresh connection after the
+        #: kept-alive socket went stale.  Observability for tests and ops.
+        self.stale_retries = 0
 
     # ------------------------------------------------------------------ #
     # transport
     # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            factory = (http.client.HTTPSConnection if self._scheme == "https"
+                       else http.client.HTTPConnection)
+            connection = factory(self._host, self._port, timeout=self.timeout)
+            connection.requests_served = 0
+            self._local.connection = connection
+            with self._connections_lock:
+                self._connections.add(connection)
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            return
+        self._local.connection = None
+        with self._connections_lock:
+            self._connections.discard(connection)
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+    def _round_trip(self, method: str, path: str,
+                    data: Optional[bytes]) -> "tuple[int, bytes]":
+        connection = self._connection()
+        headers = {"Content-Type": "application/json"} if data else {}
+        connection.request(method, self._path_prefix + path,
+                           body=data, headers=headers)
+        response = connection.getresponse()
+        # Drain the body fully so the socket is clean for the next request.
+        payload = response.read()
+        connection.requests_served += 1
+        return response.status, payload
+
+    def _send(self, method: str, path: str,
+              data: Optional[bytes]) -> "tuple[int, bytes]":
+        try:
+            return self._round_trip(method, path, data)
+        except _STALE_SOCKET_ERRORS:
+            reused = getattr(self._local, "connection", None) is not None and \
+                self._local.connection.requests_served > 0
+            self._drop_connection()
+            if not reused:
+                raise
+            self.stale_retries += 1
+            try:
+                return self._round_trip(method, path, data)
+            except Exception:
+                self._drop_connection()
+                raise
+        except OSError:
+            # Timeouts and hard connect failures: the socket's state is
+            # unknown, so never reuse it.
+            self._drop_connection()
+            raise
+
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         data = None if body is None else json.dumps(body).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json"} if data else {})
+        status, payload = self._send(method, path, data)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            try:
-                payload = json.loads(error.read())
-            except (ValueError, OSError):
-                payload = {}
-            _raise_for_http_error(error.code, payload)
+            parsed = json.loads(payload) if payload else {}
+        except ValueError:
+            parsed = {}
+        if status >= 400:
+            _raise_for_http_error(
+                status, parsed if isinstance(parsed, dict) else {})
+        return parsed
 
     @staticmethod
     def _served(body: Dict[str, Any]) -> ServedExplanation:
@@ -240,15 +333,21 @@ class HTTPClient(ExplanationClient):
     def health(self) -> Dict[str, Any]:
         # /healthz answers 503 with the degraded body; return it rather
         # than raising so callers can inspect worker status.
-        request = urllib.request.Request(self.base_url + "/healthz")
+        status, payload = self._send("GET", "/healthz", None)
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read())
-        except urllib.error.HTTPError as error:
-            try:
-                return json.loads(error.read())
-            except ValueError:
-                return {"status": "down", "errors": [f"HTTP {error.code}"]}
+            parsed = json.loads(payload) if payload else {}
+        except ValueError:
+            parsed = {}
+        if isinstance(parsed, dict) and parsed:
+            return parsed
+        return {"status": "down", "errors": [f"HTTP {status}"]}
 
     def close(self) -> None:
-        """Nothing to release: requests use one-shot stdlib connections."""
+        """Close every kept-alive connection this client opened."""
+        with self._connections_lock:
+            connections, self._connections = list(self._connections), set()
+        for connection in connections:
+            try:
+                connection.close()
+            except OSError:
+                pass

@@ -41,6 +41,16 @@ service); ``spawn`` is fully supported and exercised by the tests.
 :class:`~repro.serving.client.ExplanationClient` protocol, so the HTTP
 front end (and any other consumer) serves a cluster with the same code
 that serves one process.
+
+Two sharding axes.  ``shard="keys"`` (everything above) splits the *query
+key space* across full replicas — N times the cache capacity, each worker
+a complete copy of the data.  ``shard="rows"`` splits the *rows*: one
+engine in the parent process drives N data-plane workers, each resident
+with only its row slice (:class:`~repro.distributed.coordinator.ShardPool`
+and the partial-counts contract in :mod:`repro.infotheory.kernel`), which
+serves tables no single worker could hold.  The two modes share this one
+front-tier class, the pipe transport in :mod:`repro.distributed.ipc`, and
+the client surface.
 """
 
 from __future__ import annotations
@@ -48,40 +58,29 @@ from __future__ import annotations
 import json
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro import exceptions as _exceptions
+from repro.distributed import ipc
+from repro.distributed.ipc import (
+    PipeWorkerHandle,
+    WorkerDiedError,
+    WorkerFaultError,
+    serve_pipe,
+)
 from repro.engine.config import MESAConfig
 from repro.engine.envelope import ExplanationEnvelope
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.client import ExplanationClient
 from repro.serving.service import ExplanationService, ServedExplanation
 from repro.table.expressions import stable_key_digest
 
-
-class WorkerDiedError(ReproError):
-    """A cluster worker went away mid-request (crash / kill / closed pipe).
-
-    Deliberately *not* an :class:`ExplanationError`: that family means "the
-    request was bad" (HTTP 400 on the serving path), while a dead worker is
-    a server fault (500) — and one the cluster usually heals by restarting
-    the worker and retrying before any caller sees this.
-    """
-
-
-class WorkerFaultError(ReproError):
-    """A worker raised an exception type the cluster cannot reconstruct.
-
-    Covers internal bugs (``KeyError``, ``LinAlgError``, ``MemoryError``,
-    ...) whose types do not live in :mod:`repro.exceptions`.  Like
-    :class:`WorkerDiedError` this is a *server* fault (HTTP 500) — it must
-    never be folded into the client-error family, or switching from one
-    process to a cluster would reclassify crashes as bad requests.  Unlike
-    a died worker it is not retried: the process is healthy, the request
-    deterministically fails.
-    """
+# The pipe transport — request framing, error reconstruction, the worker
+# handle — lives in :mod:`repro.distributed.ipc`, shared with the shard
+# pool; these aliases keep this module's historical surface.
+_rebuild_error = ipc.rebuild_error
+_WorkerHandle = PipeWorkerHandle
 
 
 @dataclass(frozen=True)
@@ -125,6 +124,7 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
     executor's IPC path).
     """
     service = ExplanationService(**service_kwargs)
+    specs = list(specs)
     for spec in specs:
         service.register_dataset(
             spec.name, spec.table, spec.knowledge_graph,
@@ -144,7 +144,15 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
                               separators=(",", ":"))
             return blob, [(one.cache_hit, one.coalesced) for one in served]
         if op == "stats":
-            return service.stats()
+            snapshot = service.stats()
+            # Every keys-mode worker is a full replica: it holds a copy of
+            # each registered table, so its resident row count is the sum
+            # over specs (contrast the row-shard workers, which report
+            # O(rows / N) slices).
+            snapshot["role"] = "replica"
+            snapshot["resident_rows"] = sum(spec.table.n_rows
+                                            for spec in specs)
+            return snapshot
         if op == "warm":
             dataset, queries, top = payload
             return service.warm(dataset, queries=queries, top=top)
@@ -156,6 +164,8 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
             # Idempotent: a worker respawned after this spec was appended
             # to the cluster's spec list already registered it at start-up,
             # and the broadcast's restart-and-retry path re-sends the op.
+            if all(existing.name != spec.name for existing in specs):
+                specs.append(spec)
             if spec.name not in service.datasets():
                 service.register_dataset(
                     spec.name, spec.table, spec.knowledge_graph,
@@ -167,62 +177,10 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
         raise ConfigurationError(f"unknown cluster op {op!r}")
 
     try:
-        while True:
-            try:
-                message = conn.recv()
-            except (EOFError, OSError):
-                break
-            op, payload = message
-            if op == "shutdown":
-                conn.send(("ok", None))
-                break
-            try:
-                conn.send(("ok", serve_one(op, payload)))
-            except Exception as error:
-                conn.send(("error", (type(error).__name__, error.args)))
+        serve_pipe(conn, serve_one)
     finally:
         service.close()
         conn.close()
-
-
-def _rebuild_error(type_name: str, args: Tuple) -> Exception:
-    """Reconstruct a worker-side exception in the parent process.
-
-    Library exceptions rebuild as their own type (so 400/404/422 HTTP
-    mappings and caller ``except`` clauses behave exactly as in-process);
-    everything else is a worker-internal fault and surfaces as
-    :class:`WorkerFaultError`.
-    """
-    error_class = getattr(_exceptions, type_name, None)
-    if error_class is None or not isinstance(error_class, type) \
-            or not issubclass(error_class, Exception):
-        return WorkerFaultError(
-            f"worker failed with {type_name}: "
-            + "; ".join(str(arg) for arg in args))
-    try:
-        return error_class(*args)
-    except TypeError:
-        return WorkerFaultError(f"worker failed with {type_name}: {args}")
-
-
-@dataclass
-class _WorkerHandle:
-    """Parent-side view of one worker: process, pipe, request lock."""
-
-    index: int
-    process: Any
-    conn: Any
-    #: Serialises request/response round-trips on the pipe.
-    lock: threading.Lock = field(default_factory=threading.Lock)
-    #: Bumped on every restart; lets a failing thread detect that another
-    #: thread already replaced the process it observed dying.
-    generation: int = 0
-    restarts: int = 0
-    #: Last successful ``stats`` snapshot (served when the worker is busy).
-    last_stats: Optional[Dict[str, Any]] = None
-
-    def alive(self) -> bool:
-        return self.process is not None and self.process.is_alive()
 
 
 class ServiceCluster:
@@ -247,6 +205,15 @@ class ServiceCluster:
         After a worker restart, how many of the front tier's recorded
         top-K historical queries for that worker's key range to replay
         (in the background) to re-warm its caches; 0 disables.
+    shard:
+        ``"keys"`` (default) — N full-replica workers, requests routed by
+        canonical query key; each worker holds a complete dataset copy.
+        ``"rows"`` — ONE engine (in this process) over N *row-shard*
+        workers: each worker holds only its contiguous ``O(rows / N)`` row
+        slice of the encoded columns, and every count under every estimate
+        scatter-gathers across them (see :mod:`repro.distributed`).  Rows
+        mode is how a table no single worker could hold gets served; keys
+        mode is how a hot key space gets cache capacity.
     """
 
     def __init__(self, n_workers: int = 2,
@@ -254,9 +221,13 @@ class ServiceCluster:
                  start_method: Optional[str] = None,
                  request_timeout: float = 600.0,
                  restart_warm_top: int = 8,
-                 history_size: int = 1024):
+                 history_size: int = 1024,
+                 shard: str = "keys"):
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        if shard not in ("keys", "rows"):
+            raise ConfigurationError(
+                f"shard must be 'keys' or 'rows', got {shard!r}")
         import multiprocessing
 
         available = multiprocessing.get_all_start_methods()
@@ -268,6 +239,10 @@ class ServiceCluster:
         self._mp = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self.n_workers = n_workers
+        self.shard = shard
+        #: Rows mode only: the parent-process service and its shard pool.
+        self._service: Optional[ExplanationService] = None
+        self._pool = None
         self.request_timeout = request_timeout
         self.restart_warm_top = restart_warm_top
         self.history_size = history_size
@@ -309,8 +284,11 @@ class ServiceCluster:
         self._specs.append(spec)
         self._history.setdefault(name, {})
         if self._started:
-            for handle in self._handles:
-                self._dispatch(handle.index, "register", spec)
+            if self._service is not None:
+                self._register_rows(spec)
+            else:
+                for handle in self._handles:
+                    self._dispatch(handle.index, "register", spec)
         return spec
 
     def register_bundle(self, bundle, config: Optional[MESAConfig] = None,
@@ -337,12 +315,46 @@ class ServiceCluster:
         if not self._specs:
             raise ConfigurationError(
                 "register at least one dataset before starting the cluster")
+        if self.shard == "rows":
+            from repro.distributed.coordinator import ShardPool
+
+            # Rows mode inverts the topology: ONE service in this process
+            # owns the engine control plane (caches, batcher, search), and
+            # the N workers are row shards of the data plane — each holds
+            # O(rows / N) column slices and answers partial-count, permuted
+            # -count and IRLS-partial requests.  The engine's intra-batch
+            # fan-out must stay on threads (thread workers share the pool's
+            # pipes; a forked engine process would not).
+            self._service = ExplanationService(**self.service_kwargs)
+            self._pool = ShardPool(n_shards=self.n_workers,
+                                   start_method=self.start_method,
+                                   request_timeout=self.request_timeout)
+            self._pool.start()
+            for spec in self._specs:
+                self._register_rows(spec)
+            self._started = True
+            return self
         self._handles = [self._spawn_worker(index)
                          for index in range(self.n_workers)]
         for handle in self._handles:
             self._request(handle, "ping", None)
         self._started = True
         return self
+
+    def _register_rows(self, spec: DatasetSpec) -> None:
+        """Register one dataset on the rows-mode service + data plane.
+
+        The pool attaches to the pipeline context *before* any warm-up
+        query runs, so even the very first explanation scatter-gathers.
+        """
+        pipeline = self._service.register_dataset(
+            spec.name, spec.table, spec.knowledge_graph,
+            spec.extraction_specs, config=_worker_safe_config(spec.config),
+            warm=False)
+        pipeline.context.shard_pool = self._pool
+        pipeline.context.shard_label = spec.name
+        if spec.warm:
+            self._service.warm(spec.name)
 
     def _spawn_worker(self, index: int) -> _WorkerHandle:
         parent_conn, child_conn = self._mp.Pipe(duplex=True)
@@ -367,6 +379,10 @@ class ServiceCluster:
                 return
             self._closed = True
             handles = list(self._handles)
+        if self._service is not None:
+            self._service.close()
+        if self._pool is not None:
+            self._pool.close()
         for handle in handles:
             if not handle.lock.acquire(timeout=2.0):
                 continue  # busy worker: skip graceful, terminate below
@@ -438,6 +454,12 @@ class ServiceCluster:
                 k: Optional[int] = None) -> ServedExplanation:
         """Serve one explanation from the key's worker (deduped in flight)."""
         self._ensure_serving()
+        if self._service is not None:
+            # Rows mode: the parent-process service owns dedup, caching and
+            # coalescing; the data plane underneath it is already sharded.
+            with self._lock:
+                self.requests_routed += 1
+            return self._service.explain(dataset, query, k=k)
         k = self._resolve_k(dataset, k)
         key = self.routing_key(dataset, query, k)
         with self._lock:
@@ -478,6 +500,10 @@ class ServiceCluster:
                       k: Optional[int] = None) -> List[ServedExplanation]:
         """Serve a batch: shard, dedupe, fan sub-batches out, reassemble."""
         self._ensure_serving()
+        if self._service is not None:
+            with self._lock:
+                self.requests_routed += len(queries)
+            return self._service.explain_batch(dataset, queries, k=k)
         k = self._resolve_k(dataset, k)
         keys: List[Tuple] = []
         owned: Dict[Tuple, Future] = {}
@@ -550,8 +576,39 @@ class ServiceCluster:
     # broadcast operations
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
-        """Merged observability: summed counters + per-worker breakdown."""
+        """Merged observability: summed counters + per-worker breakdown.
+
+        Every worker entry carries its ``role`` — ``"replica"`` (keys mode:
+        a full service over a complete dataset copy) or ``"row-shard"``
+        (rows mode: a data-plane worker holding ``O(rows / N)`` column
+        slices) — and its resident row count, so capacity planning can read
+        the memory topology straight off ``/stats``.
+        """
         self._ensure_serving()
+        if self._service is not None:
+            snapshot = self._service.stats()
+            pool_stats = self._pool.stats()
+            with self._lock:
+                front = {
+                    "n_workers": self.n_workers,
+                    "start_method": self.start_method,
+                    "shard": "rows",
+                    "workers_alive": self._pool.alive_workers(),
+                    "requests_routed": self.requests_routed,
+                    "worker_restarts": pool_stats["pool"]["worker_restarts"],
+                    "request_retries": pool_stats["pool"]["request_retries"],
+                    "data_plane": pool_stats["pool"],
+                }
+            return {
+                "mode": "cluster",
+                "shard": "rows",
+                "datasets": sorted(spec.name for spec in self._specs),
+                "cluster": front,
+                "cache": snapshot["cache"],
+                "negative_cache": snapshot["negative_cache"],
+                "contexts": snapshot["contexts"],
+                "workers": pool_stats["workers"],
+            }
 
         def probe(handle: _WorkerHandle) -> Dict[str, Any]:
             # A worker busy with a long cold explanation holds its pipe
@@ -621,6 +678,7 @@ class ServiceCluster:
             }
         return {
             "mode": "cluster",
+            "shard": "keys",
             "datasets": sorted(spec.name for spec in self._specs),
             "cluster": front,
             "cache": cache,
@@ -641,6 +699,8 @@ class ServiceCluster:
         shard is the shard live traffic will hit.
         """
         self._ensure_serving()
+        if self._service is not None:
+            return self._service.warm(dataset, queries=queries, top=top)
         resolved_k = self._resolve_k(dataset, None)
         total = 0
         for handle in self._handles:
@@ -661,6 +721,13 @@ class ServiceCluster:
         with empty caches, which *is* the invalidated state.
         """
         self._ensure_serving()
+        if self._service is not None:
+            # The version bump ages the shard contexts out of the pool's
+            # LRU on its own; dropping them now frees worker memory
+            # immediately instead of at eviction time.
+            self._service.clear_cache()
+            self._pool.drop_all_contexts()
+            return
         for handle in self._handles:
             self._dispatch(handle.index, "clear_cache", None)
 
@@ -677,6 +744,22 @@ class ServiceCluster:
         with self._lock:
             handles = list(self._handles)
             closed = self._closed
+        if self._pool is not None:
+            alive = 0 if closed else self._pool.alive_workers()
+            if closed or not self._started:
+                status = "down"
+            elif alive == self.n_workers:
+                status = "ok"
+            else:
+                status = "degraded"
+            return {
+                "status": status,
+                "datasets": sorted(spec.name for spec in self._specs),
+                "mode": "cluster",
+                "shard": "rows",
+                "workers_alive": alive,
+                "n_workers": self.n_workers,
+            }
         worker_health = {
             str(handle.index): {"alive": handle.alive(),
                                 "restarts": handle.restarts}
@@ -707,50 +790,16 @@ class ServiceCluster:
             raise ConfigurationError("ServiceCluster is closed")
 
     def _poll_reply(self, handle: _WorkerHandle, op: str) -> None:
-        """Wait for a reply, failing fast when the worker process dies.
-
-        A SIGKILLed worker closes its pipe end, which ``poll`` surfaces —
-        but a worker that never came up (or is wedged before its accept
-        loop) would otherwise block for the full request timeout, so the
-        wait is sliced and the process liveness re-checked between slices.
-        """
-        deadline = self.request_timeout
-        slice_seconds = 0.2
-        waited = 0.0
-        while waited < deadline:
-            if handle.conn.poll(min(slice_seconds, deadline - waited)):
-                return
-            waited += slice_seconds
-            if not handle.process.is_alive():
-                # One final poll: the reply may have raced the exit.
-                if handle.conn.poll(0):
-                    return
-                raise WorkerDiedError(
-                    f"worker {handle.index} exited while handling {op!r}")
-        raise WorkerDiedError(
-            f"worker {handle.index} did not answer {op!r} within "
-            f"{self.request_timeout}s")
+        """Wait for a reply, failing fast when the worker process dies."""
+        ipc.poll_reply(handle, op, self.request_timeout)
 
     def _request(self, handle: _WorkerHandle, op: str, payload) -> Any:
         """One request/response round-trip (raises worker-side errors)."""
-        with handle.lock:
-            return self._request_locked(handle, op, payload)
+        return ipc.request(handle, op, payload, self.request_timeout)
 
     def _request_locked(self, handle: _WorkerHandle, op: str, payload) -> Any:
         """The round-trip body; the caller must hold ``handle.lock``."""
-        try:
-            handle.conn.send((op, payload))
-            self._poll_reply(handle, op)
-            verdict, result = handle.conn.recv()
-        except WorkerDiedError:
-            raise
-        except (EOFError, OSError, BrokenPipeError, ValueError) as error:
-            raise WorkerDiedError(
-                f"worker {handle.index} died during {op!r}: "
-                f"{type(error).__name__}: {error}") from error
-        if verdict == "error":
-            raise _rebuild_error(*result)
-        return result
+        return ipc.request_locked(handle, op, payload, self.request_timeout)
 
     def _dispatch(self, index: int, op: str, payload) -> Any:
         """Route an op to a worker; on a dead worker, restart and retry once."""

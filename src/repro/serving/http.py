@@ -11,8 +11,12 @@ service: hand :func:`make_server` an in-process
 :class:`~repro.serving.service.ExplanationService` (wrapped in a
 :class:`~repro.serving.client.LocalClient` automatically) or a
 :class:`~repro.serving.cluster.ClusterClient` over N worker processes and
-the same handler code serves both topologies —
-``python -m repro.serving --workers N`` is exactly that switch.
+the same handler code serves every topology —
+``python -m repro.serving --workers N`` is exactly that switch.  The
+cluster itself shards on either axis (``--shard keys`` replicates data and
+routes requests; ``--shard rows`` splits each table into row ranges and
+scatter-gathers partial counts), and the HTTP surface is identical in all
+modes — only ``GET /stats`` reveals the topology.
 
 Endpoints
 ---------
