@@ -75,6 +75,30 @@ solve).  The knobs on :class:`MESAConfig` controlling the fast paths:
   preserved, but the run counts — and therefore exact p-values — differ,
   so it is opt-in.  ``context.counters['perm_early_exit']`` /
   ``['perm_saved']`` report the exits and the permutations saved.
+* ``max_responsibility_permutations`` (default ``0`` = off) — adaptive
+  permutation budgets: a test whose verdict is still statistically
+  uncertain when its base budget runs out (the Clopper–Pearson interval
+  on the exceedance probability straddles ``alpha``) extends its budget
+  geometrically up to this cap, while clear-cut tests exit early (the
+  cap implies the sequential early exit).  Tests that never extend keep
+  the fixed-budget verdict exactly; extended tests trade bit-identical
+  p-values for verdicts resting on more permutations.
+  ``context.counters['perm_budget_extended']`` /
+  ``['perm_budget_saved']`` report the extensions and the permutations
+  saved against always paying the base budget.
+* ``permutation_rng_stream`` (default ``"legacy"``) — how stratified
+  permutations are drawn.  ``"argsort"`` vectorises the draw (one
+  uniform block + segmented stable argsort) and is several times faster
+  on many-strata plans, but is a *different* documented RNG stream:
+  p-values match the legacy per-stratum Fisher–Yates stream in
+  distribution, not bit-for-bit.  Pair it with early exit or adaptive
+  budgets, where exact run counts already vary.
+* ``speculative_search`` (default ``False``; serving turns it on) —
+  pipeline MCIMR rounds: while round ``i``'s responsibility test runs, a
+  worker thread speculatively scores round ``i+1``'s candidates against
+  disjoint memo caches, so explanations stay bit-identical to the
+  sequential schedule.  ``context.counters['speculation_hit']`` /
+  ``['speculation_waste']`` count consumed and discarded speculations.
 * ``use_ipw_fit_cache`` (default ``True``) — route IPW selection fits
   through the per-context fit cache and the multi-label IRLS batch.
   ``context.counters['ipw_fit_hit']`` / ``['ipw_fit_miss']`` count
@@ -139,8 +163,13 @@ bumps on registration/invalidation, so envelope, negative and frame
 caches in every process retire coherently.  On the serving path the
 permutation early exit is on by default (the p-value audit: nothing
 consumes more than the boolean independence verdict, which the exit
-provably never flips); construct ``ExplanationService(...,
-permutation_early_exit=False)`` to opt out.
+provably never flips), and so is the speculative pipelined search (it is
+bit-identical by construction); construct ``ExplanationService(...,
+permutation_early_exit=False, speculative_search=False)`` to opt out.
+Adaptive budgets stay caller-opt-in even when serving — an extension can
+replace a statistically uncertain verdict, which is a semantic change the
+deployment must choose (``config.with_overrides(
+max_responsibility_permutations=...)`` at registration).
 
 ``ServiceCluster(shard="rows")`` scales the **data** axis instead of the
 key axis: each registered table is split into N contiguous row ranges —
@@ -150,7 +179,11 @@ counts summed before the entropy step (weighted bincounts over fused
 codes are additive over row partitions, so estimates equal the
 single-process engine's exactly), permutation tests stratified *within*
 shards on chunk-aligned per-shard RNG streams (deterministic for a given
-shard count, and provably identical between early-exit and full runs),
+shard count, and provably identical between early-exit and full runs;
+adaptive budget extensions request whole chunks, so an extended run
+re-derives the exact draws a fixed run would have made — and the
+``"argsort"`` stream, like the legacy one, draws each chunk from the
+start of its per-chunk stream, so both streams stay shard-deterministic),
 and IPW selection fits solved by distributed IRLS (per-shard ``X'WX`` /
 ``X'Wz`` partials, coefficients matching the local solver to 1e-7).
 Every worker holds only ``O(rows / N)`` of the table, so the cluster

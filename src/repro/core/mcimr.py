@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.explanation import Explanation
 from repro.core.problem import CorrelationExplanationProblem
 from repro.core.responsibility import responsibilities, responsibility_test
+from repro.core.speculate import speculate
 from repro.exceptions import ExplanationError
 
 
@@ -73,12 +74,28 @@ def next_best_attribute(problem: CorrelationExplanationProblem,
     return best_attribute, best_value
 
 
+def _speculate_round(problem: CorrelationExplanationProblem,
+                     selected: Tuple[str, ...],
+                     candidates: Optional[Sequence[str]],
+                     ) -> Tuple[float, Optional[Tuple[str, float]]]:
+    """Round ``i + 1``'s work, assuming round ``i``'s winner is accepted.
+
+    Returns ``(score_after, next_best)`` — the explanation score of the
+    extended selection (the value the accept path appends to the trace)
+    and the following round's best candidate.  Every value lands in the
+    problem's memo caches, so the main loop re-reads them for free.
+    """
+    score_after = problem.explanation_score(list(selected))
+    return score_after, next_best_attribute(problem, selected, candidates)
+
+
 def mcimr(problem: CorrelationExplanationProblem, k: int = 5,
           candidates: Optional[Sequence[str]] = None,
           use_responsibility_test: bool = True,
           responsibility_threshold: float = 0.01,
           responsibility_permutations: int = 20,
-          method_name: str = "mcimr") -> Explanation:
+          method_name: str = "mcimr",
+          speculative: bool = False) -> Explanation:
     """Run the MCIMR algorithm and return its :class:`Explanation`.
 
     Parameters
@@ -102,34 +119,74 @@ def mcimr(problem: CorrelationExplanationProblem, k: int = 5,
     method_name:
         Label recorded in the resulting explanation (``"mesa"`` /
         ``"mesa_minus"`` reuse this function).
+    speculative:
+        Pipeline the rounds: while round ``i``'s responsibility test runs,
+        score round ``i + 1``'s candidates on a speculation thread
+        (:mod:`repro.core.speculate`), discarding the speculation when the
+        stopping criterion fires.  The two phases read disjoint memo
+        caches and both are deterministic, so the explanation is
+        bit-identical to the sequential schedule; the problem's
+        ``counter_hook`` observes ``speculation_hit`` /
+        ``speculation_waste``.
     """
     if k < 1:
         raise ExplanationError(f"The explanation size bound k must be >= 1, got {k}")
     if candidates is None:
         candidates = problem.candidates
+    counter_hook = getattr(problem, "counter_hook", None)
+
+    def count(name: str) -> None:
+        if counter_hook is not None:
+            counter_hook(name, 1)
+
     start = time.perf_counter()
     trace = MCIMRTrace()
     selected: List[str] = []
+    pending = None  # speculation for the round after the one being tested
     for _ in range(k):
-        best = next_best_attribute(problem, selected, candidates)
+        if pending is not None:
+            _, best = pending.result()
+            count("speculation_hit")
+            pending = None
+        else:
+            best = next_best_attribute(problem, selected, candidates)
         if best is None:
             break
         attribute, criterion = best
-        if use_responsibility_test and responsibility_test(
-                problem, attribute, selected, cmi_threshold=responsibility_threshold,
-                n_permutations=responsibility_permutations):
-            trace.stopped_by_responsibility_test = True
-            break
+        if use_responsibility_test:
+            if speculative:
+                extended = tuple(selected) + (attribute,)
+                pending = speculate(
+                    lambda sel=extended: _speculate_round(problem, sel,
+                                                          candidates))
+            if responsibility_test(
+                    problem, attribute, selected,
+                    cmi_threshold=responsibility_threshold,
+                    n_permutations=responsibility_permutations):
+                if pending is not None:
+                    pending.discard()
+                    count("speculation_waste")
+                    pending = None
+                trace.stopped_by_responsibility_test = True
+                break
         selected.append(attribute)
         trace.selected.append(attribute)
         trace.criterion_values.append(criterion)
         trace.scores_after.append(problem.explanation_score(selected))
+    if pending is not None:
+        # k exhausted with a speculation still in flight (its result will
+        # never be consumed by a further round).
+        pending.discard()
+        count("speculation_waste")
     runtime = time.perf_counter() - start
-    explainability = problem.explanation_score(selected) if selected else problem.baseline_cmi()
+    baseline = problem.baseline_cmi()
+    # The score of the final selection was already recorded when its last
+    # attribute was accepted — reuse it instead of re-querying the oracle.
+    explainability = trace.scores_after[-1] if selected else baseline
     return Explanation(
         attributes=tuple(selected),
         explainability=explainability,
-        baseline_cmi=problem.baseline_cmi(),
+        baseline_cmi=baseline,
         objective=problem.objective(selected),
         responsibilities=responsibilities(problem, selected),
         method=method_name,

@@ -85,9 +85,17 @@ class CorrelationExplanationProblem:
         Allow the sequential early-exit decision to stop permutation runs
         once the verdict is determined (verdicts preserved, permutation
         counts — and hence exact p-values — may differ from a full run).
+    permutation_budget:
+        Optional :class:`~repro.infotheory.permutation.PermutationBudget`
+        policy for every permutation test this problem runs.  When given
+        it wins over ``permutation_early_exit`` wholesale; an adaptive
+        policy (``max_permutations`` set) extends statistically uncertain
+        tests geometrically while clear-cut tests exit early, and
+        ``rng_stream="argsort"`` selects the vectorised sampling stream.
     counter_hook:
         Optional ``(name, increment)`` callable observing backend counters
-        (``perm_early_exit``, ``perm_saved``).  The engine passes
+        (``perm_early_exit``, ``perm_saved``, ``perm_budget_extended``,
+        ``perm_budget_saved``).  The engine passes
         ``PipelineContext.count`` so the serving ``/stats`` endpoint
         surfaces them.
     seconds_hook:
@@ -107,6 +115,7 @@ class CorrelationExplanationProblem:
                  context_table: Optional[Table] = None,
                  use_blocked_permutations: bool = True,
                  permutation_early_exit: bool = False,
+                 permutation_budget=None,
                  counter_hook=None, seconds_hook=None):
         query.validate_against(table)
         if context_table is not None and frame is None:
@@ -153,6 +162,7 @@ class CorrelationExplanationProblem:
         self.use_kernel = use_kernel
         self.use_blocked_permutations = use_blocked_permutations
         self.permutation_early_exit = permutation_early_exit
+        self.permutation_budget = permutation_budget
         self.counter_hook = counter_hook
         self.seconds_hook = seconds_hook
         self._cmi_cache: Dict[Tuple[str, ...], float] = {}
@@ -428,6 +438,7 @@ class CorrelationExplanationProblem:
                     use_blocked=self.use_blocked_permutations,
                     early_exit=self.permutation_early_exit,
                     counter_hook=self.counter_hook,
+                    budget=self.permutation_budget,
                     **kwargs,
                 )
             return conditional_independence_test(
@@ -436,6 +447,7 @@ class CorrelationExplanationProblem:
                 weights=weights,
                 early_exit=self.permutation_early_exit,
                 counter_hook=self.counter_hook,
+                budget=self.permutation_budget,
                 **kwargs,
             )
         finally:
@@ -467,6 +479,7 @@ class CorrelationExplanationProblem:
         restricted.use_kernel = self.use_kernel
         restricted.use_blocked_permutations = self.use_blocked_permutations
         restricted.permutation_early_exit = self.permutation_early_exit
+        restricted.permutation_budget = self.permutation_budget
         restricted.counter_hook = self.counter_hook
         restricted.seconds_hook = self.seconds_hook
         restricted._cmi_cache = {}
@@ -494,6 +507,7 @@ class CorrelationExplanationProblem:
         clone.use_kernel = self.use_kernel
         clone.use_blocked_permutations = self.use_blocked_permutations
         clone.permutation_early_exit = self.permutation_early_exit
+        clone.permutation_budget = self.permutation_budget
         clone.counter_hook = self.counter_hook
         clone.seconds_hook = self.seconds_hook
         clone._cmi_cache = self._cmi_cache

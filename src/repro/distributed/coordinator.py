@@ -465,8 +465,9 @@ class ShardPool:
                            weights: Optional[Sequence[str]],
                            observed: float, n_permutations: int,
                            alpha: float, seed: int, early_exit: bool,
+                           budget=None,
                            provider: Optional[ColumnProvider] = None,
-                           ) -> Tuple[int, int, Optional[bool], int]:
+                           ) -> "permutation.PermutationOutcome":
         """Coordinator-driven permutation test over per-shard RNG streams.
 
         Each round requests a block of permutations from every shard in
@@ -476,36 +477,57 @@ class ShardPool:
         the *global permutation index*, not the round schedule, so the
         null sequence is a pure function of ``(seed, shard count)``.  The
         early-exit ramp changes only how many permutations each round
-        requests, never which permutations are drawn; the sequential
-        verdict (the same :func:`~repro.infotheory.permutation.
-        sequential_verdict` the single-process engine applies between
-        rounds) therefore can never contradict the full-run verdict, same
-        as the local blocked driver.  Rounds are kept chunk-aligned so a
-        stream chunk is only ever partially consumed at the global tail.
+        requests, never which permutations are drawn; the budgeted
+        sequential decision (the same
+        :class:`~repro.infotheory.permutation.BudgetedSequentialTest` the
+        single-process engine applies between rounds) therefore behaves
+        exactly like the local blocked driver — including adaptive budget
+        extension.  Rounds are kept chunk-aligned so a stream chunk is
+        only ever partially consumed at the global end: a worker always
+        draws a chunk's permutations from the start of that chunk's
+        stream, so under an adaptive budget every round *requests* a
+        chunk-multiple (bounded look-ahead past the current target,
+        counted in ``computed``) and an extension resumes at the next
+        chunk boundary instead of re-drawing a half-consumed chunk.
 
-        Returns ``(exceed, n_run, verdict, computed)`` exactly like
-        :func:`~repro.infotheory.permutation.blocked_permutation_test`.
+        Returns a :class:`~repro.infotheory.permutation.PermutationOutcome`
+        exactly like :func:`~repro.infotheory.permutation.
+        blocked_permutation_test` (unpackable as the historical 4-tuple).
         """
+        budget = permutation.resolve_budget(budget, early_exit)
+        state = permutation.BudgetedSequentialTest(n_permutations, alpha,
+                                                  budget)
         cells = n_x * n_y * max(1, n_z)
         chunk = permutation.EARLY_EXIT_INITIAL_BLOCK
         max_block = max(1, min(
-            n_permutations,
+            state.cap,
             permutation.BLOCK_CELL_BUDGET // max(1, cells),
             permutation.BLOCK_ROW_BUDGET // max(1, ctx.n_rows)))
         max_block = max(chunk, max_block - max_block % chunk)
-        ramp = chunk if early_exit else max_block
-        exceed = 0
-        done = 0
+        sequential = budget.early_exit or budget.adaptive
+        ramp = chunk if sequential else max_block
+        extensions_seen = 0
+        drawn = 0
         computed = 0
         columns = recipe_columns(x, y, z, weights)
         tokens = recipe_tokens(x, y, z)
-        while done < n_permutations:
-            count = min(ramp, max_block, n_permutations - done)
+        while state.want_more:
+            if state.extensions != extensions_seen:
+                extensions_seen = state.extensions
+                ramp = chunk
+            remaining = state.target - drawn
+            if budget.adaptive:
+                # Round the request up to a chunk multiple (never past the
+                # cap) so extension resumes on a chunk boundary.
+                aligned = -(-remaining // chunk) * chunk
+                remaining = min(max(remaining, aligned), state.cap - drawn)
+            count = min(ramp, max_block, remaining)
             ramp = min(ramp * 4, max_block)
             payload = {"ctx": ctx.key, "x": x, "y": y, "z": z,
                        "n_x": n_x, "n_y": n_y, "n_z": n_z,
                        "weights": weights, "seed": seed,
-                       "start": done, "chunk": chunk, "count": count}
+                       "start": drawn, "chunk": chunk, "count": count,
+                       "rng_stream": budget.rng_stream}
             partials = self._scatter(ctx, "perm", lambda index: payload,
                                      columns, tokens, provider)
             total = np.asarray(partials[0], dtype=np.float64).copy()
@@ -513,17 +535,15 @@ class ShardPool:
                 total += np.asarray(part, dtype=np.float64)
             null_cmis = permutation.null_cmis_from_counts(
                 total, n_x, n_y, n_z)
+            drawn += count
             computed += count
             for value in null_cmis:
-                done += 1
-                if value >= observed:
-                    exceed += 1
-                if early_exit:
-                    verdict = permutation.sequential_verdict(
-                        exceed, done, n_permutations, alpha)
-                    if verdict is not None:
-                        return exceed, done, verdict, computed
-        return exceed, n_permutations, None, computed
+                if not state.want_more:
+                    break
+                verdict = state.update(value >= observed)
+                if verdict is not None:
+                    return state.outcome(verdict, computed)
+        return state.outcome(None, computed)
 
     # ------------------------------------------------------------------ #
     # compute: distributed IRLS

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.problem import CorrelationExplanationProblem
 from repro.distributed.coordinator import ShardContext, ShardPool
 from repro.exceptions import ReproError
-from repro.infotheory import kernel
+from repro.infotheory import kernel, permutation
 from repro.infotheory.independence import (
     DEFAULT_CMI_THRESHOLD,
     IndependenceResult,
@@ -355,21 +355,24 @@ class ShardedExplanationProblem(CorrelationExplanationProblem):
             if n_permutations <= 0:
                 return IndependenceResult(independent=False, cmi=observed,
                                           p_value=0.0, n_permutations=0)
-            exceed, n_run, verdict, computed = self.pool.permutation_rounds(
+            budget = permutation.resolve_budget(self.permutation_budget,
+                                                self.permutation_early_exit)
+            outcome = self.pool.permutation_rounds(
                 self.shard_ctx, x=x_steps, y=y_steps, z=steps or None,
                 n_x=n_x, n_y=n_y, n_z=card, weights=weight_keys,
                 observed=observed, n_permutations=n_permutations,
                 alpha=alpha, seed=seed,
                 early_exit=self.permutation_early_exit,
+                budget=self.permutation_budget,
                 provider=self._provider)
-            if verdict is not None:
-                self._count_hook("perm_early_exit")
-                self._count_hook("perm_saved", n_permutations - computed)
-            p_value = (exceed + 1) / (n_run + 1)
-            independent = verdict if verdict is not None else p_value > alpha
-            return IndependenceResult(independent=independent, cmi=observed,
-                                      p_value=p_value, n_permutations=n_run,
-                                      early_exit=verdict is not None)
+            permutation.report_outcome(self.counter_hook, outcome,
+                                       n_permutations, budget)
+            return IndependenceResult(independent=outcome.independent(alpha),
+                                      cmi=observed,
+                                      p_value=outcome.p_value,
+                                      n_permutations=outcome.n_run,
+                                      early_exit=outcome.verdict is not None,
+                                      budget_extensions=outcome.extensions)
         finally:
             if self.seconds_hook is not None:
                 self.seconds_hook("permutation_test",

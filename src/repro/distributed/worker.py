@@ -189,6 +189,8 @@ def _shard_worker_main(conn, shard_index: int, n_shards: int) -> None:
             weights = store.weights(ctx, payload.get("weights"))
             start, chunk, count = (payload["start"], payload["chunk"],
                                    payload["count"])
+            rng_stream = payload.get("rng_stream",
+                                     permutation.RNG_STREAM_LEGACY)
             parts = []
             produced = 0
             while produced < count:
@@ -198,7 +200,8 @@ def _shard_worker_main(conn, shard_index: int, n_shards: int) -> None:
                                 "chunk", index // chunk)
                 parts.append(permutation.block_partial_counts(
                     x, y, z, payload["n_x"], payload["n_y"],
-                    payload.get("n_z", 1), weights, rng, take))
+                    payload.get("n_z", 1), weights, rng, take,
+                    rng_stream=rng_stream))
                 produced += take
             return parts[0] if len(parts) == 1 else \
                 np.concatenate(parts, axis=0)

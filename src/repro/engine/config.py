@@ -87,6 +87,37 @@ class MESAConfig:
         reported p-values are no longer bit-reproducible against the full
         run.  ``context.counters['perm_early_exit']`` / ``['perm_saved']``
         count the exits and the permutations saved.
+    max_responsibility_permutations:
+        Adaptive permutation-budget cap.  ``0`` (default) disables
+        adaptation; a positive value (must be >=
+        ``responsibility_permutations``) lets any permutation test whose
+        verdict is still statistically uncertain when its base budget is
+        exhausted — the Clopper–Pearson interval on the exceedance
+        probability straddles ``alpha`` — extend its budget geometrically
+        up to the cap, while clear-cut tests exit early (adaptive budgets
+        imply the sequential early-exit decision).  A test that never
+        extends keeps the fixed-budget verdict; an extended test replaces
+        a statistically uncertain verdict with one resting on more
+        permutations.  ``context.counters['perm_budget_extended']`` /
+        ``['perm_budget_saved']`` count the extensions and the
+        permutations saved against always paying the base budget.
+    permutation_rng_stream:
+        How permutation tests draw their stratified permutations:
+        ``"legacy"`` (default) is the bit-identical per-stratum
+        Fisher–Yates stream; ``"argsort"`` vectorises the draw as one
+        uniform block + segmented stable argsort — several times faster
+        on many-strata plans, but a *different* documented RNG stream, so
+        p-values are no longer bit-reproducible against the legacy stream
+        (verdict distribution is identical; intended for early-exit /
+        adaptive modes where exact counts already vary).
+    speculative_search:
+        Overlap MCIMR rounds: while round ``i``'s responsibility test
+        runs, a worker thread speculatively scores round ``i+1``'s
+        candidates (disjoint memo state), discarding the speculation when
+        the stopping criterion fires.  Explanations are bit-identical to
+        the sequential search; ``context.counters['speculation_hit']`` /
+        ``['speculation_waste']`` count consumed and discarded
+        speculations.
     use_ipw_fit_cache:
         Route IPW selection-model fits through the batched inference
         backend (:mod:`repro.missingness.fitcache`): fits are cached by
@@ -126,6 +157,9 @@ class MESAConfig:
     use_fast_kernel: bool = True
     use_blocked_permutations: bool = True
     permutation_early_exit: bool = False
+    max_responsibility_permutations: int = 0
+    permutation_rng_stream: str = "legacy"
+    speculative_search: bool = False
     use_ipw_fit_cache: bool = True
     n_jobs: int = 1
     parallel_backend: str = "thread"
@@ -149,6 +183,25 @@ class MESAConfig:
             raise ConfigurationError(
                 f"responsibility_permutations must be >= 0, "
                 f"got {self.responsibility_permutations}"
+            )
+        if self.max_responsibility_permutations < 0:
+            raise ConfigurationError(
+                f"max_responsibility_permutations must be >= 0, "
+                f"got {self.max_responsibility_permutations}"
+            )
+        if (self.max_responsibility_permutations
+                and self.max_responsibility_permutations
+                < self.responsibility_permutations):
+            raise ConfigurationError(
+                f"max_responsibility_permutations "
+                f"({self.max_responsibility_permutations}) must be >= "
+                f"responsibility_permutations "
+                f"({self.responsibility_permutations})"
+            )
+        if self.permutation_rng_stream not in ("legacy", "argsort"):
+            raise ConfigurationError(
+                f"permutation_rng_stream must be 'legacy' or 'argsort', "
+                f"got {self.permutation_rng_stream!r}"
             )
         if self.n_jobs < 1 and self.n_jobs != -1:
             raise ConfigurationError(

@@ -94,6 +94,7 @@ class MCIMRExplainer(Explainer):
             responsibility_threshold=config.responsibility_threshold,
             responsibility_permutations=config.responsibility_permutations,
             method_name=self.name,
+            speculative=config.speculative_search,
         )
 
     def bind(self, config: MESAConfig) -> "Explainer":

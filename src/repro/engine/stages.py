@@ -140,12 +140,23 @@ def _build_problem(state: QueryState, context: PipelineContext,
     this process.
     """
     config = state.config
+    permutation_budget = None
+    if (config.max_responsibility_permutations
+            or config.permutation_rng_stream != "legacy"):
+        from repro.infotheory.permutation import PermutationBudget
+        permutation_budget = PermutationBudget(
+            max_permutations=config.max_responsibility_permutations or None,
+            early_exit=config.permutation_early_exit
+            or bool(config.max_responsibility_permutations),
+            rng_stream=config.permutation_rng_stream,
+        )
     kwargs = dict(
         attribute_weights=attribute_weights, n_bins=config.n_bins,
         use_kernel=config.use_fast_kernel,
         frame=frame, context_table=context_table,
         use_blocked_permutations=config.use_blocked_permutations,
         permutation_early_exit=config.permutation_early_exit,
+        permutation_budget=permutation_budget,
         counter_hook=context.count, seconds_hook=context.add_seconds,
     )
     if context.shard_pool is not None and config.use_fast_kernel:
@@ -310,6 +321,7 @@ class SearchStage(PipelineStage):
                     responsibility_threshold=config.responsibility_threshold,
                     responsibility_permutations=config.responsibility_permutations,
                     method_name=self.method_name,
+                    speculative=config.speculative_search,
                 )
                 state.search_cache[token] = explanation
             state.explanation = explanation

@@ -49,6 +49,8 @@ from repro.infotheory.kernel import (
     fuse_codes,
 )
 from repro.infotheory.permutation import (
+    PermutationBudget,
+    PermutationOutcome,
     PermutationPlan,
     blocked_permutation_test,
     sequential_permutation_test,
@@ -73,6 +75,8 @@ __all__ = [
     "contingency_mi",
     "fast_independence_test",
     "fuse_codes",
+    "PermutationBudget",
+    "PermutationOutcome",
     "PermutationPlan",
     "blocked_permutation_test",
     "sequential_permutation_test",

@@ -19,7 +19,13 @@ import numpy as np
 
 from repro.infotheory.encoding import joint_codes
 from repro.infotheory.mutual_information import conditional_mutual_information
-from repro.infotheory.permutation import PermutationPlan, sequential_permutation_test
+from repro.infotheory.permutation import (
+    PermutationBudget,
+    PermutationPlan,
+    report_outcome,
+    resolve_budget,
+    sequential_permutation_test,
+)
 from repro.utils.rng import make_rng
 
 DEFAULT_CMI_THRESHOLD = 0.01
@@ -46,6 +52,10 @@ class IndependenceResult:
     early_exit:
         True when the sequential test stopped before exhausting its
         permutation budget.
+    budget_extensions:
+        How many times an adaptive :class:`~repro.infotheory.permutation.
+        PermutationBudget` extended the permutation target because the
+        verdict was still statistically uncertain (0 for fixed budgets).
     """
 
     independent: bool
@@ -53,6 +63,7 @@ class IndependenceResult:
     p_value: float
     n_permutations: int
     early_exit: bool = False
+    budget_extensions: int = 0
 
 
 def _permute_within_strata(x: np.ndarray, strata: np.ndarray,
@@ -75,7 +86,9 @@ def conditional_independence_test(x: np.ndarray, y: np.ndarray,
                                   dependent_threshold: Optional[float] = None,
                                   seed: Optional[int] = 0,
                                   early_exit: bool = False,
-                                  counter_hook=None) -> IndependenceResult:
+                                  counter_hook=None,
+                                  budget: Optional[PermutationBudget] = None,
+                                  ) -> IndependenceResult:
     """Test whether ``X ⊥ Y | conditioning`` holds in the data.
 
     The test first applies two cheap shortcuts: if the observed CMI is below
@@ -91,7 +104,9 @@ def conditional_independence_test(x: np.ndarray, y: np.ndarray,
     plan (:mod:`repro.infotheory.permutation`) — same RNG stream, same
     p-values, no per-permutation strata re-derivation.  With
     ``early_exit=True`` the sequential decision stops the loop as soon as
-    the verdict is determined.
+    the verdict is determined; an explicit ``budget`` wins over the flag
+    and may extend ``n_permutations`` adaptively while the verdict stays
+    statistically uncertain.
     """
     x = np.asarray(x, dtype=np.int64)
     y = np.asarray(y, dtype=np.int64)
@@ -103,18 +118,18 @@ def conditional_independence_test(x: np.ndarray, y: np.ndarray,
         return IndependenceResult(independent=False, cmi=observed, p_value=0.0, n_permutations=0)
     if n_permutations <= 0:
         return IndependenceResult(independent=False, cmi=observed, p_value=0.0, n_permutations=0)
+    budget = resolve_budget(budget, early_exit)
     rng = make_rng(seed)
     strata = joint_codes(conditioning) if conditioning else np.zeros(len(x), dtype=np.int64)
-    exceed, n_run, verdict, computed = sequential_permutation_test(
+    outcome = sequential_permutation_test(
         x, PermutationPlan(strata), rng, observed, n_permutations, alpha,
         lambda permuted: conditional_mutual_information(
             permuted, y, conditioning, weights=weights),
-        early_exit=early_exit)
-    if counter_hook is not None and verdict is not None:
-        counter_hook("perm_early_exit", 1)
-        counter_hook("perm_saved", n_permutations - computed)
-    p_value = (exceed + 1) / (n_run + 1)
-    independent = verdict if verdict is not None else p_value > alpha
-    return IndependenceResult(independent=independent, cmi=observed,
-                              p_value=p_value, n_permutations=n_run,
-                              early_exit=verdict is not None)
+        budget=budget)
+    report_outcome(counter_hook, outcome, n_permutations, budget)
+    return IndependenceResult(independent=outcome.independent(alpha),
+                              cmi=observed,
+                              p_value=outcome.p_value,
+                              n_permutations=outcome.n_run,
+                              early_exit=outcome.verdict is not None,
+                              budget_extensions=outcome.extensions)

@@ -422,7 +422,8 @@ def fast_independence_test(x: np.ndarray, y: np.ndarray,
                            use_blocked: bool = True,
                            early_exit: bool = False,
                            block_size: Optional[int] = None,
-                           counter_hook=None) -> IndependenceResult:
+                           counter_hook=None,
+                           budget=None) -> IndependenceResult:
     """Kernel-backed drop-in for ``conditional_independence_test``.
 
     The conditioning set arrives pre-fused (``z``/``n_z``) and is reused
@@ -440,7 +441,12 @@ def fast_independence_test(x: np.ndarray, y: np.ndarray,
     ``early_exit=True`` stops the sequential test as soon as the verdict is
     determined (see :mod:`repro.infotheory.permutation`); ``counter_hook``
     (a ``(name, increment)`` callable) observes ``perm_early_exit`` /
-    ``perm_saved`` when that happens.
+    ``perm_saved`` when that happens.  An explicit ``budget``
+    (:class:`repro.infotheory.permutation.PermutationBudget`) wins over
+    the ``early_exit`` flag wholesale and may additionally extend
+    ``n_permutations`` adaptively (``perm_budget_extended`` /
+    ``perm_budget_saved`` counters) and select the vectorised ``argsort``
+    sampling stream.
     """
     x = np.asarray(x, dtype=np.int64)
     y = np.asarray(y, dtype=np.int64)
@@ -454,47 +460,42 @@ def fast_independence_test(x: np.ndarray, y: np.ndarray,
     if n_permutations <= 0:
         return IndependenceResult(independent=False, cmi=observed,
                                   p_value=0.0, n_permutations=0)
+    budget = permutation.resolve_budget(budget, early_exit)
     rng = make_rng(seed)
     strata = z if z is not None else np.zeros(len(x), dtype=np.int64)
     if use_blocked:
         fused_z = np.asarray(strata, dtype=np.int64)
         card_z = n_z if z is not None and n_z is not None \
             else code_cardinality(fused_z)
-        exceed, n_run, verdict, computed = permutation.blocked_permutation_test(
+        outcome = permutation.blocked_permutation_test(
             x, y, fused_z, card_z, weights, observed, n_permutations, alpha,
-            rng, early_exit=early_exit, block_size=block_size)
-        if counter_hook is not None and verdict is not None:
-            counter_hook("perm_early_exit", 1)
-            # Savings are counted against the permutations actually scored
-            # (the block look-ahead is paid work, not a saving).
-            counter_hook("perm_saved", n_permutations - computed)
-        p_value = (exceed + 1) / (n_run + 1)
-        independent = verdict if verdict is not None else p_value > alpha
-        return IndependenceResult(independent=independent, cmi=observed,
-                                  p_value=p_value, n_permutations=n_run,
-                                  early_exit=verdict is not None)
+            rng, block_size=block_size, budget=budget)
+        # Savings are counted against the permutations actually scored
+        # (the block look-ahead is paid work, not a saving).
+        permutation.report_outcome(counter_hook, outcome, n_permutations,
+                                   budget)
+        return IndependenceResult(independent=outcome.independent(alpha),
+                                  cmi=observed,
+                                  p_value=outcome.p_value,
+                                  n_permutations=outcome.n_run,
+                                  early_exit=outcome.verdict is not None,
+                                  budget_extensions=outcome.extensions)
     # Historical per-permutation loop (use_blocked=False) — kept as the
-    # benchmark's pre-blocked reference; the sequential early-exit decision
-    # still applies so the config flag means the same thing on every path.
-    exceed = 0
+    # benchmark's pre-blocked reference; the budgeted sequential decision
+    # still applies so the config flags mean the same thing on every path.
+    state = permutation.BudgetedSequentialTest(n_permutations, alpha, budget)
     verdict = None
-    n_run = n_permutations
-    for done in range(1, n_permutations + 1):
+    while state.want_more:
         permuted = _permute_within_strata(x, strata, rng)
         null_cmi = contingency_cmi(permuted, y, z, n_z=n_z, weights=weights)
-        if null_cmi >= observed:
-            exceed += 1
-        if early_exit:
-            verdict = permutation.sequential_verdict(
-                exceed, done, n_permutations, alpha)
-            if verdict is not None:
-                n_run = done
-                break
-    if counter_hook is not None and verdict is not None:
-        counter_hook("perm_early_exit", 1)
-        counter_hook("perm_saved", n_permutations - n_run)
-    p_value = (exceed + 1) / (n_run + 1)
-    independent = verdict if verdict is not None else p_value > alpha
-    return IndependenceResult(independent=independent, cmi=observed,
-                              p_value=p_value, n_permutations=n_run,
-                              early_exit=verdict is not None)
+        verdict = state.update(null_cmi >= observed)
+        if verdict is not None:
+            break
+    outcome = state.outcome(verdict, state.done)
+    permutation.report_outcome(counter_hook, outcome, n_permutations, budget)
+    return IndependenceResult(independent=outcome.independent(alpha),
+                              cmi=observed,
+                              p_value=outcome.p_value,
+                              n_permutations=outcome.n_run,
+                              early_exit=outcome.verdict is not None,
+                              budget_extensions=outcome.extensions)

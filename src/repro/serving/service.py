@@ -96,6 +96,17 @@ class ExplanationService:
         on unless the caller opts out here.  The engine default stays off —
         offline analyses may care about exact permutation counts — and
         pre-built pipelines handed to :meth:`register` are never rewritten.
+    speculative_search:
+        The serving-path default for the pipelined MCIMR search
+        (:mod:`repro.core.speculate`): round ``i + 1``'s candidate scoring
+        overlaps round ``i``'s responsibility test on a speculation
+        thread.  Explanations are bit-identical to the sequential
+        schedule, so served pipelines get it switched on by the same rule
+        as the early exit; ``/stats`` surfaces ``speculation_hit`` /
+        ``speculation_waste``.  Adaptive permutation budgets
+        (``max_responsibility_permutations``) stay caller-opt-in — they
+        can revise statistically uncertain verdicts, a policy decision the
+        service does not make silently.
     history_size:
         How many distinct historical queries to remember per dataset (for
         the :meth:`warm` replay of top-K traffic).
@@ -110,6 +121,7 @@ class ExplanationService:
                  max_batch: int = 64,
                  negative_cache_size: int = 256,
                  permutation_early_exit: bool = True,
+                 speculative_search: bool = True,
                  history_size: int = 256,
                  clock: Callable[[], float] = time.monotonic):
         self._clock = clock
@@ -120,6 +132,7 @@ class ExplanationService:
         self.coalesce_window_seconds = coalesce_window_seconds
         self.max_batch = max_batch
         self.permutation_early_exit = permutation_early_exit
+        self.speculative_search = speculative_search
         self.history_size = history_size
         self._pipelines: Dict[str, ExplanationPipeline] = {}
         self._batchers: Dict[str, MicroBatcher] = {}
@@ -175,11 +188,14 @@ class ExplanationService:
         """Build and register a pipeline from dataset parts.
 
         The pipeline configuration gets the serving-path defaults applied
-        (currently ``permutation_early_exit``, see the class docstring).
+        (currently ``permutation_early_exit`` and ``speculative_search``,
+        see the class docstring).
         """
         config = config or MESAConfig()
         if self.permutation_early_exit and not config.permutation_early_exit:
             config = config.with_overrides(permutation_early_exit=True)
+        if self.speculative_search and not config.speculative_search:
+            config = config.with_overrides(speculative_search=True)
         pipeline = ExplanationPipeline(table, knowledge_graph, extraction_specs,
                                        config=config)
         return self.register(name, pipeline, warm=warm)
