@@ -1,0 +1,193 @@
+"""Observability overhead benchmark: default-on tracing vs. disabled.
+
+Tracing, request metrics and the slow-query log are on by default in the
+serving tier, so their cost is a standing tax on every request.  This
+benchmark measures that tax on an IPW + permutation workload (selection
+bias on, a fat responsibility-test permutation budget — the regime where
+the engine emits the most spans per request: one per permutation test,
+fit-cache lookup, stage, cache probe) and gates it.
+
+Each mode serves the Covid-19 bundle's representative queries through a
+fresh :class:`~repro.serving.service.ExplanationService` — one cold pass
+(full engine work under the request trace) plus one warm pass (the
+cache-hit path, where instrumentation is proportionally largest) — with
+``trace_requests=True`` (the default) vs. ``False``.  Wall-clock is the
+min over ``--repeats`` per mode, modes interleaved so machine drift hits
+both equally.  The gate fails when the instrumented/disabled ratio
+exceeds ``1 + --max-overhead`` (default 5%) *and* the absolute delta
+exceeds ``--overhead-floor-seconds`` (sub-floor deltas on a fast run are
+scheduler jitter, not overhead).  Envelopes must be canonically equal
+between the modes — instrumentation must never change results — and the
+instrumented run must actually have traced (every response carries a
+trace id, spans were recorded) so the gate cannot pass vacuously.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_obs.py [--out BENCH_obs.json]
+
+The script exits non-zero when the overhead gate, the envelope-equality
+check, or the tracing sanity check fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro import __version__
+from repro.datasets.registry import load_dataset
+from repro.mesa.config import MESAConfig
+from repro.serving import ExplanationService
+
+DATASET = "Covid-19"
+K = 3
+#: Fat permutation budget: the span-heaviest regime per request.
+RESPONSIBILITY_PERMUTATIONS = 200
+
+
+def _bundle():
+    return load_dataset(DATASET, seed=7)
+
+
+def _config(bundle) -> MESAConfig:
+    return MESAConfig(excluded_columns=tuple(bundle.id_columns), k=K,
+                      handle_selection_bias=True,
+                      responsibility_permutations=RESPONSIBILITY_PERMUTATIONS)
+
+
+def run_once(bundle, queries, trace_requests: bool) -> dict:
+    """One timed serving pass in one mode (fresh service and pipeline)."""
+    service = ExplanationService(coalesce_window_seconds=0.0,
+                                 trace_requests=trace_requests,
+                                 slow_query_seconds=None)
+    try:
+        service.register_bundle(bundle, config=_config(bundle), warm=False)
+        start = time.perf_counter()
+        cold = [service.explain(DATASET, query, k=K) for query in queries]
+        warm = [service.explain(DATASET, query, k=K) for query in queries]
+        seconds = time.perf_counter() - start
+        tracing = service.tracer.stats()
+        return {
+            "seconds": seconds,
+            "envelopes": [one.envelope.canonical_json() for one in cold],
+            "trace_ids": [one.trace_id for one in cold + warm],
+            "spans_recorded": tracing["spans_recorded"],
+            "traces": tracing["traces"],
+            "warm_hits": sum(one.cache_hit for one in warm),
+        }
+    finally:
+        service.close()
+
+
+def run_bench(repeats: int = 3) -> dict:
+    bundle = _bundle()
+    queries = [entry.query for entry in bundle.queries]
+
+    disabled_best = None
+    instrumented_best = None
+    # Interleave the modes so clock drift / thermal throttling during the
+    # run biases neither side.
+    for _ in range(repeats):
+        disabled = run_once(bundle, queries, trace_requests=False)
+        instrumented = run_once(bundle, queries, trace_requests=True)
+        if disabled_best is None or \
+                disabled["seconds"] < disabled_best["seconds"]:
+            disabled_best = disabled
+        if instrumented_best is None or \
+                instrumented["seconds"] < instrumented_best["seconds"]:
+            instrumented_best = instrumented
+
+    envelopes_equal = \
+        disabled_best["envelopes"] == instrumented_best["envelopes"]
+    traced = (all(trace_id for trace_id in instrumented_best["trace_ids"])
+              and instrumented_best["spans_recorded"] > 0)
+    untraced = (all(trace_id is None
+                    for trace_id in disabled_best["trace_ids"])
+                and disabled_best["spans_recorded"] == 0)
+    overhead_ratio = (instrumented_best["seconds"] /
+                      disabled_best["seconds"])
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "dataset": bundle.name,
+        "n_rows": bundle.table.n_rows,
+        "n_queries": len(queries),
+        "k": K,
+        "workload": "ipw+permutation serving pass (selection bias on, "
+                    f"{RESPONSIBILITY_PERMUTATIONS} responsibility "
+                    "permutations, cold + warm request per query)",
+        "repeats": repeats,
+        "disabled": {
+            "trace_requests": False,
+            "seconds": disabled_best["seconds"],
+            "spans_recorded": disabled_best["spans_recorded"],
+            "warm_hits": disabled_best["warm_hits"],
+        },
+        "instrumented": {
+            "trace_requests": True,
+            "seconds": instrumented_best["seconds"],
+            "spans_recorded": instrumented_best["spans_recorded"],
+            "traces": instrumented_best["traces"],
+            "warm_hits": instrumented_best["warm_hits"],
+        },
+        "overhead_ratio": overhead_ratio,
+        "overhead_pct": round((overhead_ratio - 1.0) * 100.0, 3),
+        "overhead_seconds": round(instrumented_best["seconds"]
+                                  - disabled_best["seconds"], 6),
+        "envelopes_equal": envelopes_equal,
+        "instrumented_traced": traced,
+        "disabled_untraced": untraced,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_obs.json",
+                        help="Path of the JSON overhead artifact")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="Fail when instrumented/disabled exceeds "
+                             "1 + this fraction (0 disables the gate)")
+    parser.add_argument("--overhead-floor-seconds", type=float, default=0.2,
+                        help="Never fail on an absolute delta below this "
+                             "many seconds — on a fast workload a "
+                             "few-percent ratio is scheduler jitter, not "
+                             "instrumentation cost")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="Timing repetitions per mode (best is kept)")
+    args = parser.parse_args()
+
+    payload = run_bench(repeats=args.repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"Wrote {args.out}: disabled {payload['disabled']['seconds']:.3f}s "
+          f"-> instrumented {payload['instrumented']['seconds']:.3f}s "
+          f"({payload['overhead_pct']:+.2f}% overhead, "
+          f"{payload['instrumented']['spans_recorded']} spans over "
+          f"{2 * payload['n_queries']} requests); "
+          f"envelopes equal: {payload['envelopes_equal']}")
+
+    failures = []
+    if not payload["envelopes_equal"]:
+        failures.append("instrumented envelopes differ from disabled ones")
+    if not payload["instrumented_traced"]:
+        failures.append("instrumented run recorded no traces (the overhead "
+                        "gate would be vacuous)")
+    if not payload["disabled_untraced"]:
+        failures.append("disabled run still recorded traces")
+    above_ratio = (args.max_overhead > 0
+                   and payload["overhead_ratio"] > 1.0 + args.max_overhead)
+    above_floor = payload["overhead_seconds"] > args.overhead_floor_seconds
+    if above_ratio and above_floor:
+        failures.append(
+            f"default-on overhead {payload['overhead_pct']:+.2f}% exceeds "
+            f"the {args.max_overhead:.0%} budget "
+            f"(delta {payload['overhead_seconds']:.3f}s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

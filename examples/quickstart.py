@@ -189,6 +189,28 @@ def main() -> None:
         print(f"Row shards: same attributes as the single process: "
               f"{same_attrs}; data-plane layout {residency}")
 
+    # 10. Observability: tracing and metrics are on by default and cheap
+    #     enough to stay on.  Every served request carries a trace id whose
+    #     span tree (pipeline stages, permutation tests, IPW fit batches,
+    #     cache lookups, batcher queue wait — and, in a cluster, the RPCs
+    #     and the worker/shard spans stitched across the process boundary)
+    #     is served by GET /trace/<id>; GET /metrics exposes Prometheus
+    #     text (latency histograms with estimated quantiles, cache hit
+    #     ratios, engine counters) from any topology; requests slower than
+    #     --slow-query-seconds write one structured JSON line with the
+    #     trace id to the repro.serving.slowlog logger.
+    from repro.obs.metrics import prometheus_text
+
+    with ExplanationService(cache_size=1024) as service:
+        service.register("covid", pipeline, warm=False)
+        served = service.explain("covid", query, k=3)
+        tree = service.tracer.trace_tree(served.trace_id)
+        scrape = prometheus_text(service.stats())
+        print(f"Observability: trace {served.trace_id} recorded "
+              f"{tree['n_spans']} spans; "
+              f"/metrics scrape is {len(scrape.splitlines())} lines "
+              f"(e.g. repro_request_seconds_bucket, repro_cache_hit_ratio)")
+
     print()
     print("Interpretation: the death-rate differences between countries are")
     print("largely explained by country development (HDI / GDP, mined from the")

@@ -200,6 +200,44 @@ HTTP 400s and missing-data failures to 422.  See
 ``examples/serve_stackoverflow.py`` for an end-to-end tour, including the
 ``--workers`` cluster demo with per-worker cache hit rates.
 
+Observability
+-------------
+
+The whole stack is instrumented end to end (:mod:`repro.obs`) — and the
+instrumentation is cheap enough to leave **on by default** (a no-op span
+is one thread-local read; the CI benchmark ``benchmarks/bench_obs.py``
+gates the measured overhead of per-request tracing on an engine-heavy
+workload at <= 5%, recorded in ``BENCH_obs.json``).
+
+* **Tracing** — every request gets a trace id; spans cover the pipeline
+  stages, each permutation test (tagged with permutations run, early
+  exits, budget extensions), IPW fit batches (cache hits/misses), frame
+  encodes, envelope/negative cache lookups, micro-batcher queue wait and
+  batch execution, and every cluster/shard RPC.  Trace context propagates
+  across process boundaries — cluster worker frames and row-shard job
+  frames carry the caller's ``(trace_id, parent_span_id)`` and ship their
+  spans back in the reply — so one HTTP request renders as a single tree:
+  front end -> ``rpc.*`` -> worker/shard spans.  ``GET /trace/<id>``
+  serves the tree; ``"debug": true`` in an explain request inlines it in
+  the response (``debug.trace``); spans live in a bounded in-memory LRU
+  (:class:`repro.obs.trace.Tracer`).
+* **Metrics** — a registry of counters, gauges and fixed-bucket latency
+  histograms (:mod:`repro.obs.metrics`) absorbs the engine's per-context
+  counters and stage timings, adds request/batch latency series, cache
+  occupancy and hit ratios, queue depths and worker liveness, and merges
+  across cluster workers exactly as ``stats()`` merges counters —
+  monotonic tallies of a dead worker's last snapshot are folded into the
+  front tier, so lifetime counters never move backwards on a restart.
+  ``GET /metrics`` serves the Prometheus text exposition (histograms with
+  ``_bucket``/``_sum``/``_count`` plus estimated p50/p90/p99 gauges) from
+  every topology.
+* **Structured logs** — ``python -m repro.serving --log-level debug
+  --log-json`` configures the ``repro.*`` logger hierarchy (the library
+  itself never configures handlers or the root logger); requests slower
+  than ``--slow-query-seconds`` (default 1s) emit one JSON line on
+  ``repro.serving.slowlog`` carrying endpoint, dataset, duration and the
+  trace id — grep the slow log, then pull the matching trace.
+
 Migration note
 --------------
 

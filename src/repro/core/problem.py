@@ -29,6 +29,7 @@ from repro.infotheory.mutual_information import (
     conditional_mutual_information,
     mutual_information,
 )
+from repro.obs import trace
 from repro.query.aggregate_query import AggregateQuery
 from repro.table.discretize import DEFAULT_BINS
 from repro.table.table import Table
@@ -425,35 +426,42 @@ class CorrelationExplanationProblem:
         weights = self._weights_for([a, b, *conditioning])
         start = time.perf_counter() if self.seconds_hook is not None else 0.0
         try:
-            if self.use_kernel:
-                # Fuse in *caller* order: the permutation strata then sort the
-                # same way the reference ``joint_codes`` labels do, so the RNG
-                # is consumed stratum-for-stratum identically.
-                fused, card = self._joint_for(tuple(conditioning), plain=True)
-                if not conditioning:
-                    fused, card = None, None
-                return kernel.fast_independence_test(
-                    self.frame.codes(a), self.frame.codes(b), fused, n_z=card,
-                    weights=weights,
-                    use_blocked=self.use_blocked_permutations,
-                    early_exit=self.permutation_early_exit,
-                    counter_hook=self.counter_hook,
-                    budget=self.permutation_budget,
-                    **kwargs,
-                )
-            return conditional_independence_test(
-                self.frame.codes(a), self.frame.codes(b),
-                [self.frame.codes(c) for c in conditioning],
+            with trace.span("permutation_test", a=a, b=b,
+                            conditioning=len(conditioning)):
+                return self._independence_test(a, b, conditioning, weights,
+                                               **kwargs)
+        finally:
+            if self.seconds_hook is not None:
+                self.seconds_hook("permutation_test",
+                                  time.perf_counter() - start)
+
+    def _independence_test(self, a: str, b: str, conditioning: Sequence[str],
+                           weights, **kwargs) -> IndependenceResult:
+        if self.use_kernel:
+            # Fuse in *caller* order: the permutation strata then sort the
+            # same way the reference ``joint_codes`` labels do, so the RNG
+            # is consumed stratum-for-stratum identically.
+            fused, card = self._joint_for(tuple(conditioning), plain=True)
+            if not conditioning:
+                fused, card = None, None
+            return kernel.fast_independence_test(
+                self.frame.codes(a), self.frame.codes(b), fused, n_z=card,
                 weights=weights,
+                use_blocked=self.use_blocked_permutations,
                 early_exit=self.permutation_early_exit,
                 counter_hook=self.counter_hook,
                 budget=self.permutation_budget,
                 **kwargs,
             )
-        finally:
-            if self.seconds_hook is not None:
-                self.seconds_hook("permutation_test",
-                                  time.perf_counter() - start)
+        return conditional_independence_test(
+            self.frame.codes(a), self.frame.codes(b),
+            [self.frame.codes(c) for c in conditioning],
+            weights=weights,
+            early_exit=self.permutation_early_exit,
+            counter_hook=self.counter_hook,
+            budget=self.permutation_budget,
+            **kwargs,
+        )
 
     # ------------------------------------------------------------------ #
     # derived problems

@@ -50,6 +50,7 @@ from repro.distributed.worker import _shard_worker_main
 from repro.exceptions import ConfigurationError
 from repro.infotheory import permutation
 from repro.missingness.logistic import LogisticRegression
+from repro.obs import trace
 
 #: Retire the least-recently-used shard context beyond this many (matches
 #: the engine's frame-cache budget — contexts past it are cold there too).
@@ -375,8 +376,12 @@ class ShardPool:
         if self.n_shards == 1:
             return [self._run_on_worker(ctx, 0, op, payload_for(0),
                                         columns, tokens, provider)]
+        # Executor threads inherit the caller's trace (if any) so the
+        # per-shard rpc spans land in the request's tree.
+        captured = trace.capture()
         futures = [
-            self._executor.submit(self._run_on_worker, ctx, index, op,
+            self._executor.submit(trace.call_with_capture, captured,
+                                  self._run_on_worker, ctx, index, op,
                                   payload_for(index), columns, tokens,
                                   provider)
             for index in range(self.n_shards)]
@@ -600,8 +605,10 @@ class ShardPool:
                 parts = [self._run_on_worker(ctx, 0, "irls_step", payload,
                                              (), (), provider, retry=False)]
             else:
+                captured = trace.capture()
                 futures = [
-                    self._executor.submit(self._run_on_worker, ctx, index,
+                    self._executor.submit(trace.call_with_capture, captured,
+                                          self._run_on_worker, ctx, index,
                                           "irls_step", payload, (), (),
                                           provider, False)
                     for index in range(self.n_shards)]

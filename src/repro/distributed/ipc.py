@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro import exceptions as _exceptions
 from repro.exceptions import ReproError
+from repro.obs import trace
 
 
 class WorkerDiedError(ReproError):
@@ -68,27 +69,53 @@ def rebuild_error(type_name: str, args: Tuple) -> Exception:
         return WorkerFaultError(f"worker failed with {type_name}: {args}")
 
 
-def serve_pipe(conn, serve_one) -> None:
+def serve_pipe(conn, serve_one, span_prefix: str = "worker") -> None:
     """The worker-side request/response loop shared by both tiers.
 
     ``serve_one(op, payload)`` computes one reply; exceptions cross the
     pipe as ``("error", (type_name, args))`` and are rebuilt by
     :func:`rebuild_error` on the parent side.  A ``"shutdown"`` op is
     acknowledged and ends the loop; a closed pipe ends it silently.
+
+    Requests framed as ``(op, payload, trace_context)`` join the
+    caller's distributed trace: the loop activates a process-local
+    collecting tracer, serves the op under a ``{span_prefix}.{op}``
+    span, and ships every span the op recorded back in a three-field
+    ``("ok", result, spans)`` reply for the parent to stitch in.
+    Two-field frames keep the historical untraced protocol exactly.
     """
+    collector = trace.Tracer(max_traces=64, tier=span_prefix)
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
             break
-        op, payload = message
+        if len(message) == 3:
+            op, payload, trace_context = message
+        else:
+            op, payload = message
+            trace_context = None
         if op == "shutdown":
             conn.send(("ok", None))
             break
+        if trace_context is None:
+            try:
+                conn.send(("ok", serve_one(op, payload)))
+            except Exception as error:
+                conn.send(("error", (type(error).__name__, error.args)))
+            continue
+        token = trace.activate(collector, trace_context["trace_id"],
+                               trace_context.get("parent_span_id"))
         try:
-            conn.send(("ok", serve_one(op, payload)))
+            with trace.span(f"{span_prefix}.{op}"):
+                result = serve_one(op, payload)
+            conn.send(("ok", result,
+                       collector.pop_spans(trace_context["trace_id"])))
         except Exception as error:
+            collector.pop_spans(trace_context["trace_id"])
             conn.send(("error", (type(error).__name__, error.args)))
+        finally:
+            trace.deactivate(token)
 
 
 @dataclass
@@ -137,20 +164,37 @@ def poll_reply(handle: PipeWorkerHandle, op: str, timeout: float) -> None:
 
 def request_locked(handle: PipeWorkerHandle, op: str, payload,
                    timeout: float) -> Any:
-    """One round-trip body; the caller must hold ``handle.lock``."""
-    try:
-        handle.conn.send((op, payload))
-        poll_reply(handle, op, timeout)
-        verdict, result = handle.conn.recv()
-    except WorkerDiedError:
-        raise
-    except (EOFError, OSError, BrokenPipeError, ValueError) as error:
-        raise WorkerDiedError(
-            f"worker {handle.index} died during {op!r}: "
-            f"{type(error).__name__}: {error}") from error
-    if verdict == "error":
-        raise rebuild_error(*result)
-    return result
+    """One round-trip body; the caller must hold ``handle.lock``.
+
+    When a trace is active on the calling thread the round-trip runs
+    under an ``rpc.{op}`` span whose context rides the request frame —
+    the worker's spans come back in the reply and are stitched under
+    the rpc span, so one trace id spans both processes.
+    """
+    with trace.span(f"rpc.{op}", worker=handle.index):
+        trace_context = trace.current_context()
+        try:
+            if trace_context is None:
+                handle.conn.send((op, payload))
+            else:
+                handle.conn.send((op, payload, trace_context))
+            poll_reply(handle, op, timeout)
+            reply = handle.conn.recv()
+        except WorkerDiedError:
+            raise
+        except (EOFError, OSError, BrokenPipeError, ValueError) as error:
+            raise WorkerDiedError(
+                f"worker {handle.index} died during {op!r}: "
+                f"{type(error).__name__}: {error}") from error
+        if len(reply) == 3:
+            verdict, result, remote_spans = reply
+            if remote_spans:
+                trace.absorb(remote_spans)
+        else:
+            verdict, result = reply
+        if verdict == "error":
+            raise rebuild_error(*result)
+        return result
 
 
 def request(handle: PipeWorkerHandle, op: str, payload,

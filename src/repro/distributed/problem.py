@@ -37,6 +37,7 @@ from repro.core.problem import CorrelationExplanationProblem
 from repro.distributed.coordinator import ShardContext, ShardPool
 from repro.exceptions import ReproError
 from repro.infotheory import kernel, permutation
+from repro.obs import trace
 from repro.infotheory.independence import (
     DEFAULT_CMI_THRESHOLD,
     IndependenceResult,
@@ -323,60 +324,71 @@ class ShardedExplanationProblem(CorrelationExplanationProblem):
         import time as _time
         start = _time.perf_counter() if self.seconds_hook is not None else 0.0
         try:
-            # Fuse in *caller* order, like the base plain path: the shard
-            # strata refine these codes, and keeping the recipe identical
-            # lets sharded and local tests share compaction decisions.
-            steps, card = self._steps_for(tuple(conditioning), plain=True)
-            n_x = self._card_of(a, plain=True)
-            n_y = self._card_of(b, plain=True)
-            if n_x * n_y * card > kernel.DENSE_CELL_LIMIT:
-                self._count_hook("shard_local_fallback")
-                return super().independence_test(
-                    a, b, conditioning, threshold=threshold,
-                    n_permutations=n_permutations, alpha=alpha,
-                    dependent_threshold=dependent_threshold, seed=seed,
-                    **kwargs)
-            weight_keys = self._weight_keys([a, b, *conditioning])
-            x_steps = (("col", "p:" + a),)
-            y_steps = (("col", "p:" + b),)
-            job = {"kind": "cmi", "x": x_steps, "y": y_steps,
-                   "z": steps or None, "n_x": n_x, "n_y": n_y, "n_z": card,
-                   "weights": weight_keys}
-            counts = self.pool.counts(self.shard_ctx, [job],
-                                      self._provider)[0]
-            observed = kernel.cmi_from_counts(counts.reshape(card, n_y, n_x))
-            if observed <= threshold:
-                return IndependenceResult(independent=True, cmi=observed,
-                                          p_value=1.0, n_permutations=0)
-            if dependent_threshold is not None \
-                    and observed >= dependent_threshold:
-                return IndependenceResult(independent=False, cmi=observed,
-                                          p_value=0.0, n_permutations=0)
-            if n_permutations <= 0:
-                return IndependenceResult(independent=False, cmi=observed,
-                                          p_value=0.0, n_permutations=0)
-            budget = permutation.resolve_budget(self.permutation_budget,
-                                                self.permutation_early_exit)
-            outcome = self.pool.permutation_rounds(
-                self.shard_ctx, x=x_steps, y=y_steps, z=steps or None,
-                n_x=n_x, n_y=n_y, n_z=card, weights=weight_keys,
-                observed=observed, n_permutations=n_permutations,
-                alpha=alpha, seed=seed,
-                early_exit=self.permutation_early_exit,
-                budget=self.permutation_budget,
-                provider=self._provider)
-            permutation.report_outcome(self.counter_hook, outcome,
-                                       n_permutations, budget)
-            return IndependenceResult(independent=outcome.independent(alpha),
-                                      cmi=observed,
-                                      p_value=outcome.p_value,
-                                      n_permutations=outcome.n_run,
-                                      early_exit=outcome.verdict is not None,
-                                      budget_extensions=outcome.extensions)
+            with trace.span("permutation_test", a=a, b=b,
+                            conditioning=len(conditioning), sharded=True):
+                return self._sharded_independence_test(
+                    a, b, conditioning, threshold, n_permutations, alpha,
+                    dependent_threshold, seed, **kwargs)
         finally:
             if self.seconds_hook is not None:
                 self.seconds_hook("permutation_test",
                                   _time.perf_counter() - start)
+
+    def _sharded_independence_test(self, a: str, b: str,
+                                   conditioning: Sequence[str],
+                                   threshold, n_permutations: int,
+                                   alpha: float, dependent_threshold, seed,
+                                   **kwargs) -> IndependenceResult:
+        # Fuse in *caller* order, like the base plain path: the shard
+        # strata refine these codes, and keeping the recipe identical
+        # lets sharded and local tests share compaction decisions.
+        steps, card = self._steps_for(tuple(conditioning), plain=True)
+        n_x = self._card_of(a, plain=True)
+        n_y = self._card_of(b, plain=True)
+        if n_x * n_y * card > kernel.DENSE_CELL_LIMIT:
+            self._count_hook("shard_local_fallback")
+            return super().independence_test(
+                a, b, conditioning, threshold=threshold,
+                n_permutations=n_permutations, alpha=alpha,
+                dependent_threshold=dependent_threshold, seed=seed,
+                **kwargs)
+        weight_keys = self._weight_keys([a, b, *conditioning])
+        x_steps = (("col", "p:" + a),)
+        y_steps = (("col", "p:" + b),)
+        job = {"kind": "cmi", "x": x_steps, "y": y_steps,
+               "z": steps or None, "n_x": n_x, "n_y": n_y, "n_z": card,
+               "weights": weight_keys}
+        counts = self.pool.counts(self.shard_ctx, [job],
+                                  self._provider)[0]
+        observed = kernel.cmi_from_counts(counts.reshape(card, n_y, n_x))
+        if observed <= threshold:
+            return IndependenceResult(independent=True, cmi=observed,
+                                      p_value=1.0, n_permutations=0)
+        if dependent_threshold is not None \
+                and observed >= dependent_threshold:
+            return IndependenceResult(independent=False, cmi=observed,
+                                      p_value=0.0, n_permutations=0)
+        if n_permutations <= 0:
+            return IndependenceResult(independent=False, cmi=observed,
+                                      p_value=0.0, n_permutations=0)
+        budget = permutation.resolve_budget(self.permutation_budget,
+                                            self.permutation_early_exit)
+        outcome = self.pool.permutation_rounds(
+            self.shard_ctx, x=x_steps, y=y_steps, z=steps or None,
+            n_x=n_x, n_y=n_y, n_z=card, weights=weight_keys,
+            observed=observed, n_permutations=n_permutations,
+            alpha=alpha, seed=seed,
+            early_exit=self.permutation_early_exit,
+            budget=self.permutation_budget,
+            provider=self._provider)
+        permutation.report_outcome(self.counter_hook, outcome,
+                                   n_permutations, budget)
+        return IndependenceResult(independent=outcome.independent(alpha),
+                                  cmi=observed,
+                                  p_value=outcome.p_value,
+                                  n_permutations=outcome.n_run,
+                                  early_exit=outcome.verdict is not None,
+                                  budget_extensions=outcome.extensions)
 
     # ------------------------------------------------------------------ #
     # distributed IRLS (the IPW selection fits)

@@ -274,6 +274,6 @@ def _shard_worker_main(conn, shard_index: int, n_shards: int) -> None:
         raise ConfigurationError(f"unknown shard op {op!r}")
 
     try:
-        serve_pipe(conn, serve_one)
+        serve_pipe(conn, serve_one, span_prefix="shard")
     finally:
         conn.close()

@@ -37,6 +37,7 @@ from repro.infotheory.encoding import EncodedFrame
 from repro.kg.extraction import AttributeExtractor, ExtractionResult
 from repro.kg.graph import KnowledgeGraph
 from repro.missingness.fitcache import SelectionFitCache
+from repro.obs import trace
 from repro.table.expressions import Predicate, canonical_predicate_key
 from repro.table.table import Table
 
@@ -320,8 +321,14 @@ class PipelineContext:
         if entry is not None:
             self._frames.move_to_end(key)
             self.count("frame_cache_hits")
+            trace.annotate(frame_cache="hit")
             return entry
         self.count("frame_cache_misses")
+        with trace.span("frame.encode", hops=hops, n_bins=n_bins):
+            return self._build_frame(key, context, hops, n_bins)
+
+    def _build_frame(self, key, context: Predicate, hops: int,
+                     n_bins: int) -> Tuple[Table, EncodedFrame]:
         augmented = self.augmented_table(hops)
         missing = [name for name in sorted(context.columns())
                    if name not in augmented]

@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.envelope import ExplanationEnvelope
 from repro.exceptions import ConfigurationError
+from repro.obs import trace
 
 #: Fork-inherited state for process workers: set by the parent immediately
 #: before the executor forks, read lazily inside each worker.
@@ -123,15 +124,23 @@ def _write_back_fits(parent_context, fit_entries) -> None:
 
 
 def explain_many_threaded(pipeline, queries: Sequence, k: Optional[int],
-                          n_jobs: int) -> List:
-    """Fan ``explain`` out over threads; returns full ExplanationResults."""
+                          n_jobs: int,
+                          trace_captures: Optional[Sequence] = None) -> List:
+    """Fan ``explain`` out over threads; returns full ExplanationResults.
+
+    ``trace_captures`` (one per query, or ``None``) re-activates each
+    query's originating trace on the worker thread that runs it, so
+    coalesced traced requests keep their engine spans.
+    """
     _warm_context(pipeline)
     results: List = [None] * len(queries)
 
     def run_chunk(indices: List[int]):
         worker = _worker_pipeline(pipeline)
         for index in indices:
-            results[index] = worker.explain(queries[index], k=k)
+            captured = trace_captures[index] if trace_captures else None
+            with trace.activation(captured):
+                results[index] = worker.explain(queries[index], k=k)
         return (dict(worker.context.counters),
                 dict(worker.context.stage_seconds),
                 worker.context.ipw_fit_cache.drain_new_entries())

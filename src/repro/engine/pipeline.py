@@ -33,6 +33,7 @@ from repro.engine.stages import PipelineStage, QueryState, default_stages
 from repro.exceptions import ConfigurationError
 from repro.kg.graph import KnowledgeGraph
 from repro.engine.config import MESAConfig
+from repro.obs import trace
 from repro.query.aggregate_query import AggregateQuery
 from repro.table.table import Table
 from repro.utils.timing import Timer
@@ -174,7 +175,9 @@ class ExplanationPipeline:
 
     def explain_many(self, queries: Iterable[AggregateQuery],
                      k: Optional[int] = None,
-                     n_jobs: Optional[int] = None) -> List[ExplanationResult]:
+                     n_jobs: Optional[int] = None,
+                     trace_captures: Optional[Sequence] = None,
+                     ) -> List[ExplanationResult]:
         """Explain a batch of queries, amortising the cross-query work.
 
         Extraction and offline pruning run at most once for the whole batch
@@ -188,19 +191,31 @@ class ExplanationPipeline:
         Results come back in query order.  For process-based fan-out use
         :meth:`explain_many_envelopes` — a live result cannot cross a
         process boundary.
+
+        ``trace_captures`` (one :func:`repro.obs.trace.capture` per query,
+        or ``None``) re-activates each query's originating trace around
+        its engine run, so a batch coalesced from several traced requests
+        attributes stage/test spans to the right request.
         """
         from repro.engine.parallel import explain_many_threaded, resolve_n_jobs
 
         queries = list(queries)
         jobs = resolve_n_jobs(n_jobs, default=self.config.n_jobs)
         if jobs <= 1 or len(queries) <= 1:
-            return [self.explain(query, k=k) for query in queries]
-        return explain_many_threaded(self, queries, k, jobs)
+            results = []
+            for index, query in enumerate(queries):
+                captured = trace_captures[index] if trace_captures else None
+                with trace.activation(captured):
+                    results.append(self.explain(query, k=k))
+            return results
+        return explain_many_threaded(self, queries, k, jobs,
+                                     trace_captures=trace_captures)
 
     def explain_many_envelopes(self, queries: Iterable[AggregateQuery],
                                k: Optional[int] = None,
                                n_jobs: Optional[int] = None,
                                backend: Optional[str] = None,
+                               trace_captures: Optional[Sequence] = None,
                                ) -> List["ExplanationEnvelope"]:
         """Batch API returning JSON-serializable envelopes (worker-pool form).
 
@@ -210,6 +225,11 @@ class ExplanationPipeline:
         merge per-worker cache counters back into this context.  This is
         the method a serving tier or result cache should call — envelopes
         carry no live problem instances and round-trip through JSON.
+
+        ``trace_captures`` propagates per-query trace contexts like
+        :meth:`explain_many`; the ``"process"`` backend does not carry
+        traces across its fork boundary (spans stay with the parent's
+        batch-level instrumentation).
         """
         from repro.engine.envelope import ExplanationEnvelope
         from repro.engine.parallel import explain_many_forked, resolve_n_jobs
@@ -221,7 +241,8 @@ class ExplanationPipeline:
             raise ConfigurationError(
                 f"backend must be 'thread' or 'process', got {backend!r}")
         if jobs <= 1 or len(queries) <= 1 or backend == "thread":
-            results = self.explain_many(queries, k=k, n_jobs=jobs)
+            results = self.explain_many(queries, k=k, n_jobs=jobs,
+                                        trace_captures=trace_captures)
             return [ExplanationEnvelope.from_result(result) for result in results]
         return explain_many_forked(self, queries, k, jobs)
 
@@ -259,7 +280,8 @@ class ExplanationPipeline:
         self.context.notify_stage_start(stage.name, state)
         start = time.perf_counter()
         try:
-            stage.run(state, self.context)
+            with trace.span(f"stage.{stage.name}"):
+                stage.run(state, self.context)
         finally:
             seconds = time.perf_counter() - start
             self.context.count(f"stage.{stage.name}")

@@ -81,6 +81,8 @@ from typing import Callable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace
+
 #: Upper bound on the number of cells materialised per blocked bincount;
 #: blocks are chunked so ``block * cells_per_permutation`` stays below it.
 BLOCK_CELL_BUDGET = 1 << 22
@@ -547,7 +549,18 @@ def report_outcome(counter_hook, outcome: PermutationOutcome,
     to always paying the base budget — early exits under an adaptive
     policy).  Savings count ``computed`` (scored work including block
     look-ahead), not ``n_run``.
+
+    Also tags the innermost open trace span (the per-test
+    ``permutation_test`` span) with the outcome, so every driver —
+    scalar, blocked, legacy loop, sharded — reports identically.
     """
+    trace.annotate(
+        permutations_run=outcome.n_run,
+        permutations_computed=outcome.computed,
+        early_exit=outcome.verdict is not None,
+        budget_extensions=outcome.extensions,
+        budget_target=outcome.target,
+    )
     if counter_hook is None:
         return
     saved = n_permutations - outcome.computed

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.missingness.ipw import IPWWeights
 from repro.missingness.logistic import fit_logistic_multi, one_hot_encode_codes
+from repro.obs import trace
 
 
 @dataclass(frozen=True)
@@ -199,9 +200,33 @@ def compute_ipw_weights_batched(frame, attributes: Sequence[str],
     if clip <= 0:
         raise MissingDataError(f"clip must be positive, got {clip}")
 
+    tallies = {"ipw_fit_hit": 0, "ipw_fit_miss": 0}
+
     def count(name: str, increment: int = 1) -> None:
+        if name in tallies:
+            tallies[name] += increment
         if counter_hook is not None:
             counter_hook(name, increment)
+
+    with trace.span("ipw.fit_batch", attributes=len(attributes)):
+        try:
+            return _ipw_weights_batched(
+                frame, attributes, predictor_columns, clip, l2, features,
+                row_groups, design_factory, cache, count, fitter)
+        finally:
+            trace.annotate(fit_hits=tallies["ipw_fit_hit"],
+                           fit_misses=tallies["ipw_fit_miss"])
+
+
+def _ipw_weights_batched(frame, attributes: Sequence[str],
+                         predictor_columns: Sequence[str],
+                         clip: float, l2: float,
+                         features: Optional[np.ndarray],
+                         row_groups: Optional[np.ndarray],
+                         design_factory,
+                         cache: Optional[SelectionFitCache],
+                         count,
+                         fitter) -> Dict[str, IPWWeights]:
 
     results: Dict[str, IPWWeights] = {}
     if not attributes:

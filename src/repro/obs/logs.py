@@ -1,0 +1,77 @@
+"""Structured logging helpers: JSON formatter and the slow-query log.
+
+Library code logs under the ``repro.*`` namespace and **never**
+configures the root logger — handlers, levels, and formats are an
+application decision, made at the ``python -m repro.serving`` entry
+point (or by whatever embeds the library).  The slow-query log writes
+its payload as a pre-serialized JSON object in the log *message*, so
+the record stays machine-parseable even under a plain text formatter.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["JsonLogFormatter", "SLOW_QUERY_LOGGER", "log_slow_query"]
+
+#: Logger name carrying slow-query JSON lines.
+SLOW_QUERY_LOGGER = "repro.serving.slowlog"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format every record as one JSON line (``--log-json``).
+
+    Messages that are already JSON objects (the slow-query log) are
+    embedded as structured data instead of double-encoded strings.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+        }
+        if message.startswith("{"):
+            try:
+                payload["event"] = json.loads(message)
+            except ValueError:
+                payload["message"] = message
+        else:
+            payload["message"] = message
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def log_slow_query(seconds: float, threshold: Optional[float], *,
+                   endpoint: str, dataset: str,
+                   trace_id: Optional[str] = None,
+                   **fields: Any) -> bool:
+    """Emit one slow-query JSON line when ``seconds`` crosses ``threshold``.
+
+    Returns whether a line was emitted (``threshold`` of ``None`` or
+    ``<= 0`` disables the log entirely).  The line carries the trace id
+    so a scrape alert can be followed straight to ``GET /trace/<id>``.
+    """
+    if threshold is None or threshold <= 0 or seconds < threshold:
+        return False
+    payload: Dict[str, Any] = {
+        "event": "slow_query",
+        "ts": round(time.time(), 6),
+        "seconds": round(seconds, 6),
+        "threshold": threshold,
+        "endpoint": endpoint,
+        "dataset": dataset,
+    }
+    if trace_id is not None:
+        payload["trace_id"] = trace_id
+    for key, value in fields.items():
+        if value is not None:
+            payload[key] = value
+    logging.getLogger(SLOW_QUERY_LOGGER).warning(
+        json.dumps(payload, sort_keys=True))
+    return True

@@ -1,0 +1,432 @@
+"""Metrics: counters, gauges, latency histograms, and Prometheus text.
+
+The registry is deliberately tiny — three metric kinds, all with
+JSON-safe, *additive* state dicts so that the cluster front tier can
+merge worker snapshots exactly the way it already merges
+``context.counters``: by summing.  A :class:`Histogram` is a fixed set
+of cumulative-style buckets (we store per-bucket counts and cumulate at
+render time), which makes merging a vector add and quantile estimation
+a linear interpolation inside the winning bucket — the standard
+Prometheus client trade-off.
+
+Rendering is a pure function over a ``stats()`` snapshot
+(:func:`prometheus_text`), not over live registry objects.  That gives
+one exposition path for every topology: a single
+:class:`~repro.serving.service.ExplanationService` and a merged
+:class:`~repro.serving.cluster.ServiceCluster` both already produce the
+snapshot shape, so ``GET /metrics`` is "take ``stats()``, render".
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_metric_states",
+    "prometheus_text",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Upper bounds (seconds) of the fixed latency buckets; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, Any]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: _LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def state(self) -> Dict[str, Any]:
+        return {"type": "counter", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache occupancy, liveness)."""
+
+    __slots__ = ("name", "labels", "value", "_lock")
+
+    def __init__(self, name: str, labels: _LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def state(self) -> Dict[str, Any]:
+        return {"type": "gauge", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with per-bucket (non-cumulative) counts."""
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "_lock")
+
+    def __init__(self, name: str, labels: _LabelKey,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        # one slot per finite bucket plus the +Inf overflow slot
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating inside its bucket."""
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+        return _bucket_quantile(self.buckets, counts, total, q)
+
+    def state(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"type": "histogram", "name": self.name,
+                    "labels": dict(self.labels),
+                    "buckets": list(self.buckets),
+                    "counts": list(self.counts),
+                    "sum": self.sum, "count": self.count}
+
+
+def _bucket_quantile(buckets: Sequence[float], counts: Sequence[int],
+                     total: int, q: float) -> float:
+    if total <= 0:
+        return 0.0
+    q = min(1.0, max(0.0, q))
+    rank = q * total
+    cumulative = 0.0
+    lower = 0.0
+    for i, upper in enumerate(buckets):
+        previous = cumulative
+        cumulative += counts[i]
+        if cumulative >= rank:
+            inside = counts[i]
+            if inside <= 0:
+                return upper
+            fraction = (rank - previous) / inside
+            return lower + fraction * (upper - lower)
+        lower = upper
+    # landed in the +Inf bucket: the best bounded answer is the last edge
+    return buckets[-1] if buckets else 0.0
+
+
+class MetricsRegistry:
+    """A process-local set of named metrics with a mergeable snapshot."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, str, _LabelKey], Any] = {}
+
+    def _get(self, kind: str, factory, name: str,
+             labels: Optional[Mapping[str, Any]], *args):
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory(name, key[2], *args)
+                self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str,
+                labels: Optional[Mapping[str, Any]] = None) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str,
+              labels: Optional[Mapping[str, Any]] = None) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  labels: Optional[Mapping[str, Any]] = None,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  ) -> Histogram:
+        return self._get("histogram", Histogram, name, labels, buckets)
+
+    def state(self) -> List[Dict[str, Any]]:
+        """A JSON-safe snapshot of every metric (the ``stats()`` block)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return [metric.state() for metric in metrics]
+
+
+def merge_metric_states(states: Iterable[Optional[Sequence[Dict[str, Any]]]],
+                        ) -> List[Dict[str, Any]]:
+    """Sum per-worker metric snapshots into one cluster-wide snapshot.
+
+    Counters and gauges add (a summed gauge is the cluster total — e.g.
+    queue depth across workers); histograms add bucket-wise when their
+    bucket layouts agree, which they do for every series we emit.
+    """
+    merged: "Dict[Tuple[str, str, _LabelKey], Dict[str, Any]]" = {}
+    for state in states:
+        if not state:
+            continue
+        for entry in state:
+            key = (entry.get("type", ""), entry.get("name", ""),
+                   _label_key(entry.get("labels")))
+            existing = merged.get(key)
+            if existing is None:
+                copied = dict(entry)
+                copied["labels"] = dict(entry.get("labels") or {})
+                if entry.get("type") == "histogram":
+                    copied["buckets"] = list(entry.get("buckets", ()))
+                    copied["counts"] = list(entry.get("counts", ()))
+                merged[key] = copied
+            elif entry.get("type") == "histogram":
+                if list(existing.get("buckets", ())) == list(
+                        entry.get("buckets", ())):
+                    counts = existing["counts"]
+                    for i, c in enumerate(entry.get("counts", ())):
+                        counts[i] += c
+                    existing["sum"] += entry.get("sum", 0.0)
+                    existing["count"] += entry.get("count", 0)
+            else:
+                existing["value"] = existing.get("value", 0.0) + entry.get(
+                    "value", 0.0)
+    return list(merged.values())
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _escape_label(value: Any) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _labels_text(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"'
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class _Renderer:
+    def __init__(self):
+        self.lines: List[str] = []
+        self._typed: set = set()
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        if name not in self._typed:
+            self._typed.add(name)
+            self.lines.append(f"# HELP {name} {help_text}")
+            self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: Mapping[str, Any],
+               value: float) -> None:
+        self.lines.append(f"{name}{_labels_text(labels)}"
+                          f" {_format_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _render_histogram_entry(out: _Renderer, entry: Mapping[str, Any]) -> None:
+    name = entry["name"]
+    labels = dict(entry.get("labels") or {})
+    buckets = list(entry.get("buckets", ()))
+    counts = list(entry.get("counts", ()))
+    total = entry.get("count", 0)
+    out.header(name, "histogram", f"{name} latency distribution")
+    cumulative = 0
+    for i, bound in enumerate(buckets):
+        cumulative += counts[i] if i < len(counts) else 0
+        out.sample(f"{name}_bucket", dict(labels, le=_format_value(bound)),
+                   cumulative)
+    out.sample(f"{name}_bucket", dict(labels, le="+Inf"), total)
+    out.sample(f"{name}_sum", labels, entry.get("sum", 0.0))
+    out.sample(f"{name}_count", labels, total)
+    quantile_name = f"{name}_estimated_quantile"
+    out.header(quantile_name, "gauge",
+               f"{name} quantiles interpolated from fixed buckets")
+    for q in _QUANTILES:
+        out.sample(quantile_name, dict(labels, quantile=str(q)),
+                   _bucket_quantile(buckets, counts, total, q))
+
+
+def _render_metric_state(out: _Renderer,
+                         state: Sequence[Mapping[str, Any]]) -> None:
+    for entry in sorted(state, key=lambda e: (e.get("name", ""),
+                                              _label_key(e.get("labels")))):
+        kind = entry.get("type")
+        if kind == "histogram":
+            _render_histogram_entry(out, entry)
+        elif kind in ("counter", "gauge"):
+            name = entry["name"]
+            out.header(name, kind, name.replace("_", " "))
+            out.sample(name, entry.get("labels") or {},
+                       entry.get("value", 0.0))
+
+
+def _render_cache_block(out: _Renderer, cache: Mapping[str, Any],
+                        which: str) -> None:
+    labels = {"cache": which}
+    out.header("repro_cache_entries", "gauge", "live entries per cache")
+    out.sample("repro_cache_entries", labels, cache.get("size", 0))
+    for field, metric in (("hits", "repro_cache_hits_total"),
+                          ("misses", "repro_cache_misses_total"),
+                          ("evictions", "repro_cache_evictions_total"),
+                          ("expirations", "repro_cache_expirations_total"),
+                          ("sweeps", "repro_cache_sweeps_total")):
+        if field in cache:
+            out.header(metric, "counter", f"cache {field} since start")
+            out.sample(metric, labels, cache.get(field, 0))
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    if hits or misses:
+        out.header("repro_cache_hit_ratio", "gauge",
+                   "hits / (hits + misses) since start")
+        out.sample("repro_cache_hit_ratio", labels,
+                   hits / float(hits + misses))
+
+
+def prometheus_text(stats: Mapping[str, Any]) -> str:
+    """Render a ``stats()`` snapshot as Prometheus text exposition.
+
+    Works on both snapshot shapes — a single service's and a cluster's
+    merged one — because the cluster mirrors the service's keys
+    (``contexts``, ``cache``, ``negative_cache``, ``metrics``) and adds
+    its own ``cluster`` block.
+    """
+    out = _Renderer()
+
+    for dataset, context in sorted((stats.get("contexts") or {}).items()):
+        for counter, value in sorted((context.get("counters") or {}).items()):
+            out.header("repro_engine_events_total", "counter",
+                       "engine counter stream by dataset")
+            out.sample("repro_engine_events_total",
+                       {"dataset": dataset, "counter": counter}, value)
+        for stage, seconds in sorted(
+                (context.get("stage_seconds") or {}).items()):
+            out.header("repro_stage_seconds_total", "counter",
+                       "cumulative seconds per pipeline stage")
+            out.sample("repro_stage_seconds_total",
+                       {"dataset": dataset, "stage": stage}, seconds)
+
+    cache = stats.get("cache")
+    if isinstance(cache, Mapping):
+        _render_cache_block(out, cache, "envelope")
+    negative = stats.get("negative_cache")
+    if isinstance(negative, Mapping):
+        _render_cache_block(out, negative, "negative")
+
+    for dataset, batcher in sorted((stats.get("batchers") or {}).items()):
+        out.header("repro_batcher_pending", "gauge",
+                   "queries waiting in the micro-batcher")
+        out.sample("repro_batcher_pending", {"dataset": dataset},
+                   batcher.get("pending", 0))
+        for field in ("submitted", "coalesced", "batches", "executed"):
+            if field in batcher:
+                metric = f"repro_batcher_{field}_total"
+                out.header(metric, "counter",
+                           f"micro-batcher {field} since start")
+                out.sample(metric, {"dataset": dataset}, batcher[field])
+
+    cluster = stats.get("cluster")
+    if isinstance(cluster, Mapping):
+        out.header("repro_cluster_workers", "gauge",
+                   "configured cluster workers")
+        out.sample("repro_cluster_workers", {}, cluster.get("n_workers", 0))
+        if "workers_alive" in cluster:
+            out.header("repro_cluster_workers_alive", "gauge",
+                       "workers that answered the last stats probe")
+            out.sample("repro_cluster_workers_alive", {},
+                       cluster.get("workers_alive", 0))
+        if "restarts" in cluster:
+            out.header("repro_cluster_worker_restarts_total", "counter",
+                       "dead workers restarted since start")
+            out.sample("repro_cluster_worker_restarts_total", {},
+                       cluster.get("restarts", 0))
+        if "requests_routed" in cluster:
+            out.header("repro_cluster_requests_routed_total", "counter",
+                       "requests dispatched to workers")
+            out.sample("repro_cluster_requests_routed_total", {},
+                       cluster.get("requests_routed", 0))
+
+    tracing = stats.get("tracing")
+    if isinstance(tracing, Mapping):
+        out.header("repro_trace_store_traces", "gauge",
+                   "traces currently retained")
+        out.sample("repro_trace_store_traces", {}, tracing.get("traces", 0))
+        out.header("repro_trace_spans_total", "counter",
+                   "spans recorded since start")
+        out.sample("repro_trace_spans_total", {},
+                   tracing.get("spans_recorded", 0))
+        out.header("repro_trace_spans_dropped_total", "counter",
+                   "spans dropped by the per-trace cap")
+        out.sample("repro_trace_spans_dropped_total", {},
+                   tracing.get("spans_dropped", 0))
+
+    if "uptime_seconds" in stats:
+        out.header("repro_uptime_seconds", "gauge",
+                   "seconds since service start")
+        out.sample("repro_uptime_seconds", {}, stats["uptime_seconds"])
+
+    metric_state = stats.get("metrics")
+    if metric_state:
+        _render_metric_state(out, metric_state)
+
+    if not out.lines:
+        return "# no metrics\n"
+    return out.text()

@@ -1,0 +1,465 @@
+"""The tracing core: spans, tracers, and cross-boundary trace propagation.
+
+One *trace* is the story of one request — a tree of *spans*, each a named,
+monotonic-clock-timed unit of work (an HTTP request, a pipeline stage, a
+permutation test, a worker RPC).  The design is shaped by two constraints:
+
+* **Default-on cheapness.**  Instrumentation sites call :func:`span` on
+  every hot path — pipeline stages, every permutation test, every cache
+  lookup.  When no trace is *active* on the calling thread, :func:`span`
+  returns a shared no-op context manager without allocating anything, so
+  an un-traced engine run (offline analysis, a benchmark with tracing
+  off) pays a few hundred nanoseconds per site.  Only a request that was
+  explicitly started (the HTTP front end, :func:`begin_request`) records
+  real spans.
+
+* **Propagation across threads and processes.**  Activation is
+  thread-local, so handing work to another thread (the micro-batcher's
+  worker, the shard pool's executor) captures the active context with
+  :func:`capture` and re-activates it with :func:`activation` /
+  :func:`call_with_capture`.  Crossing a *process* boundary ships the
+  JSON-safe :func:`current_context` dict in the request frame
+  (:mod:`repro.distributed.ipc` does this transparently); the remote side
+  activates a collecting tracer, serves, and ships its finished spans
+  back, where :func:`absorb` stitches them into the caller's trace —
+  one trace id, one tree, across every tier.
+
+Spans record wall-clock start times (for cross-process ordering) and
+perf-counter durations (exact within a process).  The :class:`Tracer`
+store is bounded twice over: an LRU of whole traces and a per-trace span
+cap (a permutation-heavy query can emit hundreds of spans; past the cap
+spans are counted as dropped, never stored).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "annotate",
+    "capture",
+    "activation",
+    "activate",
+    "deactivate",
+    "call_with_capture",
+    "current_context",
+    "current_trace_id",
+    "absorb",
+    "record_span",
+    "begin_request",
+    "RequestTrace",
+]
+
+_local = threading.local()
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed unit of work inside a trace (also its own context manager)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "tags",
+                 "start", "duration", "tier", "_active", "_perf_start")
+
+    def __init__(self, trace_id: str, name: str, parent_id: Optional[str],
+                 tier: str, tags: Optional[Dict[str, Any]] = None):
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.start = time.time()
+        self.duration = 0.0
+        self.tier = tier
+        self._active: Optional["_ActiveTrace"] = None
+        self._perf_start = time.perf_counter()
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "tier": self.tier,
+            "start": self.start,
+            "duration": self.duration,
+            "tags": self.tags,
+        }
+
+    # -- context-manager protocol (used by :func:`span`) ----------------- #
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        active = self._active
+        if active is None:  # pragma: no cover - defensive
+            return
+        self.duration = time.perf_counter() - self._perf_start
+        stack = active.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - unbalanced exit; drop without corrupting
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        active.tracer.record(self.to_dict())
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned when no trace is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+    def set_tag(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _ActiveTrace:
+    """Thread-local activation record: which tracer/trace this thread feeds."""
+
+    __slots__ = ("tracer", "trace_id", "base_parent", "stack")
+
+    def __init__(self, tracer: "Tracer", trace_id: str,
+                 base_parent: Optional[str]):
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.base_parent = base_parent
+        self.stack: List[Span] = []
+
+    def parent_id(self) -> Optional[str]:
+        return self.stack[-1].span_id if self.stack else self.base_parent
+
+
+class Tracer:
+    """A bounded in-memory trace store (LRU traces x capped spans).
+
+    Parameters
+    ----------
+    max_traces:
+        How many traces to keep; the least recently touched is evicted.
+    max_spans_per_trace:
+        Per-trace span cap: spans past it are counted (``dropped``) and
+        discarded, so a pathological request cannot balloon the store.
+    tier:
+        Label stamped on every span recorded through an activation of
+        this tracer (``"front"``, ``"worker"``, ``"shard"``...), so a
+        stitched cross-process tree shows which process ran what.
+    """
+
+    def __init__(self, max_traces: int = 256,
+                 max_spans_per_trace: int = 2048, tier: str = "local"):
+        self.max_traces = max(1, int(max_traces))
+        self.max_spans_per_trace = max(1, int(max_spans_per_trace))
+        self.tier = tier
+        self._lock = threading.Lock()
+        #: trace_id -> {"spans": [span dicts], "dropped": int}
+        self._traces: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self.spans_recorded = 0
+        self.spans_dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def start_trace(self) -> str:
+        """Mint a fresh trace id and register its (empty) record."""
+        trace_id = _new_id()
+        with self._lock:
+            self._traces[trace_id] = {"spans": [], "dropped": 0}
+            self._evict_locked()
+        return trace_id
+
+    def record(self, span_dict: Dict[str, Any]) -> None:
+        """Store one finished span under its trace (capped, LRU)."""
+        trace_id = span_dict.get("trace_id")
+        if not trace_id:  # pragma: no cover - defensive
+            return
+        with self._lock:
+            record = self._traces.get(trace_id)
+            if record is None:
+                record = {"spans": [], "dropped": 0}
+                self._traces[trace_id] = record
+            self._traces.move_to_end(trace_id)
+            if len(record["spans"]) >= self.max_spans_per_trace:
+                record["dropped"] += 1
+                self.spans_dropped += 1
+            else:
+                record["spans"].append(span_dict)
+                self.spans_recorded += 1
+            self._evict_locked()
+
+    def absorb(self, spans: Sequence[Dict[str, Any]]) -> None:
+        """Stitch spans shipped back from a remote process into the store."""
+        for span_dict in spans:
+            self.record(span_dict)
+
+    def pop_spans(self, trace_id: str) -> List[Dict[str, Any]]:
+        """Remove and return a trace's spans (the worker-side export)."""
+        with self._lock:
+            record = self._traces.pop(trace_id, None)
+        return list(record["spans"]) if record else []
+
+    def _evict_locked(self) -> None:
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def trace_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def spans_of(self, trace_id: str) -> List[Dict[str, Any]]:
+        with self._lock:
+            record = self._traces.get(trace_id)
+            return list(record["spans"]) if record else []
+
+    def trace_tree(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The span tree of one trace as a JSON-safe nested dict.
+
+        Children nest under their ``parent_id``; spans whose parent was
+        dropped (or lives in no recorded span) surface as roots, so a
+        partially-captured trace still renders.  Returns ``None`` for an
+        unknown trace id.
+        """
+        with self._lock:
+            record = self._traces.get(trace_id)
+            if record is None:
+                return None
+            spans = list(record["spans"])
+            dropped = record["dropped"]
+        by_id = {span_dict["span_id"]: dict(span_dict, children=[])
+                 for span_dict in spans}
+        roots: List[Dict[str, Any]] = []
+        for node in by_id.values():
+            parent = by_id.get(node.get("parent_id"))
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+
+        def sort_children(node: Dict[str, Any]) -> None:
+            node["children"].sort(key=lambda child: child["start"])
+            for child in node["children"]:
+                sort_children(child)
+
+        roots.sort(key=lambda node: node["start"])
+        for root in roots:
+            sort_children(root)
+        return {
+            "trace_id": trace_id,
+            "n_spans": len(spans),
+            "spans_dropped": dropped,
+            "roots": roots,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "max_traces": self.max_traces,
+                "spans_recorded": self.spans_recorded,
+                "spans_dropped": self.spans_dropped,
+            }
+
+
+# --------------------------------------------------------------------------- #
+# thread-local activation
+# --------------------------------------------------------------------------- #
+def activate(tracer: Tracer, trace_id: str,
+             parent_span_id: Optional[str] = None) -> Optional[_ActiveTrace]:
+    """Make ``trace_id`` the active trace of this thread.
+
+    Returns the *previous* activation (or ``None``) as a token for
+    :func:`deactivate` — activations nest like a stack.
+    """
+    previous = getattr(_local, "active", None)
+    _local.active = _ActiveTrace(tracer, trace_id, parent_span_id)
+    return previous
+
+
+def deactivate(token: Optional[_ActiveTrace]) -> None:
+    """Restore the activation that :func:`activate` displaced."""
+    _local.active = token
+
+
+class _Activation:
+    """Context manager re-activating a :func:`capture` on another thread."""
+
+    __slots__ = ("_capture", "_token")
+
+    def __init__(self, captured: Optional[_ActiveTrace]):
+        self._capture = captured
+        self._token: Optional[_ActiveTrace] = None
+
+    def __enter__(self) -> "_Activation":
+        if self._capture is not None:
+            self._token = activate(self._capture.tracer,
+                                   self._capture.trace_id,
+                                   self._capture.base_parent)
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if self._capture is not None:
+            deactivate(self._token)
+
+
+def capture() -> Optional[_ActiveTrace]:
+    """Snapshot this thread's active trace for a same-process thread handoff.
+
+    The snapshot pins the *current* span as the parent of whatever the
+    receiving thread records, so cross-thread spans nest correctly.
+    Returns ``None`` when no trace is active (the no-op fast path).
+    """
+    active = getattr(_local, "active", None)
+    if active is None:
+        return None
+    return _ActiveTrace(active.tracer, active.trace_id, active.parent_id())
+
+
+def activation(captured: Optional[_ActiveTrace]) -> _Activation:
+    """``with activation(capture()):`` — re-activate on the current thread."""
+    return _Activation(captured)
+
+
+def call_with_capture(captured: Optional[_ActiveTrace], fn, *args, **kwargs):
+    """Run ``fn`` under a captured activation (executor-submit helper)."""
+    if captured is None:
+        return fn(*args, **kwargs)
+    with activation(captured):
+        return fn(*args, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# the instrumentation surface
+# --------------------------------------------------------------------------- #
+def span(name: str, **tags):
+    """Open a span under the active trace — or a shared no-op when none.
+
+    The instrumentation call every layer uses::
+
+        with obs.span("stage.search", dataset="SO") as sp:
+            ...
+            sp.set_tag("candidates", n)
+    """
+    active = getattr(_local, "active", None)
+    if active is None:
+        return _NOOP
+    opened = Span(active.trace_id, name, active.parent_id(),
+                  active.tracer.tier, tags)
+    opened._active = active
+    active.stack.append(opened)
+    return opened
+
+
+def annotate(**tags) -> None:
+    """Tag the innermost open span of the active trace (no-op otherwise).
+
+    Lets deep library code (the permutation drivers, the fit cache)
+    attach outcome details to the span an upper layer opened, without
+    threading span objects through every signature.
+    """
+    active = getattr(_local, "active", None)
+    if active is None or not active.stack:
+        return
+    active.stack[-1].tags.update(tags)
+
+
+def current_context() -> Optional[Dict[str, Any]]:
+    """The active trace as a JSON-safe wire dict (for request frames)."""
+    active = getattr(_local, "active", None)
+    if active is None:
+        return None
+    return {"trace_id": active.trace_id, "parent_span_id": active.parent_id()}
+
+
+def current_trace_id() -> Optional[str]:
+    active = getattr(_local, "active", None)
+    return None if active is None else active.trace_id
+
+
+def absorb(spans: Sequence[Dict[str, Any]]) -> None:
+    """Stitch remote spans into the active trace's tracer (if any)."""
+    if not spans:
+        return
+    active = getattr(_local, "active", None)
+    if active is None:
+        return
+    active.tracer.absorb(spans)
+
+
+def record_span(captured: Optional[_ActiveTrace], name: str,
+                duration: float, **tags) -> None:
+    """Synthesize an already-finished span under a captured context.
+
+    For measurements whose start predates any chance to open a span —
+    the micro-batcher's queue wait is measured from submit time but only
+    known when the batch flushes on another thread.
+    """
+    if captured is None:
+        return
+    duration = max(0.0, float(duration))
+    finished = Span(captured.trace_id, name, captured.base_parent,
+                    captured.tracer.tier, tags)
+    finished.start = time.time() - duration
+    finished.duration = duration
+    captured.tracer.record(finished.to_dict())
+
+
+# --------------------------------------------------------------------------- #
+# request roots
+# --------------------------------------------------------------------------- #
+class RequestTrace:
+    """A started request trace: root span open, activation live.
+
+    Call :meth:`finish` exactly once (a ``finally`` block) to close the
+    root span and restore the thread's previous activation.
+    """
+
+    __slots__ = ("trace_id", "_root", "_token", "_finished")
+
+    def __init__(self, trace_id: str, root: Span,
+                 token: Optional[_ActiveTrace]):
+        self.trace_id = trace_id
+        self._root = root
+        self._token = token
+        self._finished = False
+
+    def finish(self, **tags) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        if tags:
+            self._root.tags.update(tags)
+        self._root.__exit__(None, None, None)
+        deactivate(self._token)
+
+
+def begin_request(tracer: Tracer, name: str, **tags) -> RequestTrace:
+    """Start a new trace with ``name`` as its root span and activate it."""
+    trace_id = tracer.start_trace()
+    token = activate(tracer, trace_id)
+    root = span(name, **tags)
+    return RequestTrace(trace_id, root, token)

@@ -35,13 +35,40 @@ The ``--workers`` flag picks the topology behind the *same* HTTP handler:
 from __future__ import annotations
 
 import argparse
+import logging
+import sys
 
 from repro.datasets.registry import DATASET_NAMES, load_dataset
 from repro.engine.config import MESAConfig
+from repro.obs.logs import JsonLogFormatter
 from repro.serving.client import LocalClient
 from repro.serving.cluster import ClusterClient, ServiceCluster
 from repro.serving.http import serve_forever
 from repro.serving.service import ExplanationService
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def configure_logging(level: str = "info", log_json: bool = False) -> None:
+    """Attach a stderr handler to the ``repro`` logger hierarchy.
+
+    Called only from this entry point: the library itself logs under
+    ``repro.*`` but never configures handlers or touches the root logger,
+    so embedding applications keep full control of their logging setup.
+    Idempotent — rerunning replaces the handler instead of stacking one.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+    handler = logging.StreamHandler(sys.stderr)
+    if log_json:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s %(message)s"))
+    for old in list(logger.handlers):
+        logger.removeHandler(old)
+    logger.addHandler(handler)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,11 +107,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "(single-process mode)")
     parser.add_argument("--n-jobs", type=int, default=1,
                         help="Engine workers per coalesced batch (-1 = all CPUs)")
+    parser.add_argument("--log-level", choices=_LOG_LEVELS, default="info",
+                        help="Verbosity of the repro.* loggers")
+    parser.add_argument("--log-json", action="store_true",
+                        help="Emit one JSON object per log line (machine-"
+                             "readable; the slow-query log is always "
+                             "structured)")
+    parser.add_argument("--slow-query-seconds", type=float, default=1.0,
+                        help="Log requests slower than this many seconds to "
+                             "the structured slow-query log (<= 0 disables)")
     return parser
 
 
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level, log_json=args.log_json)
+    log = logging.getLogger("repro.serving")
     datasets = args.datasets or ["SO"]
     if args.workers < 1:
         raise SystemExit("--workers must be >= 1")
@@ -99,8 +137,8 @@ def main(argv=None) -> None:
             cache_size=args.cache_size, ttl_seconds=args.ttl,
             coalesce_window_seconds=args.coalesce_window)
         for bundle in bundles:
-            print(f"Registering {bundle.name} ({bundle.table.n_rows} rows) "
-                  f"and warming the cross-query caches ...")
+            log.info("registering %s (%d rows) and warming the cross-query "
+                     "caches", bundle.name, bundle.table.n_rows)
             service.register_bundle(bundle, config=configs[bundle.name])
         client = LocalClient(service)
     else:
@@ -112,11 +150,13 @@ def main(argv=None) -> None:
         for bundle in bundles:
             cluster.register_bundle(bundle, config=configs[bundle.name])
         topology = ("row-shard" if args.shard == "rows" else "replica")
-        print(f"Starting {args.workers} {topology} worker processes "
-              f"({cluster.start_method}) for "
-              f"{[bundle.name for bundle in bundles]} ...")
+        log.info("starting %d %s worker processes (%s) for %s",
+                 args.workers, topology, cluster.start_method,
+                 [bundle.name for bundle in bundles])
         client = ClusterClient(cluster)
-    serve_forever(client, host=args.host, port=args.port)
+    slow = args.slow_query_seconds if args.slow_query_seconds > 0 else None
+    serve_forever(client, host=args.host, port=args.port,
+                  slow_query_seconds=slow)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ or compose callbacks.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from concurrent.futures import Future
@@ -28,9 +29,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.obs import trace
 
-#: runner(queries, k) -> one result per query, in order.
+#: runner(queries, k) -> one result per query, in order.  A runner may
+#: additionally accept a ``trace_captures`` keyword (one capture per
+#: query); the batcher detects this at construction and threads each
+#: request's originating trace through, so coalesced engine work is
+#: attributed to the right request.
 BatchRunner = Callable[[Sequence, Optional[int]], Sequence]
+
+
+def _accepts_trace_captures(runner) -> bool:
+    try:
+        return "trace_captures" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
 
 
 @dataclass
@@ -41,6 +54,10 @@ class _Pending:
     query: object
     k: Optional[int]
     future: "Future" = field(default_factory=Future)
+    #: The submitting thread's active trace (or None) — re-activated by
+    #: the batch worker so spans land in the request's trace.
+    capture: object = None
+    enqueued_at: float = 0.0
 
 
 class MicroBatcher:
@@ -71,6 +88,7 @@ class MicroBatcher:
         if max_batch < 1:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
         self._runner = runner
+        self._runner_takes_captures = _accepts_trace_captures(runner)
         self.window_seconds = window_seconds
         self.max_batch = max_batch
         self._clock = clock
@@ -106,7 +124,9 @@ class MicroBatcher:
             if existing is not None:
                 self.requests_deduplicated += 1
                 return existing, True
-            pending = _Pending(key=key, query=query, k=k)
+            pending = _Pending(key=key, query=query, k=k,
+                               capture=trace.capture(),
+                               enqueued_at=self._clock())
             self._inflight[key] = pending.future
             self._pending.append(pending)
             if self._first_enqueued_at is None:
@@ -151,6 +171,13 @@ class MicroBatcher:
             self._execute(batch)
 
     def _execute(self, batch: List[_Pending]) -> None:
+        # Queue-wait spans: measured from submit time, attributed to each
+        # request's own trace (no-ops for untraced requests).
+        flushed_at = self._clock()
+        for pending in batch:
+            trace.record_span(pending.capture, "batcher.queue_wait",
+                              flushed_at - pending.enqueued_at,
+                              batch_size=len(batch))
         # Group by k: the engine's batch API applies one k to the whole
         # call, so requests with different explanation-size budgets run as
         # separate sub-batches.
@@ -158,8 +185,9 @@ class MicroBatcher:
         for pending in batch:
             by_k.setdefault(pending.k, []).append(pending)
         for k, group in by_k.items():
+            started = self._clock()
             try:
-                results = self._runner([pending.query for pending in group], k)
+                results = self._run_group(group, k)
                 if len(results) != len(group):  # pragma: no cover - defensive
                     raise ConfigurationError(
                         f"batch runner returned {len(results)} results "
@@ -175,6 +203,10 @@ class MicroBatcher:
                 # rare path, so the retry cost is acceptable.
                 self._execute_individually(group, k)
                 continue
+            elapsed = self._clock() - started
+            for pending in group:
+                trace.record_span(pending.capture, "batcher.execute",
+                                  elapsed, batch_size=len(group))
             # Unregister before resolving: a submitter observing the
             # resolved future must be able to enqueue a fresh run.
             with self._lock:
@@ -184,12 +216,20 @@ class MicroBatcher:
                 pending.future.set_result(result)
             self.batches_executed += 1
 
+    def _run_group(self, group: List[_Pending],
+                   k: Optional[int]) -> Sequence:
+        if self._runner_takes_captures:
+            return self._runner([pending.query for pending in group], k,
+                                trace_captures=[pending.capture
+                                                for pending in group])
+        return self._runner([pending.query for pending in group], k)
+
     def _execute_individually(self, group: List[_Pending],
                               k: Optional[int]) -> None:
         """Resolve each request of a failed batch with its own verdict."""
         for pending in group:
             try:
-                results = self._runner([pending.query], k)
+                results = self._run_group([pending], k)
                 result = results[0]
             except BaseException as exc:
                 with self._lock:

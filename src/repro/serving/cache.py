@@ -53,6 +53,14 @@ class TTLCache:
         self._misses = 0
         self._evictions = 0
         self._expirations = 0
+        self._sweeps = 0
+        self._puts_since_sweep = 0
+
+    #: Amortisation period of the expiry sweep: every this many ``put``
+    #: calls the whole store is scanned for dead entries.  Expiry is
+    #: otherwise lazy (per key, on ``get``), which under TTL churn leaves
+    #: never-touched dead entries holding memory and inflating occupancy.
+    SWEEP_EVERY = 64
 
     def __len__(self) -> int:
         with self._lock:
@@ -80,7 +88,12 @@ class TTLCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting LRU entries past the bound."""
+        """Insert (or refresh) an entry, evicting LRU entries past the bound.
+
+        Every :data:`SWEEP_EVERY` puts an amortised full sweep drops all
+        expired entries, so a TTL-churned cache cannot accumulate dead
+        entries that no ``get`` ever touches again.
+        """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -88,6 +101,28 @@ class TTLCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1
+            if self.ttl_seconds is not None:
+                self._puts_since_sweep += 1
+                if self._puts_since_sweep >= self.SWEEP_EVERY:
+                    self._sweep_locked()
+
+    def sweep(self) -> int:
+        """Drop every expired entry now; returns how many were dropped."""
+        if self.ttl_seconds is None:
+            return 0
+        with self._lock:
+            return self._sweep_locked()
+
+    def _sweep_locked(self) -> int:
+        self._puts_since_sweep = 0
+        self._sweeps += 1
+        now = self._clock()
+        dead = [key for key, (stored_at, _value) in self._entries.items()
+                if now - stored_at > self.ttl_seconds]
+        for key in dead:
+            del self._entries[key]
+        self._expirations += len(dead)
+        return len(dead)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -123,4 +158,5 @@ class TTLCache:
                 "misses": self._misses,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
+                "sweeps": self._sweeps,
             }

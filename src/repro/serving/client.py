@@ -291,7 +291,8 @@ class HTTPClient(ExplanationClient):
             dataset=body["dataset"],
             envelope=ExplanationEnvelope.from_dict(body["envelope"]),
             cache_hit=bool(body.get("cache_hit", False)),
-            coalesced=bool(body.get("coalesced", False)))
+            coalesced=bool(body.get("coalesced", False)),
+            trace_id=body.get("trace_id"))
 
     # ------------------------------------------------------------------ #
     # the client protocol

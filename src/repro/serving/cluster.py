@@ -55,6 +55,7 @@ the client surface.
 
 from __future__ import annotations
 
+import copy
 import json
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -71,6 +72,7 @@ from repro.distributed.ipc import (
 from repro.engine.config import MESAConfig
 from repro.engine.envelope import ExplanationEnvelope
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import merge_metric_states
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.client import ExplanationClient
 from repro.serving.service import ExplanationService, ServedExplanation
@@ -251,6 +253,14 @@ class ServiceCluster:
         self._specs: List[DatasetSpec] = []
         self._handles: List[_WorkerHandle] = []
         self._lock = threading.Lock()
+        #: Monotonic observability folded in from dead workers' last known
+        #: snapshots, so the merged lifetime counters in :meth:`stats` do
+        #: not deflate when a worker is restarted with fresh (zeroed)
+        #: counters.  Point-in-time values (cache sizes, occupancy) are
+        #: deliberately *not* kept — they die with the process, exactly as
+        #: the replacement worker reports.
+        self._stats_base: Dict[str, Any] = {
+            "contexts": {}, "cache": {}, "negative_cache": {}, "metrics": []}
         self._inflight: Dict[Tuple, Future] = {}
         #: Front-tier request history per dataset: routing key -> [query, k,
         #: hits]; feeds the post-restart re-warm of a worker's key range.
@@ -607,6 +617,8 @@ class ServiceCluster:
                 "cache": snapshot["cache"],
                 "negative_cache": snapshot["negative_cache"],
                 "contexts": snapshot["contexts"],
+                "metrics": snapshot.get("metrics", []),
+                "tracing": snapshot.get("tracing", {}),
                 "workers": pool_stats["workers"],
             }
 
@@ -638,32 +650,50 @@ class ServiceCluster:
         workers: Dict[str, Any] = {
             str(handle.index): snapshot
             for handle, snapshot in zip(self._handles, snapshots)}
+        # Seed the merge from the retained base of dead workers' counters:
+        # a restarted worker reports zeroed tallies, and without the base
+        # the merged lifetime counters would move backwards.
+        with self._lock:
+            base = copy.deepcopy(self._stats_base)
         merged_contexts: Dict[str, Dict[str, Any]] = {}
         cache = {"size": 0, "hits": 0, "misses": 0, "by_dataset": {},
                  "by_worker": {}}
         negative = {"size": 0, "hits": 0, "misses": 0, "by_dataset": {},
                     "by_worker": {}}
-        for worker_id, snapshot in workers.items():
+        metric_states: List[List[Dict[str, Any]]] = [base.get("metrics", [])]
+        for worker_id, snapshot in [(None, base)] + list(workers.items()):
             if "error" in snapshot:
                 continue
             for name, context in snapshot.get("contexts", {}).items():
                 merged = merged_contexts.setdefault(
-                    name, {"counters": {}, "dataset_version": 0})
+                    name, {"counters": {}, "stage_seconds": {},
+                           "dataset_version": 0})
                 for counter, value in context.get("counters", {}).items():
                     merged["counters"][counter] = \
                         merged["counters"].get(counter, 0) + value
+                for stage, seconds in context.get("stage_seconds", {}).items():
+                    merged["stage_seconds"][stage] = round(
+                        merged["stage_seconds"].get(stage, 0.0) + seconds, 6)
                 merged["dataset_version"] = max(
                     merged["dataset_version"],
                     context.get("dataset_version", 0))
             for view, merged_view in ((snapshot.get("cache", {}), cache),
                                       (snapshot.get("negative_cache", {}),
                                        negative)):
-                for field_name in ("size", "hits", "misses"):
-                    merged_view[field_name] += view.get(field_name, 0)
+                for field_name in ("size", "hits", "misses", "evictions",
+                                   "expirations", "sweeps"):
+                    if field_name in view or field_name in merged_view:
+                        merged_view[field_name] = \
+                            merged_view.get(field_name, 0) + \
+                            view.get(field_name, 0)
                 for name, size in view.get("by_dataset", {}).items():
                     merged_view["by_dataset"][name] = \
                         merged_view["by_dataset"].get(name, 0) + size
-                merged_view["by_worker"][worker_id] = view.get("size", 0)
+                if worker_id is not None:
+                    merged_view["by_worker"][worker_id] = view.get("size", 0)
+            if worker_id is not None and snapshot.get("metrics"):
+                metric_states.append(snapshot["metrics"])
+        merged_metrics = merge_metric_states(metric_states)
         with self._lock:
             front = {
                 "n_workers": self.n_workers,
@@ -684,6 +714,7 @@ class ServiceCluster:
             "cache": cache,
             "negative_cache": negative,
             "contexts": merged_contexts,
+            "metrics": merged_metrics,
             "workers": workers,
         }
 
@@ -813,8 +844,58 @@ class ServiceCluster:
                 self.request_retries += 1
             return self._request(self._handles[index], op, payload)
 
+    def _absorb_last_stats(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold a dead worker's last known snapshot into the stats base.
+
+        Only monotonic lifetime tallies survive — context counters and
+        stage seconds, cache hit/miss/eviction/expiration counts, and the
+        counter/histogram entries of the worker's metrics registry.
+        Point-in-time values (cache sizes, gauges) are dropped: the
+        replacement process genuinely starts empty, and keeping a ghost
+        occupancy would overstate capacity.  Caller must hold
+        ``handle.lock`` (the restart path does); ``self._lock`` guards the
+        base itself.
+        """
+        if not snapshot or "error" in snapshot:
+            return
+        with self._lock:
+            base = self._stats_base
+            for name, context in snapshot.get("contexts", {}).items():
+                merged = base["contexts"].setdefault(
+                    name, {"counters": {}, "stage_seconds": {},
+                           "dataset_version": 0})
+                for counter, value in context.get("counters", {}).items():
+                    merged["counters"][counter] = \
+                        merged["counters"].get(counter, 0) + value
+                for stage, seconds in context.get("stage_seconds",
+                                                  {}).items():
+                    merged["stage_seconds"][stage] = round(
+                        merged["stage_seconds"].get(stage, 0.0) + seconds, 6)
+                merged["dataset_version"] = max(
+                    merged["dataset_version"],
+                    context.get("dataset_version", 0))
+            for block in ("cache", "negative_cache"):
+                view = snapshot.get(block, {})
+                merged_view = base[block]
+                for field_name in ("hits", "misses", "evictions",
+                                   "expirations", "sweeps"):
+                    if field_name in view or field_name in merged_view:
+                        merged_view[field_name] = \
+                            merged_view.get(field_name, 0) + \
+                            view.get(field_name, 0)
+            monotonic = [entry for entry in snapshot.get("metrics", [])
+                         if entry.get("type") in ("counter", "histogram")]
+            if monotonic:
+                base["metrics"] = merge_metric_states(
+                    [base["metrics"], monotonic])
+
     def _restart_worker(self, index: int, observed_generation: int) -> None:
-        """Replace a dead worker's process (once per observed death)."""
+        """Replace a dead worker's process (once per observed death).
+
+        Before respawning, the dead worker's last known stats snapshot is
+        folded into the front tier's base so merged lifetime counters stay
+        monotonic across the restart (the fresh process reports zeros).
+        """
         handle = self._handles[index]
         with handle.lock:
             if handle.generation != observed_generation:
@@ -822,6 +903,8 @@ class ServiceCluster:
             if self._closed:
                 raise WorkerDiedError(
                     f"worker {index} died and the cluster is closed")
+            self._absorb_last_stats(handle.last_stats)
+            handle.last_stats = None
             try:
                 handle.conn.close()
             except OSError:  # pragma: no cover - already closed

@@ -39,6 +39,17 @@ Endpoints
     Serving-tier observability snapshot: cache hit rates and per-dataset
     occupancy, coalescing counters, per-dataset engine counters — and, in
     cluster mode, the merged view plus the per-worker breakdown.
+``GET /metrics``
+    The same observability snapshot in the Prometheus text exposition
+    format (``text/plain; version=0.0.4``): request/stage latency
+    histograms with estimated quantiles, cache hit ratios, engine event
+    counters — scrapeable from every topology (the cluster merges worker
+    registries exactly as ``/stats`` merges counters).
+``GET /trace/<id>``
+    The finished span tree of one traced request as nested JSON.  Every
+    ``/explain`` response carries its ``trace_id``; traces live in a
+    bounded in-memory LRU, so old ids age out (404).  Pass
+    ``"debug": true`` in an explain request to get the tree inline.
 ``GET /healthz``
     Liveness probe: ``{"status": "ok", "datasets": [...]}``; answers
     **503** with ``status: "degraded"`` while any cluster worker is down.
@@ -53,6 +64,8 @@ failures.
 from __future__ import annotations
 
 import json
+import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -64,6 +77,9 @@ from repro.exceptions import (
     QueryError,
     RequestValidationError,
 )
+from repro.obs import trace
+from repro.obs.logs import log_slow_query
+from repro.obs.metrics import prometheus_text
 from repro.serving.client import ExplanationClient, LocalClient
 from repro.serving.schema import (
     API_SCHEMA_VERSION,
@@ -91,12 +107,16 @@ class _HTTPFault(Exception):
         self.close = close
 
 
-def _served_to_dict(served: ServedExplanation) -> Dict[str, Any]:
+def _served_to_dict(served: ServedExplanation,
+                    trace_id: Optional[str] = None,
+                    debug: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     return ExplainResponse(
         dataset=served.dataset,
         envelope_dict=served.envelope.to_dict(),
         cache_hit=served.cache_hit,
         coalesced=served.coalesced,
+        trace_id=trace_id if trace_id is not None else served.trace_id,
+        debug=debug,
     ).to_dict()
 
 
@@ -119,6 +139,17 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
                 self._respond(status, health)
             elif path == "/stats":
                 self._respond(200, self._client.stats())
+            elif path == "/metrics":
+                self._respond_text(200, prometheus_text(self._client.stats()))
+            elif path.startswith("/trace/"):
+                trace_id = path[len("/trace/"):]
+                tree = self.server.tracer.trace_tree(trace_id)  # type: ignore[attr-defined]
+                if tree is None:
+                    self._respond(404, {"errors": [
+                        f"no such trace: {trace_id!r} (traces are kept in a "
+                        "bounded in-memory store and age out)"]})
+                else:
+                    self._respond(200, tree)
             else:
                 self._respond(404, {"errors": [f"no such endpoint: GET {path}"]})
         except Exception as exc:  # snapshot failures must answer, not abort
@@ -143,12 +174,34 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
     def _explain(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         dataset, body = self._split_dataset(payload)
         request = ExplainRequest.from_dict(body)
-        served = self._client.explain(dataset, request.query, k=request.k)
-        return 200, _served_to_dict(served)
+        started = time.perf_counter()
+        req_trace = trace.begin_request(
+            self.server.tracer, "http.explain",  # type: ignore[attr-defined]
+            dataset=dataset, endpoint="/explain")
+        try:
+            served = self._client.explain(dataset, request.query, k=request.k)
+        finally:
+            req_trace.finish()
+            log_slow_query(
+                time.perf_counter() - started,
+                self.server.slow_query_seconds,  # type: ignore[attr-defined]
+                endpoint="/explain", dataset=dataset,
+                trace_id=req_trace.trace_id)
+        debug = None
+        if request.debug:
+            debug = {"trace": self.server.tracer.trace_tree(  # type: ignore[attr-defined]
+                req_trace.trace_id)}
+        return 200, _served_to_dict(served, trace_id=req_trace.trace_id,
+                                    debug=debug)
 
     def _explain_batch(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         dataset, body = self._split_dataset(payload)
         batch = BatchExplainRequest.from_dict(body)
+        started = time.perf_counter()
+        req_trace = trace.begin_request(
+            self.server.tracer, "http.explain_batch",  # type: ignore[attr-defined]
+            dataset=dataset, endpoint="/explain_batch",
+            queries=len(batch.requests))
         # Group by resolved k (the engine batch API applies one k per
         # call) while preserving request order in the response.
         by_k: Dict[Optional[int], List[int]] = {}
@@ -156,13 +209,27 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
             by_k.setdefault(request.k if request.k is not None else batch.k,
                             []).append(index)
         results: List[Optional[Dict[str, Any]]] = [None] * len(batch.requests)
-        for k, indices in by_k.items():
-            served = self._client.explain_batch(
-                dataset, [batch.requests[i].query for i in indices], k=k)
-            for index, one in zip(indices, served):
-                results[index] = _served_to_dict(one)
-        return 200, {"api_schema_version": API_SCHEMA_VERSION,
-                     "dataset": dataset, "results": results}
+        try:
+            for k, indices in by_k.items():
+                served = self._client.explain_batch(
+                    dataset, [batch.requests[i].query for i in indices], k=k)
+                for index, one in zip(indices, served):
+                    results[index] = _served_to_dict(
+                        one, trace_id=req_trace.trace_id)
+        finally:
+            req_trace.finish()
+            log_slow_query(
+                time.perf_counter() - started,
+                self.server.slow_query_seconds,  # type: ignore[attr-defined]
+                endpoint="/explain_batch", dataset=dataset,
+                trace_id=req_trace.trace_id, queries=len(batch.requests))
+        response = {"api_schema_version": API_SCHEMA_VERSION,
+                    "dataset": dataset, "results": results,
+                    "trace_id": req_trace.trace_id}
+        if any(request.debug for request in batch.requests):
+            response["debug"] = {"trace": self.server.tracer.trace_tree(  # type: ignore[attr-defined]
+                req_trace.trace_id)}
+        return 200, response
 
     def _warm(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
         dataset, body = self._split_dataset(payload)
@@ -266,6 +333,16 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        """A plain-text response (the Prometheus exposition format)."""
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if getattr(self.server, "quiet", False):  # pragma: no cover
             return
@@ -284,12 +361,25 @@ class ExplanationHTTPServer(ThreadingHTTPServer):
 
     def __init__(self, address: Tuple[str, int],
                  backend: Union[ExplanationClient, ExplanationService],
-                 quiet: bool = True):
+                 quiet: bool = True,
+                 slow_query_seconds: Optional[float] = 1.0):
         super().__init__(address, ExplanationRequestHandler)
         if isinstance(backend, ExplanationService):
             backend = LocalClient(backend)
         self.client: ExplanationClient = backend
         self.quiet = quiet
+        #: Requests slower than this many seconds are written to the
+        #: structured slow-query log (None disables).
+        self.slow_query_seconds = slow_query_seconds
+        # One trace store per server process.  A local backend's service
+        # already owns a tracer — reuse it so `GET /trace/<id>` sees the
+        # same store whether a trace was started here or directly on the
+        # service; remote backends (cluster workers) ship their spans back
+        # over the wire into this tracer.
+        service = self.service
+        self.tracer: trace.Tracer = (
+            service.tracer if service is not None
+            else trace.Tracer(tier="front"))
 
     @property
     def service(self) -> Optional[ExplanationService]:
@@ -299,21 +389,26 @@ class ExplanationHTTPServer(ThreadingHTTPServer):
 
 def make_server(backend: Union[ExplanationClient, ExplanationService],
                 host: str = "127.0.0.1", port: int = 8080,
-                quiet: bool = True) -> ExplanationHTTPServer:
+                quiet: bool = True,
+                slow_query_seconds: Optional[float] = 1.0) -> ExplanationHTTPServer:
     """Bind an :class:`ExplanationHTTPServer` (``port=0`` picks a free port)."""
-    return ExplanationHTTPServer((host, port), backend, quiet=quiet)
+    return ExplanationHTTPServer((host, port), backend, quiet=quiet,
+                                 slow_query_seconds=slow_query_seconds)
 
 
 def serve_forever(backend: Union[ExplanationClient, ExplanationService],
                   host: str = "127.0.0.1", port: int = 8080,
-                  quiet: bool = False) -> None:
+                  quiet: bool = False,
+                  slow_query_seconds: Optional[float] = 1.0) -> None:
     """Blocking convenience entry point (used by ``python -m repro.serving``)."""
-    server = make_server(backend, host, port, quiet=quiet)
+    server = make_server(backend, host, port, quiet=quiet,
+                         slow_query_seconds=slow_query_seconds)
     bound_host, bound_port = server.server_address[:2]
     datasets = server.client.datasets()
-    print(f"repro serving {datasets} on http://{bound_host}:{bound_port} "
-          f"(POST /explain, POST /explain_batch, POST /warm, "
-          f"GET /stats, GET /healthz)")
+    logging.getLogger("repro.serving.http").info(
+        "serving %s on http://%s:%s (POST /explain, POST /explain_batch, "
+        "POST /warm, GET /stats, GET /metrics, GET /trace/<id>, "
+        "GET /healthz)", datasets, bound_host, bound_port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path

@@ -53,7 +53,7 @@ API_SCHEMA_VERSION = 1
 
 _EXPLAIN_FIELDS = frozenset(
     {"sql", "exposure", "outcome", "aggregate", "context", "k", "name",
-     "table_name"})
+     "table_name", "debug"})
 _BATCH_FIELDS = frozenset({"queries", "k"})
 
 #: op name -> (predicate factory, required value fields)
@@ -228,6 +228,9 @@ class ExplainRequest:
 
     query: AggregateQuery
     k: Optional[int] = None
+    #: Opt-in diagnostics: when True the HTTP front end embeds the
+    #: request's finished span tree in the response (``debug.trace``).
+    debug: bool = False
 
     @classmethod
     def from_dict(cls, payload: Any) -> "ExplainRequest":
@@ -238,6 +241,10 @@ class ExplainRequest:
         if unknown:
             errors.append(f"unknown field(s) {unknown}")
         k = _parse_k(payload.get("k"), errors)
+        debug = payload.get("debug", False)
+        if not isinstance(debug, bool):
+            errors.append(f"debug must be a boolean, got {debug!r}")
+            debug = False
         sql = payload.get("sql")
         if sql is not None:
             if not isinstance(sql, str):
@@ -253,7 +260,7 @@ class ExplainRequest:
                 query = parse_query(sql, name=payload.get("name"))
             except QueryError as exc:
                 raise RequestValidationError([str(exc)]) from exc
-            return cls(query=query, k=k)
+            return cls(query=query, k=k, debug=debug)
         for required in ("exposure", "outcome"):
             value = payload.get(required)
             if not isinstance(value, str) or not value:
@@ -278,7 +285,7 @@ class ExplainRequest:
             )
         except QueryError as exc:
             raise RequestValidationError([str(exc)]) from exc
-        return cls(query=query, k=k)
+        return cls(query=query, k=k, debug=debug)
 
 
 @dataclass(frozen=True)
@@ -320,12 +327,22 @@ class ExplainResponse:
     cache_hit: bool
     coalesced: bool = False
     schema_version: int = API_SCHEMA_VERSION
+    #: The distributed trace id this request ran under, when tracing is on.
+    trace_id: Optional[str] = None
+    #: Opt-in diagnostics block (``{"trace": <span tree>}``), present only
+    #: when the request asked for ``"debug": true``.
+    debug: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "api_schema_version": self.schema_version,
             "dataset": self.dataset,
             "cache_hit": self.cache_hit,
             "coalesced": self.coalesced,
             "envelope": self.envelope_dict,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.debug is not None:
+            payload["debug"] = self.debug
+        return payload

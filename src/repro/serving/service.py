@@ -45,6 +45,9 @@ from repro.exceptions import (
     ExplanationError,
     QueryError,
 )
+from repro.obs import trace
+from repro.obs.logs import log_slow_query
+from repro.obs.metrics import MetricsRegistry
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import TTLCache
@@ -61,6 +64,10 @@ class ServedExplanation:
     #: True when this request attached to an identical in-flight request
     #: instead of executing on its own.
     coalesced: bool = False
+    #: The id of the request trace this explanation was served under
+    #: (``None`` when request tracing is off) — resolvable via the
+    #: service tracer / ``GET /trace/<id>``.
+    trace_id: Optional[str] = None
 
 
 class ExplanationService:
@@ -113,6 +120,24 @@ class ExplanationService:
     clock:
         Monotonic time source shared by the cache and batchers
         (injectable for TTL/window tests).
+    tracer:
+        The bounded trace store requests record into; defaults to a fresh
+        :class:`repro.obs.trace.Tracer`.  A topology owner (the HTTP
+        server, a cluster worker loop) may inject a shared one.
+    metrics:
+        The :class:`repro.obs.metrics.MetricsRegistry` request latency
+        histograms land in; snapshots ride :meth:`stats` under
+        ``"metrics"`` and merge across workers.
+    trace_requests:
+        When True (default) every :meth:`explain` / :meth:`explain_batch`
+        arriving *without* an active trace starts one of its own, so
+        direct service callers get per-request trees too.  Requests that
+        already carry a trace (the HTTP layer, a traced worker frame)
+        always join it regardless of this flag.
+    slow_query_seconds:
+        Latency threshold of the slow-query log (structured JSON lines on
+        the ``repro.serving.slowlog`` logger, carrying the trace id).
+        ``None`` or ``<= 0`` disables it.
     """
 
     def __init__(self, cache_size: int = 1024,
@@ -123,8 +148,17 @@ class ExplanationService:
                  permutation_early_exit: bool = True,
                  speculative_search: bool = True,
                  history_size: int = 256,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 tracer: Optional[trace.Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 trace_requests: bool = True,
+                 slow_query_seconds: Optional[float] = 1.0):
         self._clock = clock
+        self.tracer = tracer if tracer is not None else trace.Tracer(
+            tier="service")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_requests = trace_requests
+        self.slow_query_seconds = slow_query_seconds
         self._cache = TTLCache(max_entries=cache_size, ttl_seconds=ttl_seconds,
                                clock=clock)
         self._negative = TTLCache(max_entries=negative_cache_size,
@@ -341,6 +375,7 @@ class ExplanationService:
     def _raise_cached_error(self, pipeline: ExplanationPipeline, error) -> None:
         """Re-raise a negative-cache verdict as a fresh exception."""
         pipeline.context.count("service.negative_hit")
+        trace.annotate(negative_hit=True)
         raise type(error)(*error.args)
 
     def _cache_negative(self, key, error) -> None:
@@ -357,16 +392,66 @@ class ExplanationService:
     def explain(self, dataset: str, query: AggregateQuery,
                 k: Optional[int] = None) -> ServedExplanation:
         """Serve one explanation (cache -> negative cache -> batch -> engine)."""
+        started = time.perf_counter()
+        request, trace_id = self._join_or_begin_trace("service.request",
+                                                      dataset)
+        outcome = "error"
+        try:
+            with trace.span("service.explain", dataset=dataset) as span:
+                served = self._explain_inner(dataset, query, k)
+                span.set_tag("cache_hit", served.cache_hit)
+            outcome = "hit" if served.cache_hit else "miss"
+            if trace_id is not None and served.trace_id is None:
+                served = ServedExplanation(
+                    dataset=served.dataset, envelope=served.envelope,
+                    cache_hit=served.cache_hit, coalesced=served.coalesced,
+                    trace_id=trace_id)
+            return served
+        finally:
+            if request is not None:
+                request.finish()
+            self._observe_request("explain", dataset, outcome,
+                                  time.perf_counter() - started, trace_id)
+
+    def _join_or_begin_trace(self, name: str, dataset: str):
+        """Start a request trace when none is active (and tracing is on)."""
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            return None, trace_id
+        if not self.trace_requests:
+            return None, None
+        request = trace.begin_request(self.tracer, name, dataset=dataset)
+        return request, request.trace_id
+
+    def _observe_request(self, endpoint: str, dataset: str, outcome: str,
+                         seconds: float, trace_id: Optional[str],
+                         queries: int = 1) -> None:
+        self.metrics.histogram("repro_request_seconds",
+                               {"dataset": dataset,
+                                "endpoint": endpoint}).observe(seconds)
+        self.metrics.counter("repro_requests_total",
+                             {"dataset": dataset, "endpoint": endpoint,
+                              "outcome": outcome}).inc()
+        log_slow_query(seconds, self.slow_query_seconds, endpoint=endpoint,
+                       dataset=dataset, trace_id=trace_id,
+                       queries=queries if queries != 1 else None)
+
+    def _explain_inner(self, dataset: str, query: AggregateQuery,
+                       k: Optional[int] = None) -> ServedExplanation:
         pipeline = self.pipeline(dataset)
         resolved_k = k if k is not None else pipeline.config.k
         key = self._live_key(dataset, pipeline, query, resolved_k)
         self._record_history(dataset, key[:-1], query, k)
-        envelope = self._cache.get(key)
+        with trace.span("cache.lookup", cache="envelope") as span:
+            envelope = self._cache.get(key)
+            span.set_tag("hit", envelope is not None)
         if envelope is not None:
             pipeline.context.count("service.cache_hit")
             return ServedExplanation(dataset=dataset, envelope=envelope,
                                      cache_hit=True)
-        cached_error = self._negative.get(key)
+        with trace.span("cache.lookup", cache="negative") as span:
+            cached_error = self._negative.get(key)
+            span.set_tag("hit", cached_error is not None)
         if cached_error is not None:
             self._raise_cached_error(pipeline, cached_error)
         pipeline.context.count("service.cache_miss")
@@ -388,6 +473,32 @@ class ExplanationService:
         whole miss set (deduplicated against itself *and* against other
         clients' in-flight requests) executes as a single engine batch.
         """
+        started = time.perf_counter()
+        request, trace_id = self._join_or_begin_trace("service.request",
+                                                      dataset)
+        outcome = "error"
+        try:
+            with trace.span("service.explain_batch", dataset=dataset,
+                            queries=len(queries)):
+                served = self._explain_batch_inner(dataset, queries, k)
+            outcome = "ok"
+            if trace_id is not None:
+                served = [ServedExplanation(
+                    dataset=one.dataset, envelope=one.envelope,
+                    cache_hit=one.cache_hit, coalesced=one.coalesced,
+                    trace_id=trace_id) for one in served]
+            return served
+        finally:
+            if request is not None:
+                request.finish()
+            self._observe_request("explain_batch", dataset, outcome,
+                                  time.perf_counter() - started, trace_id,
+                                  queries=len(queries))
+
+    def _explain_batch_inner(self, dataset: str,
+                             queries: Sequence[AggregateQuery],
+                             k: Optional[int] = None,
+                             ) -> List[ServedExplanation]:
         pipeline = self.pipeline(dataset)
         resolved_k = k if k is not None else pipeline.config.k
         served: List[Optional[ServedExplanation]] = [None] * len(queries)
@@ -464,6 +575,8 @@ class ExplanationService:
             "batchers": {name: batcher.stats()
                          for name, batcher in batchers.items()},
             "contexts": contexts,
+            "metrics": self.metrics.state(),
+            "tracing": self.tracer.stats(),
         }
 
     def health(self) -> Dict[str, object]:
@@ -519,6 +632,9 @@ class ExplanationService:
     @staticmethod
     def _runner_for(pipeline: ExplanationPipeline):
         def run_batch(queries: Sequence[AggregateQuery],
-                      k: Optional[int]) -> Sequence[ExplanationEnvelope]:
-            return pipeline.explain_many_envelopes(list(queries), k=k)
+                      k: Optional[int],
+                      trace_captures: Optional[Sequence] = None,
+                      ) -> Sequence[ExplanationEnvelope]:
+            return pipeline.explain_many_envelopes(
+                list(queries), k=k, trace_captures=trace_captures)
         return run_batch
