@@ -189,7 +189,30 @@ def main() -> None:
         print(f"Row shards: same attributes as the single process: "
               f"{same_attrs}; data-plane layout {residency}")
 
-    # 10. Observability: tracing and metrics are on by default and cheap
+    # 10. Memory: a replica cluster holds ONE shared copy of each encoded
+    #     dataset, not one per worker.  With the frame store on (the
+    #     default for multi-worker clusters when /dev/shm works) the owner
+    #     packs the encoded columns into POSIX shared segments and workers
+    #     map them as read-only views; warm() additionally pre-encodes the
+    #     hot query contexts once and publishes the frames for adoption.
+    #     Scaled up — `python -m repro.serving --dataset SO --workers 8` —
+    #     per-worker RSS stays near-flat as workers are added; the merged
+    #     stats carry each worker's maxrss and the store's segment sizes.
+    mem_cluster = ServiceCluster(n_workers=2)
+    mem_cluster.register_bundle(bundle, config=pipeline.config, warm=False)
+    with ClusterClient(mem_cluster) as client:
+        mem_cluster.warm(bundle.name, queries=[query])
+        merged = client.stats()
+        store = merged["frame_store"]
+        rss = {index: f"{worker['memory']['maxrss_kb'] // 1024} MiB"
+               for index, worker in merged["workers"].items()}
+        print(f"Frame store: enabled={store['enabled']}, "
+              f"{store.get('segments', 0)} shared segments "
+              f"({store.get('bytes', 0) / 1e6:.1f} MB, "
+              f"{store.get('frames_published', 0)} hot frames published); "
+              f"per-worker RSS {rss}")
+
+    # 11. Observability: tracing and metrics are on by default and cheap
     #     enough to stay on.  Every served request carries a trace id whose
     #     span tree (pipeline stages, permutation tests, IPW fit batches,
     #     cache lookups, batcher queue wait — and, in a cluster, the RPCs

@@ -200,6 +200,57 @@ HTTP 400s and missing-data failures to 422.  See
 ``examples/serve_stackoverflow.py`` for an end-to-end tour, including the
 ``--workers`` cluster demo with per-worker cache hit rates.
 
+Memory
+------
+
+A multi-worker cluster would naively hold one private copy of every
+registered table per process.  The **shared-memory frame store**
+(:mod:`repro.shm`) removes that multiplier: the cluster owner packs each
+dataset's encoded columns — numeric value/missing-mask arrays, categorical
+code arrays plus their category tables — into POSIX shared segments
+(``multiprocessing.shared_memory``) and ships workers a tiny *manifest*
+instead of the pickled table.  Workers attach the named segments and map
+their columns as **read-only numpy views**: zero copies, one physical page
+set shared by every worker on the box.  ``warm()`` goes further and
+pre-encodes the hot query contexts once in the owner, publishing each
+:class:`~repro.infotheory.encoding.EncodedFrame` so workers adopt the
+factorised code arrays instead of re-encoding the same columns N times.
+
+The store is **on by default for multi-worker clusters** whenever POSIX
+shared memory actually works (probed, not assumed — containers may mount
+no ``/dev/shm``), and falls back to the classic copy path otherwise;
+``python -m repro.serving --workers 8 --frame-store off`` opts out, and
+``ServiceCluster(frame_store=True/False/None)`` is the programmatic knob.
+Row-sharded clusters (``shard="rows"``) publish each shard's fused code
+columns through the same store, so scatter-gather jobs ship refs instead
+of array pickles.  Lifecycle rides the dataset version: invalidation
+retires a generation of segments, which unlink once the last worker
+detaches — readers mid-request finish on their old views (an unlinked
+mapping stays valid until unmapped), and attachment never registers with
+the ``multiprocessing`` resource tracker, so a SIGKILLed worker can never
+unlink the dataset out from under its siblings while an owner crash still
+cleans ``/dev/shm``.  Observability: ``stats()["frame_store"]`` reports
+segment counts/bytes and frames published, per-worker ``maxrss_kb`` lands
+in merged stats, and ``GET /metrics`` exposes
+``repro_worker_maxrss_bytes``, ``repro_shm_segments``,
+``repro_shm_segment_bytes`` and ``repro_frame_store_attach_total``.
+``benchmarks/bench_memory.py`` measures the effect (per-worker RSS and
+cold-start at 1 vs 4 workers, with and without the store) and CI gates
+the 4-worker RSS ratio; ``BENCH_memory.baseline.json`` records the
+committed baseline.
+
+Two quieter pieces keep the footprint honest on wide tables.  Context
+restriction uses **lazy filtered views** (``Table.filter_view``):
+filtering a context no longer copies every column of the augmented
+table — columns materialise on first access, so a query over a
+300-column table touches the handful it reads and the excluded pad/id
+columns never leave the shared pages.  Offline pruning judges columns
+the same way, lazily per requested candidate, so identifier columns are
+never scanned.  And per-worker ``maxrss_kb`` reads ``VmHWM`` from
+``/proc/self/status`` rather than ``ru_maxrss``: on Linux the latter
+survives ``fork`` *and* ``exec``, so a freshly spawned worker would
+forever report the parent's peak.
+
 Observability
 -------------
 

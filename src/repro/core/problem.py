@@ -70,7 +70,13 @@ class CorrelationExplanationProblem:
         with IPW weights, so every column is factorised at most once per
         query — and the :class:`~repro.engine.context.PipelineContext`
         frame cache passes it across queries sharing a context, so every
-        column is factorised at most once per *context*.
+        column is factorised at most once per *context*.  The adopted
+        frame's code arrays may be **read-only shared-memory views**
+        (:mod:`repro.shm`): every code consumer in this class treats code
+        arrays as immutable — derived representations (joint codes, fused
+        conditioning sets, restrictions, permutation blocks) are always
+        freshly allocated — so a frame encoded once per box serves any
+        number of problems in any number of processes.
     context_table:
         The context-restricted table the adopted ``frame`` encodes.  When
         given, the constructor skips re-applying the query context (the

@@ -76,6 +76,9 @@ class ShardContext:
     relabels: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: recipe -> (token, cardinality) — one global compaction per recipe.
     compact_cache: Dict[Tuple, Tuple[str, int]] = field(default_factory=dict)
+    #: column key -> ArrayRef for columns published to the frame store
+    #: (shared-memory ship path; every shard views the same segment).
+    published: Dict[str, Any] = field(default_factory=dict)
 
 
 def recipe_columns(*step_lists: Optional[Sequence]) -> List[str]:
@@ -126,12 +129,19 @@ class ShardPool:
     max_contexts:
         LRU budget on registered contexts (worker slices are dropped when
         a context retires).
+    frame_store:
+        Optional :class:`repro.shm.store.FrameStore`.  When set, column
+        slices are not pickled down worker pipes: the full column is
+        published into a shared segment **once per context** and every
+        shard maps a read-only view of its row range (zero copy).  The
+        pool does not own the store — the caller closes it.
     """
 
     def __init__(self, n_shards: int = 2,
                  start_method: Optional[str] = None,
                  request_timeout: float = 600.0,
-                 max_contexts: int = MAX_SHARD_CONTEXTS):
+                 max_contexts: int = MAX_SHARD_CONTEXTS,
+                 frame_store: Optional[Any] = None):
         if n_shards < 1:
             raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
         import multiprocessing
@@ -147,6 +157,7 @@ class ShardPool:
         self.n_shards = n_shards
         self.request_timeout = request_timeout
         self.max_contexts = max_contexts
+        self._store = frame_store
         self._handles: List[ipc.PipeWorkerHandle] = []
         self._contexts: "OrderedDict[Tuple, ShardContext]" = OrderedDict()
         self._lock = threading.Lock()
@@ -217,6 +228,14 @@ class ShardPool:
                 handle.conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        if self._store is not None:
+            # The pool does not own the store, but its shard generations
+            # are dead weight once the workers are gone — retire them so a
+            # long-lived shared store does not accumulate /dev/shm bytes.
+            with self._lock:
+                dropped = list(self._contexts.values())
+            for ctx in dropped:
+                self._retire_ctx(ctx)
 
     def __enter__(self) -> "ShardPool":
         return self.start()
@@ -256,13 +275,17 @@ class ShardPool:
                 evicted.append(old)
         for old in evicted:
             self._broadcast_best_effort("drop_ctx", {"ctx": old.key})
+            self._retire_ctx(old)
         return ctx
 
     def drop_all_contexts(self) -> None:
         """Forget every context, coordinator- and worker-side."""
         with self._lock:
+            dropped = list(self._contexts.values())
             self._contexts.clear()
         self._broadcast_best_effort("clear", None)
+        for old in dropped:
+            self._retire_ctx(old)
 
     def _broadcast_best_effort(self, op: str, payload) -> None:
         for handle in self._handles:
@@ -287,11 +310,25 @@ class ShardPool:
                     f"worker {index} is missing columns {missing} and no "
                     f"provider was supplied")
             start, stop = ctx.ranges[index]
-            payload = {key: np.ascontiguousarray(provider(key)[start:stop])
-                       for key in missing}
-            ipc.request_locked(handle, "put",
-                               {"ctx": ctx.key, "columns": payload},
-                               self.request_timeout)
+            if self._store is not None:
+                # Zero-copy ship: publish each full column into shared
+                # memory once per context, then hand this shard only the
+                # refs — it maps a read-only view of its row range.
+                refs = self._publish_refs(ctx, missing, provider)
+                self._store.attach_reader(("shard", ctx.key), index)
+                ipc.request_locked(
+                    handle, "put_shm",
+                    {"ctx": ctx.key,
+                     "columns": {key: (refs[key], start, stop)
+                                 for key in missing}},
+                    self.request_timeout)
+            else:
+                payload = {key: np.ascontiguousarray(
+                               provider(key)[start:stop])
+                           for key in missing}
+                ipc.request_locked(handle, "put",
+                                   {"ctx": ctx.key, "columns": payload},
+                                   self.request_timeout)
             ctx.shipped[index].update(missing)
         for token in tokens:
             if token in ctx.relabel_shipped[index]:
@@ -310,6 +347,36 @@ class ShardPool:
                  "ranks": ranks},
                 self.request_timeout)
             ctx.relabel_shipped[index].add(token)
+
+    def _publish_refs(self, ctx: ShardContext, keys: Sequence[str],
+                      provider: ColumnProvider) -> Dict[str, Any]:
+        """Refs for ``keys``, publishing any not yet in shared memory.
+
+        Serialised under the pool lock so concurrent per-shard prepares
+        publish each column exactly once (segments are append-only per
+        generation, so a duplicate publish would leak bytes until the
+        context retires).
+        """
+        with self._lock:
+            unpublished = [key for key in keys if key not in ctx.published]
+            if unpublished:
+                arrays = {key: np.ascontiguousarray(provider(key))
+                          for key in unpublished}
+                ctx.published.update(
+                    self._store.put_arrays(("shard", ctx.key), arrays))
+            return {key: ctx.published[key] for key in keys}
+
+    def _retire_ctx(self, ctx: ShardContext) -> None:
+        """Retire a dropped context's segment generation (if any)."""
+        if self._store is None:
+            return
+        generation = ("shard", ctx.key)
+        # The workers were already told to drop the context (best-effort);
+        # unlink-with-live-maps semantics cover any shard that missed the
+        # message — its views stay valid until it drops them.
+        for index in range(self.n_shards):
+            self._store.detach_reader(generation, index)
+        self._store.retire(generation)
 
     def _run_on_worker(self, ctx: ShardContext, index: int, op: str,
                        payload, columns: Sequence[str],
@@ -366,6 +433,11 @@ class ShardPool:
             for ctx in contexts:
                 ctx.shipped[index] = set()
                 ctx.relabel_shipped[index] = set()
+            if self._store is not None:
+                # The dead process can never ack a release; drop it from
+                # every generation so pending retirements drain.  The lazy
+                # re-ship re-attaches the fresh process as a reader.
+                self._store.drop_reader(index)
 
     def _scatter(self, ctx: ShardContext, op: str,
                  payload_for: Callable[[int], Any],
@@ -674,6 +746,9 @@ class ShardPool:
                 "worker_restarts": self.worker_restarts,
                 "request_retries": self.request_retries,
             }
+        front["frame_store"] = {"enabled": self._store is not None}
+        if self._store is not None:
+            front["frame_store"].update(self._store.stats())
         return {"pool": front, "workers": workers}
 
     def alive_workers(self) -> int:

@@ -71,6 +71,29 @@ class ShardStore:
                                       self.resident_rows())
         return entry["n_rows"]
 
+    def put_shm_columns(self, ctx: Any, columns: Dict[str, Any]) -> int:
+        """Map shared-segment column slices as read-only views (zero copy).
+
+        ``columns`` maps a column key to ``(ArrayRef, start, stop)``: the
+        full column lives in a shared segment published by the
+        coordinator, and this shard views only its row range.  A 1-D slice
+        of a view is itself a view, so resident bytes stay O(attached
+        segments), not O(rows x columns) per shard.
+        """
+        from repro.shm.segments import attachments
+
+        cache = attachments()
+        entry = self.context(ctx)
+        segments = entry.setdefault("segments", set())
+        for key, (ref, start, stop) in columns.items():
+            view = cache.attach(ref)[start:stop]
+            entry["columns"][key] = view
+            entry["n_rows"] = len(view)
+            segments.add(ref.segment)
+        self.peak_resident_rows = max(self.peak_resident_rows,
+                                      self.resident_rows())
+        return entry["n_rows"]
+
     def put_relabel(self, ctx: Any, token: str, values: np.ndarray,
                     ranks: np.ndarray) -> None:
         self.context(ctx)["relabels"][token] = (
@@ -78,7 +101,30 @@ class ShardStore:
             np.asarray(ranks, dtype=np.int64))
 
     def drop_context(self, ctx: Any) -> None:
-        self.contexts.pop(ctx, None)
+        entry = self.contexts.pop(ctx, None)
+        if entry is not None:
+            self._release_segments(entry.get("segments", ()))
+
+    def clear(self) -> None:
+        entries = list(self.contexts.values())
+        self.contexts.clear()
+        released = set()
+        for entry in entries:
+            released.update(entry.get("segments", ()))
+        self._release_segments(released)
+
+    def _release_segments(self, dropped) -> None:
+        """Detach segments no surviving context still views."""
+        if not dropped:
+            return
+        still_needed = set()
+        for entry in self.contexts.values():
+            still_needed.update(entry.get("segments", ()))
+        stale = set(dropped) - still_needed
+        if stale:
+            from repro.shm.segments import attachments
+
+            attachments().release(stale)
 
     def resident_rows(self) -> int:
         """Total rows resident across contexts (one context = one slice)."""
@@ -142,6 +188,13 @@ class ShardStore:
         for key in keys[1:]:
             product *= np.asarray(self.column(ctx, key), dtype=np.float64)
         return product
+
+
+def _attachment_stats() -> Dict[str, int]:
+    """This process's shared-segment attachment counters (observability)."""
+    from repro.shm.segments import attachments
+
+    return attachments().stats()
 
 
 def _serve_counts_job(store: ShardStore, ctx: Any,
@@ -210,6 +263,8 @@ def _shard_worker_main(conn, shard_index: int, n_shards: int) -> None:
             return np.unique(fused[fused >= 0])
         if op == "put":
             return store.put_columns(payload["ctx"], payload["columns"])
+        if op == "put_shm":
+            return store.put_shm_columns(payload["ctx"], payload["columns"])
         if op == "put_relabel":
             store.put_relabel(payload["ctx"], payload["token"],
                               payload["values"], payload["ranks"])
@@ -244,15 +299,15 @@ def _shard_worker_main(conn, shard_index: int, n_shards: int) -> None:
             store.drop_context(payload["ctx"])
             return None
         if op == "clear":
-            store.contexts.clear()
+            store.clear()
             return None
         if op == "stats":
-            try:
-                import resource
-                maxrss_kb = int(resource.getrusage(
-                    resource.RUSAGE_SELF).ru_maxrss)
-            except Exception:  # pragma: no cover - non-POSIX fallback
-                maxrss_kb = 0
+            from repro.obs.metrics import process_maxrss_kb
+
+            # VmHWM, not ru_maxrss: a spawn-started shard inherits the
+            # parent's rusage peak on Linux, which would report the
+            # coordinator's footprint as the shard's.
+            maxrss_kb = process_maxrss_kb()
             rows = store.resident_rows()
             return {
                 "role": "row-shard",
@@ -268,6 +323,7 @@ def _shard_worker_main(conn, shard_index: int, n_shards: int) -> None:
                     len(entry["columns"])
                     for entry in store.contexts.values()),
                 "maxrss_kb": maxrss_kb,
+                "frame_store": _attachment_stats(),
             }
         if op == "ping":
             return "pong"

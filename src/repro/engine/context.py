@@ -41,6 +41,10 @@ from repro.obs import trace
 from repro.table.expressions import Predicate, canonical_predicate_key
 from repro.table.table import Table
 
+#: Cached offline-pruning verdict for a column the augmented table does
+#: not have: excluded from both ``kept`` and ``dropped``, never re-probed.
+_ABSENT_COLUMN = "__absent_column__"
+
 
 class StageHook:
     """Instrumentation callback invoked around every pipeline stage.
@@ -112,9 +116,25 @@ class PipelineContext:
         self._counter_lock = threading.Lock()
         self.hooks: List[StageHook] = []
         self._extraction: Dict[int, Tuple[Table, Tuple[ExtractionResult, ...]]] = {}
-        self._offline: Dict[Tuple[int, float, float], PruningResult] = {}
+        #: Per-column offline verdicts (``None`` = kept, else the drop
+        #: reason), keyed by the threshold tuple.  Columns are judged
+        #: lazily, in batches of whatever a caller asks about and is not
+        #: cached yet — so excluded / never-candidate columns of a wide
+        #: table are never scanned at all, while the across-queries
+        #: amortisation (each column judged at most once) is preserved.
+        self._offline: Dict[Tuple[int, float, float],
+                            Dict[str, Optional[str]]] = {}
         self._frames: "OrderedDict[Tuple[int, int, str, int], Tuple[Table, EncodedFrame]]" = \
             OrderedDict()
+        #: Pre-encoded frames published by a frame-store owner, keyed by
+        #: ``(hops, n_bins, canonical context predicate)`` — *without* the
+        #: dataset version: adoption is version-agnostic and the whole map
+        #: drops on :meth:`bump_dataset_version` (a bump means the data may
+        #: have changed, so owner-encoded artefacts are no longer trusted).
+        #: Values are :class:`repro.shm.manifest.FrameManifest` records;
+        #: the frame itself materialises lazily on the first cache miss as
+        #: read-only views over the shared segments.
+        self._shared_frames: Dict[Tuple[int, int, str], object] = {}
         #: Finished IPW selection fits keyed by (design signature, observed
         #: mask hash) — queries sharing a context (and attributes sharing a
         #: missingness pattern) fit each selection model at most once.
@@ -180,8 +200,12 @@ class PipelineContext:
         forked.shard_pool = self.shard_pool
         forked.shard_label = self.shard_label
         forked._extraction = dict(self._extraction)
-        forked._offline = dict(self._offline)
+        # Verdict maps accumulate lazily now — give the fork its own dicts
+        # so neither side observes the other's later additions mid-iteration.
+        forked._offline = {key: dict(verdicts)
+                           for key, verdicts in self._offline.items()}
         forked._frames = OrderedDict(self._frames)
+        forked._shared_frames = dict(self._shared_frames)
         forked.ipw_fit_cache = self.ipw_fit_cache.copy()
         return forked
 
@@ -200,6 +224,10 @@ class PipelineContext:
             self.dataset_version += 1
             version = self.dataset_version
         self.ipw_fit_cache = SelectionFitCache(self.MAX_IPW_FIT_CACHE)
+        # Owner-published frames describe pre-bump data; drop the adoption
+        # map so post-bump misses re-encode locally (the owner re-publishes
+        # on its next warm pass).
+        self._shared_frames = {}
         self.count("dataset_version_bumps")
         return version
 
@@ -280,25 +308,39 @@ class PipelineContext:
         """The offline pruning verdict restricted to the given candidates.
 
         Offline pruning is query independent and per-attribute, so the
-        context computes it exactly once over *every* column of the
-        augmented table and answers each query by restriction — this is
-        what lets :meth:`ExplanationPipeline.explain_many` amortise the
-        pre-processing across a whole batch of queries.
+        context judges each column exactly once and answers every query
+        from the cached verdicts — this is what lets
+        :meth:`ExplanationPipeline.explain_many` amortise the
+        pre-processing across a whole batch of queries.  Verdicts are
+        computed lazily for whatever columns a caller actually asks
+        about: a wide table's excluded or never-candidate columns are
+        never scanned (``n_unique`` over a quarter-million-row identifier
+        column is a sort the pipeline would otherwise pay per dataset).
         """
         key = (hops, max_missing_fraction, high_entropy_unique_ratio)
-        if key not in self._offline:
+        verdicts = self._offline.setdefault(key, {})
+        todo = [name for name in candidates if name not in verdicts]
+        if todo:
             self.count("offline_pruning_runs")
             augmented = self.augmented_table(hops)
-            self._offline[key] = offline_prune(
-                augmented, augmented.column_names,
+            judged = offline_prune(
+                augmented, [name for name in todo if name in augmented],
                 max_missing_fraction=max_missing_fraction,
                 high_entropy_unique_ratio=high_entropy_unique_ratio,
             )
-        cached = self._offline[key]
-        kept_set = set(cached.kept)
-        kept = [name for name in candidates if name in kept_set]
-        dropped = {name: cached.dropped[name] for name in candidates
-                   if name in cached.dropped}
+            for name in judged.kept:
+                verdicts[name] = None
+            verdicts.update(judged.dropped)
+            for name in todo:
+                # Absent columns stay out of both kept and dropped (the
+                # historical contract); remember the verdict so they are
+                # not re-probed on every call.
+                verdicts.setdefault(name, _ABSENT_COLUMN)
+        kept = [name for name in candidates
+                if name in verdicts and verdicts[name] is None]
+        dropped = {name: verdicts[name] for name in candidates
+                   if verdicts.get(name) is not None
+                   and verdicts[name] is not _ABSENT_COLUMN}
         return PruningResult(kept=kept, dropped=dropped)
 
     # ------------------------------------------------------------------ #
@@ -315,17 +357,62 @@ class PipelineContext:
         on its first query.  Frames encode lazily, so a cache hit also
         inherits every column the earlier queries already touched.
         """
-        key = (hops, n_bins, canonical_predicate_key(context),
-               self.dataset_version)
+        context_key = canonical_predicate_key(context)
+        key = (hops, n_bins, context_key, self.dataset_version)
         entry = self._frames.get(key)
         if entry is not None:
             self._frames.move_to_end(key)
             self.count("frame_cache_hits")
             trace.annotate(frame_cache="hit")
             return entry
+        manifest = self._shared_frames.get((hops, n_bins, context_key))
+        if manifest is not None:
+            adopted = self._adopt_frame(key, manifest, context, hops)
+            if adopted is not None:
+                return adopted
         self.count("frame_cache_misses")
         with trace.span("frame.encode", hops=hops, n_bins=n_bins):
             return self._build_frame(key, context, hops, n_bins)
+
+    def adopt_shared_frame(self, manifest) -> None:
+        """Install an owner-published pre-encoded frame for later adoption.
+
+        ``manifest`` is a :class:`repro.shm.manifest.FrameManifest`; its
+        ``key`` is the version-less frame identity.  The next cache miss
+        for that identity attaches read-only views over the shared code
+        arrays instead of re-encoding — the ``warm()`` encode-once-per-box
+        path of the frame store.
+        """
+        self._shared_frames[tuple(manifest.key)] = manifest
+
+    def _adopt_frame(self, key, manifest, context: Predicate,
+                     hops: int) -> Optional[Tuple[Table, EncodedFrame]]:
+        """Materialise a published frame as views (None on any mismatch).
+
+        Filtering the context table locally is cheap and deterministic;
+        only the per-column factorisation arrives shared.  A row-count
+        mismatch means this process's table state diverged from the
+        owner's — fall back to the encode path rather than serve wrong
+        codes.
+        """
+        from repro.shm.manifest import frame_from_manifest
+
+        augmented = self.augmented_table(hops)
+        if any(name not in augmented for name in context.columns()):
+            return None  # the encode path raises the precise QueryError
+        context_table = augmented.filter_view(context)
+        try:
+            frame = frame_from_manifest(manifest, context_table)
+        except Exception:
+            self._shared_frames.pop((key[0], key[1], key[2]), None)
+            return None
+        self.count("frame_store_attach")
+        trace.annotate(frame_cache="shm-attach")
+        entry = (context_table, frame)
+        self._frames[key] = entry
+        while len(self._frames) > self.MAX_FRAME_CACHE:
+            self._frames.popitem(last=False)
+        return entry
 
     def _build_frame(self, key, context: Predicate, hops: int,
                      n_bins: int) -> Tuple[Table, EncodedFrame]:
@@ -336,7 +423,11 @@ class PipelineContext:
             raise QueryError(
                 f"Query context references missing column(s) {missing}; "
                 f"the augmented table has {augmented.column_names}")
-        context_table = augmented.filter(context)
+        # A lazy view: the pipeline reads a handful of candidate, exposure/
+        # outcome and predictor columns — filtering the rest of a wide
+        # table would copy (and, over a shared-memory table, privately
+        # touch) every column per context for nothing.
+        context_table = augmented.filter_view(context)
         entry = (context_table, EncodedFrame(context_table, n_bins=n_bins))
         self._frames[key] = entry
         while len(self._frames) > self.MAX_FRAME_CACHE:

@@ -97,10 +97,15 @@ def _warm_context(pipeline) -> None:
     per batch regardless of the worker count.
     """
     config = pipeline.config
-    pipeline.context.augmented_table(config.hops)
+    augmented = pipeline.context.augmented_table(config.hops)
     if config.use_offline_pruning:
+        # Verdicts are judged lazily per column, so warm exactly the
+        # columns queries can use as candidates — excluded (identifier)
+        # columns of a wide table are never scanned.
+        candidates = [name for name in augmented.column_names
+                      if name not in config.excluded_columns]
         pipeline.context.offline_pruning(
-            [], hops=config.hops,
+            candidates, hops=config.hops,
             max_missing_fraction=config.max_missing_fraction,
             high_entropy_unique_ratio=config.high_entropy_unique_ratio)
 

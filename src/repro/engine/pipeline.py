@@ -197,11 +197,18 @@ class ExplanationPipeline:
         its engine run, so a batch coalesced from several traced requests
         attributes stage/test spans to the right request.
         """
-        from repro.engine.parallel import explain_many_threaded, resolve_n_jobs
+        from repro.engine.parallel import (_warm_context,
+                                           explain_many_threaded,
+                                           resolve_n_jobs)
 
         queries = list(queries)
         jobs = resolve_n_jobs(n_jobs, default=self.config.n_jobs)
         if jobs <= 1 or len(queries) <= 1:
+            if len(queries) > 1:
+                # Judge the whole candidate pool in one pruning pass so
+                # per-query calls (whose candidate sets differ by their
+                # own exposure/outcome) find every verdict cached.
+                _warm_context(self)
             results = []
             for index, query in enumerate(queries):
                 captured = trace_captures[index] if trace_captures else None

@@ -85,6 +85,26 @@ class EncodedFrame:
     _missing_as_category: Dict[str, np.ndarray] = field(default_factory=dict,
                                                         repr=False)
 
+    def install_encoding(self, column_name: str, codes: np.ndarray,
+                         categories: List[Any]) -> None:
+        """Install an externally computed encoding for one column.
+
+        The zero-copy path of the shared-memory frame store: the owner
+        process encodes a hot context once, and every worker installs
+        **read-only views** over the shared code arrays instead of
+        re-factorising.  Read-only arrays are safe throughout this class —
+        every derived representation (``missing_as_category``,
+        ``restrict``, ``joint``) copies before writing — and the install
+        order (categories first) preserves the concurrent-reader guarantee
+        of the lazy encoder.
+        """
+        if len(codes) != self.n_rows:
+            raise EstimationError(
+                f"Installed codes for {column_name!r} have {len(codes)} rows, "
+                f"frame has {self.n_rows}")
+        self._categories[column_name] = list(categories)
+        self._codes[column_name] = codes
+
     @property
     def n_rows(self) -> int:
         """Number of rows of the underlying table."""

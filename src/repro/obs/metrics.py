@@ -29,9 +29,39 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "merge_metric_states",
+    "process_maxrss_kb",
     "prometheus_text",
     "DEFAULT_LATENCY_BUCKETS",
 ]
+
+
+def process_maxrss_kb() -> int:
+    """This process's peak resident set size in KB (0 where unsupported).
+
+    Reads ``VmHWM`` from ``/proc/self/status`` where available.  The
+    obvious ``getrusage(RUSAGE_SELF).ru_maxrss`` is wrong for exactly the
+    processes that report this number: on Linux the rusage accounting
+    survives ``fork`` *and* ``execve``, so a spawn-started worker forever
+    reports at least the peak its parent had reached by spawn time — a
+    front tier that just pickled a dataset into the pipe makes every
+    fresh worker look as heavy as itself.  ``VmHWM`` is reset on exec and
+    tracks the process's own high-water mark.  Non-Linux POSIX platforms
+    fall back to ``getrusage`` (fork-inheritance caveat and all);
+    elsewhere the answer is 0.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:  # pragma: no cover - non-POSIX platform
+        return 0
 
 #: Upper bounds (seconds) of the fixed latency buckets; +Inf is implicit.
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
@@ -341,6 +371,64 @@ def _render_cache_block(out: _Renderer, cache: Mapping[str, Any],
                    hits / float(hits + misses))
 
 
+def _render_memory_block(out: _Renderer, stats: Mapping[str, Any]) -> None:
+    """Per-worker RSS and shared-memory frame-store gauges.
+
+    RSS must stay per-worker-labeled — ``merge_metric_states`` sums
+    gauges, and a *summed* maxrss across N workers is exactly the number
+    the frame store exists to shrink, so it is read straight off the
+    per-worker snapshots instead of the merged registry.
+    """
+    if isinstance(stats.get("memory"), Mapping):
+        maxrss_kb = stats["memory"].get("maxrss_kb", 0)
+        if maxrss_kb:
+            out.header("repro_worker_maxrss_bytes", "gauge",
+                       "peak resident set size per worker process")
+            out.sample("repro_worker_maxrss_bytes", {"worker": "service"},
+                       maxrss_kb * 1024)
+    attach_total = 0.0
+    attach_seen = False
+    workers = stats.get("workers")
+    if isinstance(workers, Mapping):
+        for worker_id, snapshot in sorted(workers.items()):
+            if not isinstance(snapshot, Mapping):
+                continue
+            maxrss_kb = snapshot.get("maxrss_kb")
+            if maxrss_kb is None and isinstance(snapshot.get("memory"),
+                                                Mapping):
+                maxrss_kb = snapshot["memory"].get("maxrss_kb")
+            if maxrss_kb:
+                out.header("repro_worker_maxrss_bytes", "gauge",
+                           "peak resident set size per worker process")
+                out.sample("repro_worker_maxrss_bytes",
+                           {"worker": worker_id}, maxrss_kb * 1024)
+            worker_store = snapshot.get("frame_store")
+            if isinstance(worker_store, Mapping):
+                attach_seen = True
+                attach_total += worker_store.get("attach_total", 0)
+    store = stats.get("frame_store")
+    if isinstance(store, Mapping):
+        out.header("repro_frame_store_enabled", "gauge",
+                   "whether the shared-memory frame store is active")
+        out.sample("repro_frame_store_enabled", {},
+                   1 if store.get("enabled") else 0)
+        out.header("repro_shm_segments", "gauge",
+                   "live shared-memory segments owned by the frame store")
+        out.sample("repro_shm_segments", {}, store.get("segments", 0))
+        out.header("repro_shm_segment_bytes", "gauge",
+                   "bytes held in shared-memory segments")
+        out.sample("repro_shm_segment_bytes", {}, store.get("bytes", 0))
+        if "frames_published" in store:
+            out.header("repro_frame_store_frames_published_total", "counter",
+                       "context frames encoded once and published")
+            out.sample("repro_frame_store_frames_published_total", {},
+                       store.get("frames_published", 0))
+    if attach_seen:
+        out.header("repro_frame_store_attach_total", "counter",
+                   "segment attachments performed by workers")
+        out.sample("repro_frame_store_attach_total", {}, attach_total)
+
+
 def prometheus_text(stats: Mapping[str, Any]) -> str:
     """Render a ``stats()`` snapshot as Prometheus text exposition.
 
@@ -403,6 +491,8 @@ def prometheus_text(stats: Mapping[str, Any]) -> str:
                        "requests dispatched to workers")
             out.sample("repro_cluster_requests_routed_total", {},
                        cluster.get("requests_routed", 0))
+
+    _render_memory_block(out, stats)
 
     tracing = stats.get("tracing")
     if isinstance(tracing, Mapping):

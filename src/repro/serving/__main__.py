@@ -98,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="Worker start method (default: fork where "
                              "available, else spawn)")
+    parser.add_argument("--frame-store", choices=("auto", "on", "off"),
+                        default="auto",
+                        help="Shared-memory frame store: hold the encoded "
+                             "dataset in POSIX shared segments that workers "
+                             "map read-only instead of copying ('auto' = on "
+                             "for multi-worker clusters when /dev/shm works; "
+                             "silently falls back to the copy path otherwise)")
     parser.add_argument("--cache-size", type=int, default=4096,
                         help="Bound on the explanation cache (per worker)")
     parser.add_argument("--ttl", type=float, default=None,
@@ -142,9 +149,11 @@ def main(argv=None) -> None:
             service.register_bundle(bundle, config=configs[bundle.name])
         client = LocalClient(service)
     else:
+        frame_store = {"auto": None, "on": True, "off": False}[
+            args.frame_store]
         cluster = ServiceCluster(
             n_workers=args.workers, start_method=args.start_method,
-            shard=args.shard,
+            shard=args.shard, frame_store=frame_store,
             service_kwargs={"cache_size": args.cache_size,
                             "ttl_seconds": args.ttl})
         for bundle in bundles:

@@ -56,10 +56,11 @@ the client surface.
 from __future__ import annotations
 
 import copy
+import itertools
 import json
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.distributed import ipc
@@ -92,6 +93,11 @@ class DatasetSpec:
     This is the spawn-safe initializer payload: it is pickled into each
     worker exactly once — at process start (and again only on a restart) —
     so per-request messages carry queries, never data.
+
+    With the shared-memory frame store enabled, ``manifest`` (a
+    :class:`repro.shm.manifest.TableManifest`) replaces ``table``: the
+    spec pickles in O(columns) bytes and the worker attaches read-only
+    views over the shared segments instead of re-unpickling O(table).
     """
 
     name: str
@@ -100,6 +106,39 @@ class DatasetSpec:
     extraction_specs: Tuple = ()
     config: Optional[MESAConfig] = None
     warm: bool = True
+    manifest: Any = None
+
+    @property
+    def n_rows(self) -> int:
+        """Row count, whichever payload carries the data."""
+        if self.table is not None:
+            return self.table.n_rows
+        return self.manifest.n_rows if self.manifest is not None else 0
+
+    def resolve_table(self):
+        """The concrete table: shipped directly or attached from shm."""
+        if self.table is not None:
+            return self.table
+        from repro.shm.manifest import table_from_manifest
+
+        return table_from_manifest(self.manifest)
+
+
+#: Fork-mode spec handoff: the parent stashes the spec list here under a
+#: one-shot token immediately before forking, the child pops it from its
+#: inherited copy-on-write copy, and the parent deletes its entry as soon
+#: as the fork happened.  Nothing is pickled — which is the point: fork
+#: children inherit the tables for free, and serialising them per worker
+#: was pure redundant cost.
+_FORK_SPECS: Dict[int, List[DatasetSpec]] = {}
+_fork_spec_tokens = itertools.count()
+
+
+@dataclass(frozen=True)
+class _ForkInheritedSpecs:
+    """A token standing in for a spec list that crosses by fork inheritance."""
+
+    token: int
 
 
 def _worker_safe_config(config: Optional[MESAConfig]) -> MESAConfig:
@@ -126,10 +165,15 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
     executor's IPC path).
     """
     service = ExplanationService(**service_kwargs)
-    specs = list(specs)
+    if isinstance(specs, _ForkInheritedSpecs):
+        # Fork mode, frame store off: the spec list (tables included) came
+        # along with the address space; nothing was pickled.
+        specs = list(_FORK_SPECS.get(specs.token, ()))
+    else:
+        specs = list(specs)
     for spec in specs:
         service.register_dataset(
-            spec.name, spec.table, spec.knowledge_graph,
+            spec.name, spec.resolve_table(), spec.knowledge_graph,
             spec.extraction_specs, config=_worker_safe_config(spec.config),
             warm=spec.warm)
 
@@ -148,12 +192,15 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
         if op == "stats":
             snapshot = service.stats()
             # Every keys-mode worker is a full replica: it holds a copy of
-            # each registered table, so its resident row count is the sum
-            # over specs (contrast the row-shard workers, which report
+            # each registered table — or, with the frame store, read-only
+            # views over it — so its resident row count is the sum over
+            # specs (contrast the row-shard workers, which report
             # O(rows / N) slices).
             snapshot["role"] = "replica"
-            snapshot["resident_rows"] = sum(spec.table.n_rows
-                                            for spec in specs)
+            snapshot["resident_rows"] = sum(spec.n_rows for spec in specs)
+            from repro.shm.segments import attachments
+
+            snapshot["frame_store"] = attachments().stats()
             return snapshot
         if op == "warm":
             dataset, queries, top = payload
@@ -161,6 +208,21 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
         if op == "clear_cache":
             service.clear_cache()
             return None
+        if op == "adopt_frame":
+            # An owner-published pre-encoded context frame: install its
+            # manifest so the next frame-cache miss attaches read-only
+            # views instead of re-encoding (encode-once-per-box).
+            dataset, manifest = payload
+            if dataset in service.datasets():
+                service.pipeline(dataset).context.adopt_shared_frame(manifest)
+            return None
+        if op == "release_segments":
+            # The owner is retiring a generation; drop our handles so it
+            # can refcount down to the unlink.  Best-effort by design —
+            # live views keep their (already unlinked-safe) mappings.
+            from repro.shm.segments import attachments
+
+            return attachments().release(payload or ())
         if op == "register":
             spec = payload
             # Idempotent: a worker respawned after this spec was appended
@@ -170,7 +232,7 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
                 specs.append(spec)
             if spec.name not in service.datasets():
                 service.register_dataset(
-                    spec.name, spec.table, spec.knowledge_graph,
+                    spec.name, spec.resolve_table(), spec.knowledge_graph,
                     spec.extraction_specs,
                     config=_worker_safe_config(spec.config), warm=spec.warm)
             return None
@@ -216,6 +278,16 @@ class ServiceCluster:
         scatter-gathers across them (see :mod:`repro.distributed`).  Rows
         mode is how a table no single worker could hold gets served; keys
         mode is how a hot key space gets cache capacity.
+    frame_store:
+        Share the dataset (and ``warm()``-encoded hot-context frames)
+        across workers through ``multiprocessing.shared_memory``
+        (:mod:`repro.shm`): workers attach read-only views instead of
+        holding copies, collapsing per-worker residency from O(table) to
+        O(1) and encoding each hot context once per box.  ``None``
+        (default) enables it for multi-worker topologies when the
+        platform has usable POSIX shared memory; ``True`` requests it
+        (still subject to platform support — graceful fallback to the
+        copy path, never an error); ``False`` disables it.
     """
 
     def __init__(self, n_workers: int = 2,
@@ -224,7 +296,8 @@ class ServiceCluster:
                  request_timeout: float = 600.0,
                  restart_warm_top: int = 8,
                  history_size: int = 1024,
-                 shard: str = "keys"):
+                 shard: str = "keys",
+                 frame_store: Optional[bool] = None):
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         if shard not in ("keys", "rows"):
@@ -245,6 +318,29 @@ class ServiceCluster:
         #: Rows mode only: the parent-process service and its shard pool.
         self._service: Optional[ExplanationService] = None
         self._pool = None
+        from repro.shm import shm_available
+
+        if frame_store is None:
+            frame_store = n_workers > 1
+        #: Whether this cluster shares data through :mod:`repro.shm`.
+        #: Requested-but-unavailable degrades to the copy path silently —
+        #: the serving contract is identical, only the memory profile
+        #: differs.
+        self.frame_store_enabled = bool(frame_store) and shm_available()
+        #: Owner-side segment registry (lazily built at start).
+        self._store = None
+        #: Keys mode: the per-dataset table manifests shipped to workers.
+        self._table_manifests: Dict[str, Any] = {}
+        #: Keys mode: published hot-context frame manifests, keyed by
+        #: ``(dataset, frame key)``; re-broadcast to restarted workers.
+        self._frame_manifests: Dict[Tuple[str, Tuple], Any] = {}
+        #: Epoch component of frame generations: bumped by
+        #: :meth:`clear_cache`, so a retired generation still draining its
+        #: readers never collides with freshly published frames.
+        self._frame_epoch = 0
+        #: Keys mode: parent-side reference contexts used to encode hot
+        #: frames exactly once per box (one per dataset, built lazily).
+        self._ref_contexts: Dict[str, Any] = {}
         self.request_timeout = request_timeout
         self.restart_warm_top = restart_warm_top
         self.history_size = history_size
@@ -297,8 +393,13 @@ class ServiceCluster:
             if self._service is not None:
                 self._register_rows(spec)
             else:
+                payload = self._worker_spec(spec) if self._store is not None \
+                    else spec
                 for handle in self._handles:
-                    self._dispatch(handle.index, "register", spec)
+                    self._dispatch(handle.index, "register", payload)
+                    if self._store is not None:
+                        self._store.attach_reader(("table", name),
+                                                  handle.index)
         return spec
 
     def register_bundle(self, bundle, config: Optional[MESAConfig] = None,
@@ -325,6 +426,10 @@ class ServiceCluster:
         if not self._specs:
             raise ConfigurationError(
                 "register at least one dataset before starting the cluster")
+        if self.frame_store_enabled:
+            from repro.shm import FrameStore
+
+            self._store = FrameStore()
         if self.shard == "rows":
             from repro.distributed.coordinator import ShardPool
 
@@ -334,11 +439,14 @@ class ServiceCluster:
             # O(rows / N) column slices and answers partial-count, permuted
             # -count and IRLS-partial requests.  The engine's intra-batch
             # fan-out must stay on threads (thread workers share the pool's
-            # pipes; a forked engine process would not).
+            # pipes; a forked engine process would not).  With the frame
+            # store the pool publishes each context column once and ships
+            # O(1) refs; shards attach their row-range as views.
             self._service = ExplanationService(**self.service_kwargs)
             self._pool = ShardPool(n_shards=self.n_workers,
                                    start_method=self.start_method,
-                                   request_timeout=self.request_timeout)
+                                   request_timeout=self.request_timeout,
+                                   frame_store=self._store)
             self._pool.start()
             for spec in self._specs:
                 self._register_rows(spec)
@@ -366,14 +474,51 @@ class ServiceCluster:
         if spec.warm:
             self._service.warm(spec.name)
 
+    def _worker_spec(self, spec: DatasetSpec) -> DatasetSpec:
+        """The spec a worker receives: manifest-backed when the store is on."""
+        if self._store is None:
+            return spec
+        manifest = self._table_manifests.get(spec.name)
+        if manifest is None:
+            manifest = self._store.put_table(("table", spec.name), spec.name,
+                                             spec.table)
+            self._table_manifests[spec.name] = manifest
+        return replace(spec, table=None, manifest=manifest)
+
+    def _specs_payload(self) -> Tuple[Any, Optional[int]]:
+        """What crosses into a fresh worker, and how.
+
+        Frame store on: manifest-backed specs (tiny pickles, workers
+        attach views).  Fork with the store off: a one-shot token — the
+        tables cross by copy-on-write inheritance, never pickled.  Spawn
+        with the store off: the classic full-spec pickle.
+        """
+        if self._store is not None:
+            return [self._worker_spec(spec) for spec in self._specs], None
+        if self.start_method == "fork":
+            token = next(_fork_spec_tokens)
+            _FORK_SPECS[token] = list(self._specs)
+            return _ForkInheritedSpecs(token), token
+        return list(self._specs), None
+
     def _spawn_worker(self, index: int) -> _WorkerHandle:
         parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        specs_payload, fork_token = self._specs_payload()
         process = self._mp.Process(
             target=_cluster_worker_main,
-            args=(child_conn, list(self._specs), self.service_kwargs),
+            args=(child_conn, specs_payload, self.service_kwargs),
             name=f"repro-serving-worker-{index}", daemon=True)
-        process.start()
+        try:
+            process.start()
+        finally:
+            if fork_token is not None:
+                # The child holds its inherited copy; the parent's stash
+                # entry has done its job.
+                _FORK_SPECS.pop(fork_token, None)
         child_conn.close()  # the parent keeps only its end
+        if self._store is not None:
+            for spec in self._specs:
+                self._store.attach_reader(("table", spec.name), index)
         return _WorkerHandle(index=index, process=process, conn=parent_conn)
 
     def close(self) -> None:
@@ -413,6 +558,10 @@ class ServiceCluster:
                 handle.conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+        if self._store is not None:
+            # After the workers are down: force-unlink every shared
+            # segment so /dev/shm is clean the moment the owner returns.
+            self._store.close()
 
     def __enter__(self) -> "ServiceCluster":
         self.start()
@@ -619,6 +768,7 @@ class ServiceCluster:
                 "contexts": snapshot["contexts"],
                 "metrics": snapshot.get("metrics", []),
                 "tracing": snapshot.get("tracing", {}),
+                "frame_store": self._frame_store_stats(),
                 "workers": pool_stats["workers"],
             }
 
@@ -715,8 +865,16 @@ class ServiceCluster:
             "negative_cache": negative,
             "contexts": merged_contexts,
             "metrics": merged_metrics,
+            "frame_store": self._frame_store_stats(),
             "workers": workers,
         }
+
+    def _frame_store_stats(self) -> Dict[str, Any]:
+        """Owner-side segment registry totals for ``/stats`` and gauges."""
+        block: Dict[str, Any] = {"enabled": self.frame_store_enabled}
+        if self._store is not None:
+            block.update(self._store.stats())
+        return block
 
     def warm(self, dataset: str, queries: Optional[Sequence] = None,
              top: int = 8) -> int:
@@ -728,10 +886,18 @@ class ServiceCluster:
         worker replays the top of its *own* recorded history.  Routing
         resolves ``k`` exactly as :meth:`explain` does, so the warmed
         shard is the shard live traffic will hit.
+
+        With the frame store on, the hot contexts behind the warmed
+        queries are encoded **once, here in the owner**, published as
+        shared read-only code arrays and adopted by every worker — the
+        replay below then runs against pre-encoded frames instead of
+        re-factorising the same columns in every process.
         """
         self._ensure_serving()
         if self._service is not None:
             return self._service.warm(dataset, queries=queries, top=top)
+        if self._store is not None:
+            self._publish_hot_frames(dataset, queries)
         resolved_k = self._resolve_k(dataset, None)
         total = 0
         for handle in self._handles:
@@ -744,6 +910,84 @@ class ServiceCluster:
             total += int(self._dispatch(handle.index, "warm",
                                         (dataset, routed, top)) or 0)
         return total
+
+    def _publish_hot_frames(self, dataset: str,
+                            queries: Optional[Sequence]) -> None:
+        """Encode the warm set's context frames once and broadcast them.
+
+        ``queries=None`` falls back to the front tier's recorded history
+        for the dataset — the same hot set the workers are about to
+        replay.  Publication is idempotent per (dataset, frame identity):
+        a second warm pass re-broadcasts existing manifests (restarted
+        workers need them) without re-encoding or re-publishing segments.
+        """
+        spec = next((one for one in self._specs if one.name == dataset), None)
+        if spec is None:
+            return
+        if queries is None:
+            with self._lock:
+                history = list(self._history.get(dataset, {}).values())
+            queries = [entry[0] for entry in history]
+        if not queries:
+            return
+        config = _worker_safe_config(spec.config)
+        hops, n_bins = config.hops, config.n_bins
+        from repro.table.expressions import canonical_predicate_key
+
+        published: List[Tuple[Tuple, Any]] = []
+        for query in queries:
+            frame_key = (hops, n_bins,
+                         canonical_predicate_key(query.context))
+            manifest = self._frame_manifests.get((dataset, frame_key))
+            if manifest is None:
+                context = self._ref_context(spec)
+                context_table, frame = context.context_frame(
+                    query.context, hops=hops, n_bins=n_bins)
+                # Encode every column the engine can ask for up front, so
+                # workers never fall back to a local factorise for one the
+                # published frame happens not to carry.  Excluded columns
+                # are the exception — the engine never factorises them
+                # (and on wide tables they are the bulk of the schema), so
+                # publishing their codes would cost shm bytes and warm
+                # time for arrays nobody reads.  An adopted frame still
+                # encodes any unpublished column lazily from its table
+                # views, so this is a size choice, not a correctness one.
+                excluded = set(config.excluded_columns or ())
+                names = [name for name in context_table.column_names
+                         if name not in excluded]
+                for name in names:
+                    frame.codes(name)
+                manifest = self._store.put_frame(
+                    ("frames", dataset, self._frame_epoch), dataset,
+                    frame_key, frame, names)
+                self._frame_manifests[(dataset, frame_key)] = manifest
+            published.append((frame_key, manifest))
+        seen = set()
+        for frame_key, manifest in published:
+            if frame_key in seen:
+                continue
+            seen.add(frame_key)
+            for handle in self._handles:
+                self._dispatch(handle.index, "adopt_frame",
+                               (dataset, manifest))
+                self._store.attach_reader(
+                    ("frames", dataset, self._frame_epoch), handle.index)
+
+    def _ref_context(self, spec: DatasetSpec):
+        """The owner's reference context for ``spec`` (lazily built).
+
+        One :class:`~repro.engine.context.PipelineContext` per dataset,
+        sharing the spec's table the front tier already holds; it exists
+        so hot frames are encoded exactly once per box.
+        """
+        context = self._ref_contexts.get(spec.name)
+        if context is None:
+            from repro.engine.context import PipelineContext
+
+            context = PipelineContext(spec.table, spec.knowledge_graph,
+                                      spec.extraction_specs)
+            self._ref_contexts[spec.name] = context
+        return context
 
     def clear_cache(self) -> None:
         """Invalidate every cache layer on every worker, coherently.
@@ -761,6 +1005,42 @@ class ServiceCluster:
             return
         for handle in self._handles:
             self._dispatch(handle.index, "clear_cache", None)
+        if self._store is not None:
+            self._retire_frame_generation()
+
+    def _retire_frame_generation(self) -> None:
+        """Retire every published frame generation (refcounted unlink).
+
+        The version bump the workers just performed dropped their adoption
+        maps; what remains is the segment lifecycle.  Each worker releases
+        its attachments (the ack detaches it as a reader), the epoch
+        advances so future publications never collide with a generation
+        still draining, and the store unlinks as readers hit zero —
+        ``/dev/shm`` is freed even though late readers finish on their old
+        (still mapped) views.
+        """
+        with self._lock:
+            manifests = list(self._frame_manifests.values())
+            self._frame_manifests.clear()
+            epoch = self._frame_epoch
+            self._frame_epoch += 1
+        segments = sorted({segment for manifest in manifests
+                           for segment in manifest.segments})
+        frame_generations = [key for key in self._store.generations()
+                             if key[0] == "frames" and key[-1] <= epoch]
+        for handle in self._handles:
+            try:
+                self._dispatch(handle.index, "release_segments", segments)
+            except WorkerFaultError:  # pragma: no cover - release is total
+                pass
+            for generation in frame_generations:
+                self._store.detach_reader(generation, handle.index)
+        for generation in frame_generations:
+            self._store.retire(generation)
+        # The owner's reference frames hold the published arrays alive via
+        # its own cache; drop them with the generation.
+        for context in self._ref_contexts.values():
+            context.bump_dataset_version()
 
     def datasets(self) -> List[str]:
         """Names of the registered datasets, sorted."""
@@ -913,11 +1193,28 @@ class ServiceCluster:
                 handle.process.terminate()
             if handle.process is not None:
                 handle.process.join(timeout=5.0)
+            if self._store is not None:
+                # The dead process can never ack a release; drop it from
+                # every generation so retirements it was party to drain.
+                # Before the respawn, which re-attaches it as a reader of
+                # whatever it is about to receive.
+                self._store.drop_reader(index)
             fresh = self._spawn_worker(index)
             handle.process = fresh.process
             handle.conn = fresh.conn
             handle.generation += 1
             handle.restarts += 1
+            if self._store is not None:
+                # Re-publish the current frame generation: adoption state
+                # died with the process.
+                with self._lock:
+                    manifests = list(self._frame_manifests.items())
+                    epoch = self._frame_epoch
+                for (dataset, _frame_key), manifest in manifests:
+                    self._request_locked(handle, "adopt_frame",
+                                         (dataset, manifest))
+                    self._store.attach_reader(("frames", dataset, epoch),
+                                              index)
         with self._lock:
             self.worker_restarts += 1
         self._rewarm_worker(index)

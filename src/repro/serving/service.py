@@ -47,11 +47,24 @@ from repro.exceptions import (
 )
 from repro.obs import trace
 from repro.obs.logs import log_slow_query
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, process_maxrss_kb
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import TTLCache
 from repro.table.expressions import canonical_predicate_key
+
+
+def _maxrss_kb() -> int:
+    """This process's peak resident set size in KB (0 where unsupported).
+
+    Feeds the ``repro_worker_maxrss_bytes`` gauge: replica workers report
+    it through their ``stats`` op, and the single-process service reports
+    its own — the number the memory benchmark gates the frame store on.
+    Delegates to :func:`repro.obs.metrics.process_maxrss_kb`, which reads
+    ``VmHWM`` rather than ``ru_maxrss`` (spawn workers inherit the
+    parent's rusage peak on Linux, which would mask any per-worker win).
+    """
+    return process_maxrss_kb()
 
 
 @dataclass(frozen=True)
@@ -269,10 +282,14 @@ class ExplanationService:
         """
         pipeline = self.pipeline(name)
         config = pipeline.config
-        pipeline.context.augmented_table(config.hops)
+        augmented = pipeline.context.augmented_table(config.hops)
         if config.use_offline_pruning:
+            # Lazy per-column verdicts: warm the candidate-eligible columns
+            # only; excluded (identifier) columns are never scanned.
+            candidates = [column_name for column_name in augmented.column_names
+                          if column_name not in config.excluded_columns]
             pipeline.context.offline_pruning(
-                [], hops=config.hops,
+                candidates, hops=config.hops,
                 max_missing_fraction=config.max_missing_fraction,
                 high_entropy_unique_ratio=config.high_entropy_unique_ratio)
         if queries is not None:
@@ -577,6 +594,7 @@ class ExplanationService:
             "contexts": contexts,
             "metrics": self.metrics.state(),
             "tracing": self.tracer.stats(),
+            "memory": {"maxrss_kb": _maxrss_kb()},
         }
 
     def health(self) -> Dict[str, object]:

@@ -1,0 +1,171 @@
+"""Picklable manifests and the worker-side zero-copy rebuild.
+
+A manifest is what crosses the process boundary *instead of* the data: a
+few hundred bytes of segment names, dtypes, shapes and offsets (plus the
+small category lists of string/bool columns).  The rebuild functions turn
+a manifest back into the live objects the engine consumes:
+
+* :func:`table_from_manifest` — a :class:`~repro.table.table.Table` whose
+  numeric storage arrays and missing masks are **read-only views** over
+  the shared segments (zero copy).  String and bool columns cannot live
+  in shared memory as objects; they ship as int64 codes plus their
+  category list and are rebuilt as an 8-bytes-per-row pointer array whose
+  pointees are the shared per-category Python objects — O(categories)
+  heap objects instead of O(rows).
+* :func:`frame_from_manifest` — an
+  :class:`~repro.infotheory.encoding.EncodedFrame` whose per-column code
+  arrays are views, pre-filled so the frame never re-encodes what the
+  owner already encoded (the ``warm()`` encode-once-per-box path).
+
+Determinism note: the rebuild must be *observationally identical* to the
+original table — same values, same dtypes, same missing cells — because
+served envelopes are asserted byte-identical to the single-process
+engine.  Both column families satisfy this: numeric columns share the
+very arrays, and categorical columns reconstruct the exact value objects
+the owner factorised (``Column.codes`` is a deterministic sorted
+factorisation, so re-encoding the rebuilt column reproduces the owner's
+codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.shm.segments import ArrayRef, SegmentAttachments, attachments
+from repro.table.column import Column, DType
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class ColumnManifest:
+    """One column's address: either numeric storage or codes + categories."""
+
+    name: str
+    dtype: str
+    missing: ArrayRef
+    values: Optional[ArrayRef] = None
+    codes: Optional[ArrayRef] = None
+    categories: Optional[Tuple[Any, ...]] = None
+
+
+@dataclass(frozen=True)
+class TableManifest:
+    """The shared-memory address of one registered table."""
+
+    dataset: str
+    table_name: str
+    n_rows: int
+    columns: Tuple[ColumnManifest, ...]
+    segments: Tuple[str, ...]
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class FrameColumnManifest:
+    """One pre-encoded frame column: shared codes + its category list."""
+
+    name: str
+    codes: ArrayRef
+    categories: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class FrameManifest:
+    """The shared-memory address of one pre-encoded context frame.
+
+    ``key`` is the frame-cache identity *without* the dataset version —
+    ``(hops, n_bins, canonical context predicate)`` — because adoption is
+    version-agnostic: a version bump drops the adoption map wholesale
+    (see :meth:`repro.engine.context.PipelineContext.bump_dataset_version`).
+    """
+
+    dataset: str
+    key: Tuple[Any, ...]
+    n_rows: int
+    n_bins: int
+    strategy: str
+    columns: Tuple[FrameColumnManifest, ...]
+    segments: Tuple[str, ...]
+    nbytes: int
+
+
+def column_arrays(column: Column) -> dict:
+    """The fixed-width arrays a column contributes to its segment.
+
+    Numeric columns ship their float64 storage directly; categorical
+    columns ship their factorised int64 codes (the categories stay in the
+    manifest — they are O(distinct values), not O(rows)).
+    """
+    arrays = {f"missing:{column.name}": column.missing_mask}
+    if column.dtype.is_numeric:
+        arrays[f"values:{column.name}"] = column.values
+    else:
+        codes, _ = column.codes()
+        arrays[f"codes:{column.name}"] = codes
+    return arrays
+
+
+def column_manifest(column: Column, refs: dict) -> ColumnManifest:
+    """Assemble one :class:`ColumnManifest` from the segment refs."""
+    if column.dtype.is_numeric:
+        return ColumnManifest(
+            name=column.name, dtype=column.dtype.value,
+            missing=refs[f"missing:{column.name}"],
+            values=refs[f"values:{column.name}"])
+    _, categories = column.codes()
+    return ColumnManifest(
+        name=column.name, dtype=column.dtype.value,
+        missing=refs[f"missing:{column.name}"],
+        codes=refs[f"codes:{column.name}"],
+        categories=tuple(categories))
+
+
+def table_from_manifest(manifest: TableManifest,
+                        cache: Optional[SegmentAttachments] = None) -> Table:
+    """Rebuild a table as read-only views over the shared segments."""
+    cache = cache or attachments()
+    columns = []
+    for entry in manifest.columns:
+        dtype = DType(entry.dtype)
+        missing = cache.attach(entry.missing)
+        if entry.values is not None:
+            values = cache.attach(entry.values)
+        else:
+            codes = cache.attach(entry.codes)
+            # ``lookup[-1]`` is None, so the -1 missing sentinel resolves
+            # to a missing cell in one vectorised fancy-index pass.
+            lookup = np.empty(len(entry.categories) + 1, dtype=object)
+            for index, category in enumerate(entry.categories):
+                lookup[index] = category
+            lookup[-1] = None
+            values = lookup[codes]
+        columns.append(Column.from_numpy(entry.name, values, dtype, missing))
+    return Table(columns, name=manifest.table_name)
+
+
+def frame_from_manifest(manifest: FrameManifest, context_table: Table,
+                        cache: Optional[SegmentAttachments] = None):
+    """Rebuild a pre-encoded frame over a locally-built context table.
+
+    The caller supplies the context-restricted table (filtering is cheap
+    and deterministic); the expensive part — per-column factorisation —
+    arrives as shared views.  A row-count mismatch means the adopter's
+    table diverged from the owner's (different dataset state), and the
+    caller must fall back to encoding locally.
+    """
+    from repro.infotheory.encoding import EncodedFrame
+
+    if context_table.n_rows != manifest.n_rows:
+        raise ValueError(
+            f"context table has {context_table.n_rows} rows but the shared "
+            f"frame was encoded over {manifest.n_rows}")
+    cache = cache or attachments()
+    frame = EncodedFrame(context_table, n_bins=manifest.n_bins,
+                         strategy=manifest.strategy)
+    for entry in manifest.columns:
+        frame.install_encoding(entry.name, cache.attach(entry.codes),
+                               list(entry.categories))
+    return frame

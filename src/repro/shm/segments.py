@@ -1,0 +1,277 @@
+"""Shared-memory segments: creation, picklable array refs, attachment.
+
+One segment packs several arrays back to back (64-byte aligned), so a
+table or an encoded frame costs one ``shm_open`` rather than one per
+column.  An :class:`ArrayRef` is the picklable address of one array
+inside a segment; :class:`SegmentAttachments` is the per-process cache of
+attached segments that turns refs into **read-only** numpy views.
+
+Resource-tracker discipline
+---------------------------
+CPython's ``multiprocessing.resource_tracker`` unlinks every shared
+segment a process registered when that process dies — including segments
+the process merely *attached* to (bpo-38119).  A SIGKILLed worker would
+therefore tear the shared dataset out from under its siblings.  The
+attachment path here never registers: it passes ``track=False`` where
+supported (Python 3.13+) and unregisters the fresh registration otherwise.
+The **owner** keeps its registration, so an owner crash still cleans
+``/dev/shm`` — exactly the asymmetry the ownership model wants.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import always succeeds on CPython >= 3.8
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platform without _posixshmem
+    _shared_memory = None  # type: ignore[assignment]
+
+#: Per-array alignment inside a segment; matches cache-line size so
+#: vectorised kernels never straddle a line because of packing.
+_ALIGN = 64
+
+_probe_lock = threading.Lock()
+_probe_result: Optional[bool] = None
+
+#: Test hook: force :func:`shm_available` to report False so the
+#: copy-path fallback is exercisable on platforms that do have shm.
+FORCE_UNAVAILABLE = False
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory actually works on this platform.
+
+    Probed once per process by creating (and immediately unlinking) a
+    tiny segment — importability of the module does not imply a usable
+    ``/dev/shm`` (containers may mount none, or mount it read-only).
+    """
+    global _probe_result
+    if FORCE_UNAVAILABLE or _shared_memory is None:
+        return False
+    with _probe_lock:
+        if _probe_result is None:
+            try:
+                probe = _shared_memory.SharedMemory(create=True, size=16)
+                probe.close()
+                probe.unlink()
+                _probe_result = True
+            except Exception:
+                _probe_result = False
+        return _probe_result
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """The picklable address of one array inside a shared segment."""
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the referenced array in bytes."""
+        count = 1
+        for extent in self.shape:
+            count *= int(extent)
+        return int(np.dtype(self.dtype).itemsize) * count
+
+
+def new_segment_name() -> str:
+    """A collision-resistant, owner-identifying segment name.
+
+    The ``repro_shm_<pid>`` prefix makes leak audits trivial: any entry
+    under ``/dev/shm`` matching it after the owner exited is a bug.
+    """
+    return f"repro_shm_{os.getpid()}_{secrets.token_hex(6)}"
+
+
+def create_segment(arrays: Mapping[str, np.ndarray]):
+    """Pack ``arrays`` into one fresh shared segment.
+
+    Returns ``(shm, refs, size)``: the owner-side ``SharedMemory`` handle
+    (tracked, so an owner crash unlinks it), a dict of
+    :class:`ArrayRef` per input key, and the segment size in bytes.
+    Object-dtype arrays cannot live in shared memory — callers ship codes
+    plus a category list instead.
+    """
+    if not shm_available():
+        raise RuntimeError("POSIX shared memory is not available")
+    prepared: Dict[str, np.ndarray] = {}
+    offsets: Dict[str, int] = {}
+    cursor = 0
+    for key, array in arrays.items():
+        contiguous = np.ascontiguousarray(array)
+        if contiguous.dtype == object:
+            raise TypeError(
+                f"array {key!r} has object dtype; shared segments hold "
+                f"fixed-width arrays only (ship codes + categories instead)")
+        prepared[key] = contiguous
+        offsets[key] = cursor
+        cursor += contiguous.nbytes
+        cursor = (cursor + _ALIGN - 1) // _ALIGN * _ALIGN
+    size = max(cursor, 1)
+    shm = _shared_memory.SharedMemory(name=new_segment_name(), create=True,
+                                      size=size)
+    refs: Dict[str, ArrayRef] = {}
+    for key, contiguous in prepared.items():
+        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype,
+                          buffer=shm.buf, offset=offsets[key])
+        view[...] = contiguous
+        refs[key] = ArrayRef(segment=shm.name, dtype=contiguous.dtype.str,
+                             shape=tuple(contiguous.shape),
+                             offset=offsets[key])
+        del view  # keep no buffer exports: the owner must be able to close
+    return shm, refs, size
+
+
+_attach_patch_lock = threading.Lock()
+
+
+def attach_untracked(name: str):
+    """Attach an existing segment WITHOUT registering with the tracker.
+
+    See the module docstring: an attached-only process must never be the
+    one whose death unlinks the segment.  On Python < 3.13 (no ``track``
+    parameter) registration is *suppressed* during the constructor rather
+    than unregistered afterwards: the resource tracker is one process
+    shared by the whole process tree and keys its cache by segment name,
+    so an unregister from an attacher would silently strip the **owner's**
+    registration — exactly the crash-cleanup guarantee being preserved.
+    """
+    if _shared_memory is None:  # pragma: no cover - guarded by callers
+        raise RuntimeError("POSIX shared memory is not available")
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    with _attach_patch_lock:
+        original = resource_tracker.register
+
+        def _skip_shared_memory(resource_name, rtype):
+            if rtype != "shared_memory":  # pragma: no cover - shm only here
+                original(resource_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class SegmentAttachments:
+    """A per-process cache of attached segments and their views.
+
+    Attaching the same segment for a second array is free; the cache also
+    gives observability an honest count of what this process maps.
+    ``release`` drops handles best-effort: a handle whose buffer is still
+    exported by live views stays mapped (``BufferError``) and is reclaimed
+    at process exit — the owner's *unlink* is what frees ``/dev/shm``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._segments: Dict[str, object] = {}
+        self.attach_total = 0
+
+    def attach(self, ref: ArrayRef) -> np.ndarray:
+        """A read-only numpy view over the referenced shared array.
+
+        Built with :func:`np.frombuffer`, NOT ``np.ndarray(buffer=...)``:
+        the latter unwraps the memoryview to the raw mmap and drops the
+        buffer export, so nothing stops ``SharedMemory.close`` from
+        unmapping under a live view (a use-after-unmap segfault if the
+        handle is ever collected first).  ``frombuffer`` keeps a
+        memoryview base holding a real export — the view itself pins the
+        mapping, whatever happens to this cache.
+        """
+        with self._lock:
+            shm = self._segments.get(ref.segment)
+            if shm is None:
+                shm = attach_untracked(ref.segment)
+                self._segments[ref.segment] = shm
+                self.attach_total += 1
+        count = 1
+        for extent in ref.shape:
+            count *= int(extent)
+        flat = np.frombuffer(shm.buf, dtype=np.dtype(ref.dtype),
+                             count=count, offset=ref.offset)
+        flat.flags.writeable = False
+        return flat.reshape(ref.shape)
+
+    def release(self, names: Iterable[str]) -> int:
+        """Drop the named segment handles (best-effort close)."""
+        dropped = 0
+        with self._lock:
+            for name in list(names):
+                shm = self._segments.pop(name, None)
+                if shm is None:
+                    continue
+                try:
+                    shm.close()
+                except BufferError:
+                    # Live views still export the mapping.  Neutralise the
+                    # handle so its __del__ cannot retry (and spew
+                    # "Exception ignored" noise): the map stays for the
+                    # views and is reclaimed at process exit — the owner's
+                    # unlink already freed the /dev/shm entry.
+                    shm._mmap = None
+                dropped += 1
+        return dropped
+
+    def release_all(self) -> int:
+        """Drop every attached segment handle."""
+        with self._lock:
+            names = list(self._segments)
+        return self.release(names)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.release_all()
+        except Exception:
+            pass
+
+    def stats(self) -> Dict[str, int]:
+        """Attachment counters for observability."""
+        with self._lock:
+            attached_bytes = sum(int(getattr(shm, "size", 0))
+                                 for shm in self._segments.values())
+            return {
+                "attached_segments": len(self._segments),
+                "attached_bytes": attached_bytes,
+                "attach_total": self.attach_total,
+            }
+
+
+_process_attachments = SegmentAttachments()
+
+
+def attachments() -> SegmentAttachments:
+    """The process-wide attachment cache (workers share one per process)."""
+    return _process_attachments
+
+
+def _reset_after_fork() -> None:
+    """Fork children start with an empty cache and zeroed counters.
+
+    A forked worker inherits the parent's mappings either way; what it
+    must not inherit is the *bookkeeping* — its attach counters describe
+    this process, and re-attaching is cheap.
+    """
+    global _process_attachments
+    _process_attachments = SegmentAttachments()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_reset_after_fork)
+

@@ -196,6 +196,30 @@ class Table:
         columns = [self._columns[column_name].filter(mask) for column_name in self._order]
         return Table(columns, name=name or self.name)
 
+    def filter_view(self, predicate_or_mask,
+                    name: Optional[str] = None) -> "Table":
+        """Like :meth:`filter`, but columns materialise on first access.
+
+        The returned :class:`FilteredTableView` answers the full table
+        protocol and is value-identical to ``filter``'s result, yet it
+        copies a column's rows only when that column is actually read.
+        This is what keeps a context restriction over a wide table from
+        fancy-indexing hundreds of columns the downstream computation
+        never touches — the explanation pipeline reads a handful of
+        candidate, exposure/outcome and predictor columns out of
+        arbitrarily wide datasets.
+        """
+        if isinstance(predicate_or_mask, Predicate):
+            mask = predicate_or_mask.mask(self)
+        else:
+            mask = np.asarray(predicate_or_mask, dtype=bool)
+            if len(mask) != self._n_rows:
+                raise SchemaError(
+                    f"Filter mask length {len(mask)} does not match table "
+                    f"with {self._n_rows} rows"
+                )
+        return FilteredTableView(self, mask, name=name)
+
     def take(self, indices: Sequence[int], name: Optional[str] = None) -> "Table":
         """Return the rows at ``indices`` (in that order)."""
         columns = [self._columns[column_name].take(indices) for column_name in self._order]
@@ -379,3 +403,58 @@ class GroupBy:
         """Apply a function to the sub-table of each group."""
         return {key: function(self.table.take(indices))
                 for key, indices in self.groups().items()}
+
+
+class _LazyFilteredColumns(dict):
+    """Column store of a :class:`FilteredTableView`.
+
+    A plain dict whose ``__missing__`` materialises the requested column
+    by filtering the source column with the view's row mask.  Every
+    ``Table`` method reads columns through ``self._columns[name]``, so
+    subclassing the store (rather than the access sites) makes the whole
+    table protocol lazy at once.  Concurrent first reads of the same
+    column are benign: both compute the same immutable value and the
+    last assignment wins.
+    """
+
+    def __init__(self, source: Table, mask: np.ndarray):
+        super().__init__()
+        self.source = source
+        self.mask = mask
+
+    def __missing__(self, name: str) -> Column:
+        if name not in self.source:
+            raise KeyError(name)
+        column = self.source.column(name).filter(self.mask)
+        self[name] = column
+        return column
+
+
+class FilteredTableView(Table):
+    """A row-filtered table whose columns copy lazily on first access.
+
+    Value-identical to ``source.filter(mask)`` under every operation —
+    unread columns simply have not been sliced yet.  Reading a column
+    touches only that column's source pages, so a view over a shared-
+    memory backed table keeps a worker's private footprint proportional
+    to the columns it actually uses, not to the dataset width.
+    """
+
+    def __init__(self, source: Table, mask: np.ndarray,
+                 name: Optional[str] = None):
+        self.name = name or source.name
+        self._columns = _LazyFilteredColumns(source, mask)
+        self._order = list(source.column_names)
+        self._n_rows = int(np.count_nonzero(mask))
+
+    @property
+    def schema(self) -> Schema:
+        """Filtering preserves dtypes, so the source schema answers."""
+        return self._columns.source.schema
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns.source
+
+    def materialised_columns(self) -> List[str]:
+        """The columns read (and therefore copied) so far, for tests."""
+        return sorted(self._columns)

@@ -64,6 +64,37 @@ class TestPipeline:
             for phase in ("extraction", "offline_pruning", "online_pruning", "mcimr"):
                 assert phase in result.timings
 
+    def test_offline_pruning_judges_each_column_once(self):
+        """Verdicts accumulate per column; cached columns never re-scan."""
+        from repro.table.table import Table
+
+        table = Table.from_columns({
+            "A": [1.0, 2.0, 3.0, 4.0],
+            "B": [1.0, 1.0, 1.0, 1.0],  # constant -> dropped
+            "C": [0.0, 1.0, 0.0, 1.0],
+        }, name="lazy")
+        context = PipelineContext(table)
+        first = context.offline_pruning(["A", "B"])
+        assert first.kept == ["A"]
+        assert first.dropped == {"B": "constant"}
+        assert context.counters["offline_pruning_runs"] == 1
+        # Fully cached candidate set: no new judging pass.
+        again = context.offline_pruning(["B", "A"])
+        assert again.kept == ["A"]
+        assert context.counters["offline_pruning_runs"] == 1
+        # One uncached column triggers exactly one more pass, and the
+        # cached column is not re-judged alongside it.
+        more = context.offline_pruning(["A", "C"])
+        assert more.kept == ["A", "C"]
+        assert context.counters["offline_pruning_runs"] == 2
+        # Absent columns stay out of kept/dropped and are remembered.
+        absent = context.offline_pruning(["A", "Nope"])
+        assert absent.kept == ["A"]
+        assert "Nope" not in absent.dropped
+        assert context.counters["offline_pruning_runs"] == 3
+        context.offline_pruning(["Nope"])
+        assert context.counters["offline_pruning_runs"] == 3
+
     def test_prepare_is_memoised(self, covid_pipeline, covid_bundle):
         query = covid_bundle.queries[0].query
         first = covid_pipeline.prepare(query)

@@ -90,6 +90,34 @@ class TestFilterSortSample:
         assert sampled.n_rows == 3
 
 
+class TestFilterView:
+    def test_view_matches_eager_filter(self, people_table):
+        eager = people_table.filter(Eq("Continent", "EU"))
+        view = people_table.filter_view(Eq("Continent", "EU"))
+        assert view == eager
+
+    def test_columns_materialise_on_first_access(self, people_table):
+        view = people_table.filter_view(Gt("Age", 30))
+        assert view.materialised_columns() == []
+        ages = view.column("Age").to_list()
+        assert all(age is None or age > 30 for age in ages)
+        assert view.materialised_columns() == ["Age"]
+        # Second access reuses the materialised column.
+        assert view.column("Age") is view.column("Age")
+
+    def test_view_shares_schema_and_membership(self, people_table):
+        view = people_table.filter_view(np.ones(people_table.n_rows, bool))
+        assert view.schema == people_table.schema
+        assert "Salary" in view
+        assert "Nope" not in view
+        with pytest.raises(SchemaError):
+            view.column("Nope")
+
+    def test_view_mask_length_mismatch(self, people_table):
+        with pytest.raises(SchemaError):
+            people_table.filter_view([True])
+
+
 class TestJoin:
     def test_left_join_fills_missing(self, people_table):
         gdp = Table.from_columns({"Country": ["US", "DE"], "GDP": [63.0, 46.0]}, name="gdp")
