@@ -1,0 +1,266 @@
+"""Recovery benchmark: durable warm-starts and resumable jobs.
+
+Exercises the durability subsystem the way an operator cares about it —
+what does a crash cost? Two phases, both on the SO dataset:
+
+* **rewarm** — a cold service (fresh SQLite metastore) answers a
+  10-query batch, then the process "restarts": a brand-new
+  :class:`~repro.serving.ExplanationService` opens the same store path,
+  replays its durably recorded query history (``warm``), and answers the
+  identical batch again.  The artifact records the warm-hit ratio —
+  what fraction of the batch never reached the engine — and the gate
+  requires it to be at least ``--min-warm-hit-ratio`` (default 0.8).
+  Every envelope served after the restart must be byte-identical
+  (timings aside) to its pre-restart original.
+
+* **resume** — a 20-query ``explain_batch`` job is checkpointed
+  mid-flight (the JobManager stops at a between-queries boundary, as it
+  does on SIGTERM), then a second service on the same store path resumes
+  it.  The artifact records the wasted-work fraction — engine
+  executions beyond the 20 the job needed, i.e. recomputation of the
+  completed prefix — and the gate requires it to be at most
+  ``--max-wasted-fraction`` (default 0.0: *zero* recomputation).  The
+  resumed job's stored envelopes must equal an uninterrupted reference
+  run, byte for byte.
+
+Writes ``BENCH_recovery.json``; ``check_regression.py`` gates
+``rewarm.seconds`` and ``resume.seconds`` against the committed
+baseline.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_recovery.py [--out BENCH_recovery.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+from repro import __version__
+from repro.datasets.registry import load_dataset
+from repro.mesa.config import MESAConfig
+from repro.query.aggregate_query import AggregateQuery
+from repro.serving import ExplanationService
+from repro.serving.schema import query_payload
+from repro.table.expressions import Eq
+
+DATASET = "SO"
+N_ROWS = 1000
+K = 3
+REWARM_QUERIES = 10
+JOB_QUERIES = 20
+CHECKPOINT_AFTER = 6  # checkpoint once this many job queries completed
+
+
+def batch_queries(n: int) -> list:
+    """n distinct queries with wire-expressible contexts (so the durable
+    history can replay them after a restart)."""
+    exposures = ("Country", "EdLevel", "DevType", "Gender", "Hobby")
+    contexts = (Eq("Continent", "Europe"), Eq("Continent", "Asia"),
+                Eq("Hobby", "No"), Eq("Hobby", "Yes"))
+    queries = []
+    for index in range(n):
+        exposure = exposures[index % len(exposures)]
+        context = contexts[(index // len(exposures)) % len(contexts)]
+        queries.append(AggregateQuery(
+            exposure=exposure, outcome="Salary", aggregate="avg",
+            context=context, table_name=DATASET,
+            name=f"recovery-{index}"))
+    return queries
+
+
+def new_service(bundle, config, store_path: str) -> ExplanationService:
+    service = ExplanationService(coalesce_window_seconds=0.0,
+                                 store=store_path)
+    service.register_bundle(bundle, config=config, warm=False)
+    return service
+
+
+def bench_rewarm(bundle, config, store_path: str) -> dict:
+    """Cold batch -> restart on the same store -> warm -> identical batch."""
+    queries = batch_queries(REWARM_QUERIES)
+
+    cold_service = new_service(bundle, config, store_path)
+    start = time.perf_counter()
+    cold = cold_service.explain_batch(DATASET, queries, k=K)
+    cold_seconds = time.perf_counter() - start
+    cold_payloads = [s.envelope.canonical_json() for s in cold]
+    cold_service.close()
+
+    warm_service = new_service(bundle, config, store_path)
+    start = time.perf_counter()
+    warmed = warm_service.warm(DATASET, top=REWARM_QUERIES)
+    served = warm_service.explain_batch(DATASET, queries, k=K)
+    rewarm_seconds = time.perf_counter() - start
+
+    hits = sum(1 for s in served if s.cache_hit)
+    counters = warm_service.stats()["contexts"][DATASET]["counters"]
+    mismatches = [queries[i].label()
+                  for i, s in enumerate(served)
+                  if s.envelope.canonical_json() != cold_payloads[i]]
+    warm_service.close()
+    return {
+        "seconds": round(rewarm_seconds, 6),
+        "cold_seconds": round(cold_seconds, 6),
+        "n_queries": len(queries),
+        "warmed": warmed,
+        "warm_hits": hits,
+        "warm_hit_ratio": hits / len(queries),
+        "store_hits": counters.get("service.store_hit", 0),
+        "engine_recomputes": counters.get("service.cache_miss", 0),
+        "envelopes_equal_cold_run": not mismatches,
+        "mismatched_queries": mismatches,
+        "speedup_vs_cold": cold_seconds / max(rewarm_seconds, 1e-9),
+    }
+
+
+def bench_resume(bundle, config, store_path: str) -> dict:
+    """Checkpoint a job mid-flight, resume it on a fresh service."""
+    queries = batch_queries(JOB_QUERIES)
+    payloads = [query_payload(query, k=K) for query in queries]
+
+    first = new_service(bundle, config, store_path)
+    first.enable_jobs()
+    job_id = first.jobs.submit(DATASET, queries=payloads, k=K)
+    deadline = time.monotonic() + 600
+    while len(first.jobs.store.job_result_positions(job_id)) \
+            < CHECKPOINT_AFTER:
+        if time.monotonic() > deadline:
+            raise SystemExit("job never reached the checkpoint threshold")
+        time.sleep(0.005)
+    first.close()  # checkpoints the RUNNING job back to PENDING
+    # every executed query left a durable result row, so the closed store
+    # itself is the exact record of run 1's work
+    import sqlite3
+    read_only = sqlite3.connect(f"file:{store_path}?mode=ro", uri=True)
+    first_executed = read_only.execute(
+        "SELECT COUNT(*) FROM job_results WHERE job_id = ?",
+        (job_id,)).fetchone()[0]
+    read_only.close()
+
+    second = new_service(bundle, config, store_path)
+    start = time.perf_counter()
+    second.enable_jobs()  # re-queues and resumes the checkpointed job
+    status = second.jobs.wait(job_id, timeout=600)
+    resume_seconds = time.perf_counter() - start
+    if status["state"] != "DONE":
+        raise SystemExit(f"resumed job finished {status['state']!r}: "
+                         f"{status.get('error')}")
+    stats = second.jobs.stats()
+    results = second.jobs.status(job_id, include_result=True)["results"]
+    second.close()
+
+    executed_total = first_executed + stats["queries_executed"]
+    wasted_fraction = max(0, executed_total - JOB_QUERIES) / JOB_QUERIES
+
+    # byte-identity vs an uninterrupted run (fresh store, nothing durable)
+    with tempfile.TemporaryDirectory() as scratch:
+        reference = new_service(bundle, config,
+                                os.path.join(scratch, "ref.sqlite3"))
+        direct = reference.explain_batch(DATASET, queries, k=K)
+        mismatches = [
+            queries[i].label()
+            for i, served in enumerate(results)
+            if json.dumps(_canonical(served), sort_keys=True)
+            != direct[i].envelope.canonical_json()]
+        reference.close()
+
+    return {
+        "seconds": round(resume_seconds, 6),
+        "n_queries": JOB_QUERIES,
+        "prefix_before_checkpoint": stats["queries_resumed"],
+        "executed_before_checkpoint": first_executed,
+        "executed_after_resume": stats["queries_executed"],
+        "executed_total": executed_total,
+        "wasted_work_fraction": wasted_fraction,
+        "envelopes_equal_uninterrupted": not mismatches,
+        "mismatched_queries": mismatches,
+    }
+
+
+def _canonical(envelope_dict: dict) -> dict:
+    stripped = json.loads(json.dumps(envelope_dict))
+    stripped["timings"] = None
+    stripped["explanation"]["runtime_seconds"] = None
+    return stripped
+
+
+def run_bench() -> dict:
+    bundle = load_dataset(DATASET, seed=7, n_rows=N_ROWS)
+    config = MESAConfig(excluded_columns=tuple(bundle.id_columns), k=K)
+    with tempfile.TemporaryDirectory() as scratch:
+        rewarm = bench_rewarm(bundle, config,
+                              os.path.join(scratch, "rewarm.sqlite3"))
+        resume = bench_resume(bundle, config,
+                              os.path.join(scratch, "resume.sqlite3"))
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "dataset": DATASET,
+        "n_rows": bundle.table.n_rows,
+        "k": K,
+        "workload": "durable warm-start after restart + checkpointed job "
+                    "resume on the same SQLite metastore",
+        "rewarm": rewarm,
+        "resume": resume,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_recovery.json",
+                        help="Path of the JSON artifact")
+    parser.add_argument("--min-warm-hit-ratio", type=float, default=0.8,
+                        help="Fail when fewer than this fraction of the "
+                             "post-restart batch is served without engine "
+                             "recomputation (0 disables the gate)")
+    parser.add_argument("--max-wasted-fraction", type=float, default=0.0,
+                        help="Fail when the resumed job recomputes more "
+                             "than this fraction of its queries (negative "
+                             "disables the gate)")
+    args = parser.parse_args()
+
+    payload = run_bench()
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    rewarm, resume = payload["rewarm"], payload["resume"]
+    print(f"Wrote {args.out}: restart re-warm {rewarm['seconds']:.3f}s "
+          f"(cold {rewarm['cold_seconds']:.3f}s, warm-hit ratio "
+          f"{rewarm['warm_hit_ratio']:.0%}, {rewarm['engine_recomputes']} "
+          f"engine recomputes); resume {resume['seconds']:.3f}s "
+          f"(prefix {resume['prefix_before_checkpoint']}/"
+          f"{resume['n_queries']}, wasted work "
+          f"{resume['wasted_work_fraction']:.0%})")
+
+    failures = []
+    if args.min_warm_hit_ratio > 0 \
+            and rewarm["warm_hit_ratio"] < args.min_warm_hit_ratio:
+        failures.append(
+            f"warm-hit ratio {rewarm['warm_hit_ratio']:.2f} is below the "
+            f"{args.min_warm_hit_ratio:.2f} gate")
+    if not rewarm["envelopes_equal_cold_run"]:
+        failures.append(
+            f"post-restart envelopes diverge from the cold run: "
+            f"{rewarm['mismatched_queries']}")
+    if args.max_wasted_fraction >= 0 \
+            and resume["wasted_work_fraction"] > args.max_wasted_fraction:
+        failures.append(
+            f"resumed job wasted-work fraction "
+            f"{resume['wasted_work_fraction']:.2f} exceeds the "
+            f"{args.max_wasted_fraction:.2f} gate")
+    if not resume["envelopes_equal_uninterrupted"]:
+        failures.append(
+            f"resumed-job envelopes diverge from the uninterrupted "
+            f"reference: {resume['mismatched_queries']}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

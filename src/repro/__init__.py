@@ -251,6 +251,57 @@ never scanned.  And per-worker ``maxrss_kb`` reads ``VmHWM`` from
 survives ``fork`` *and* ``exec``, so a freshly spawned worker would
 forever report the parent's peak.
 
+Durability
+----------
+
+Nothing above survives a process death — the durability layer
+(:mod:`repro.storage` + :mod:`repro.jobs`) fixes that with one storage
+substrate.  ``ExplanationService(store="meta.sqlite3")`` (or
+``ServiceCluster(store_path=...)`` / ``python -m repro.serving --store
+PATH``) opens a :class:`~repro.storage.MetaStore`: a WAL-mode SQLite
+file owned by a single writer thread fed from a queue, so HTTP request
+threads enqueue writes and never block on an fsync.  Three things live
+in it:
+
+* **A disk-backed envelope store** behind the in-memory TTL cache,
+  keyed by (canonical query key, dataset version).  Cache misses fall
+  through to disk before reaching the engine; computed envelopes are
+  written behind asynchronously.  A restarted service re-warms from its
+  own durably recorded query history — ``warm()`` replays the top-K
+  queries of *previous* processes, so a crash costs a re-read, not a
+  recompute (``benchmarks/bench_recovery.py`` gates the post-restart
+  warm-hit ratio at >= 0.8 and byte-identity with the pre-restart run).
+* **Resumable jobs.**  ``service.enable_jobs()`` (automatic for
+  store-backed clusters) runs ``explain_batch`` and ``warm`` as
+  durable jobs with a PENDING -> RUNNING -> DONE/FAILED/CANCELLED state
+  machine, heartbeats and owner-epoch crash recovery: every completed
+  query streams its envelope into the store, so a SIGKILLed deployment
+  restarted on the same path re-queues the stale RUNNING job and
+  resumes from the completed prefix — zero recomputation, byte-identical
+  results (the kill-mid-workload test in ``tests/test_durability.py``
+  proves exactly this).  Over HTTP: ``POST /jobs`` -> id,
+  ``GET /jobs/<id>`` (``?result=1`` inlines envelopes),
+  ``DELETE /jobs/<id>`` cancels at the next query boundary; all three
+  clients grow ``submit_job`` / ``job_status`` / ``wait_job`` /
+  ``cancel_job`` / ``list_jobs``.
+* **Live datasets.**  ``append_rows(dataset, rows)`` grows a registered
+  table in place: the dataset version bumps durably, every cache tier
+  in every process retires coherently (rows-mode clusters re-partition
+  their shard ranges, frame-store generations retire), and a background
+  re-warm job replays the recorded top-K queries against the new
+  version — streaming scenarios like "explain this week's drift" need
+  no re-registration.  ``POST /append_rows`` over HTTP.
+
+Serving under SIGTERM/SIGINT is graceful: the signal drains in-flight
+connections, checkpoints RUNNING jobs back to PENDING (their prefix
+stays durable) and flushes the write-behind queue before exit.  Keyed
+clusters can also **hedge stragglers** (``--hedge`` /
+``ServiceCluster(hedge_requests=True)``): after a p99-derived delay the
+front tier re-issues a slow request to a second worker and answers with
+whichever returns first (``hedge_fired`` / ``hedge_won`` in stats).
+``GET /metrics`` exposes the ``repro_jobs_*``, ``repro_envelope_store_*``
+and ``repro_metastore_*`` families.
+
 Observability
 -------------
 

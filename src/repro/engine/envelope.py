@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.core.explanation import Explanation
+from repro.exceptions import ExplanationError
 from repro.query.aggregate_query import AggregateQuery
 
 #: Bumped whenever the envelope's dict layout changes incompatibly.
@@ -139,7 +140,20 @@ class ExplanationEnvelope:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "ExplanationEnvelope":
-        """Reconstruct an envelope from :meth:`to_dict` output."""
+        """Reconstruct an envelope from :meth:`to_dict` output.
+
+        The payload's ``schema_version`` (absent means 1, the pre-field
+        layout) must be one this build can read; durably stored envelopes
+        written by a *newer* build raise a clear error instead of being
+        silently misparsed.
+        """
+        version = data.get("schema_version", 1)
+        if not isinstance(version, int) or isinstance(version, bool) \
+                or not 1 <= version <= ENVELOPE_SCHEMA_VERSION:
+            raise ExplanationError(
+                f"unsupported envelope schema_version {version!r}: this "
+                f"build reads versions 1..{ENVELOPE_SCHEMA_VERSION}; the "
+                "envelope was likely written by a newer build")
         raw = data.get("explanation", {})
         explanation = Explanation(
             attributes=tuple(raw.get("attributes", ())),
@@ -164,7 +178,7 @@ class ExplanationEnvelope:
             biased_attributes=tuple(data.get("biased_attributes", ())),
             extracted_attributes=tuple(data.get("extracted_attributes", ())),
             n_candidates=int(data.get("n_candidates", 0)),
-            schema_version=int(data.get("schema_version", ENVELOPE_SCHEMA_VERSION)),
+            schema_version=version,
         )
 
     def to_json(self, **kwargs) -> str:

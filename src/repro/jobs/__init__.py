@@ -1,0 +1,14 @@
+"""Resumable background jobs over the durable metastore.
+
+A :class:`~repro.jobs.manager.JobManager` runs ``explain_batch`` and
+``warm`` workloads as jobs: submitted over HTTP (``POST /jobs``), claimed
+by a worker thread, streaming every finished query's envelope into the
+metastore as it completes.  A SIGKILLed process loses at most the
+in-flight tail of the write-behind queue — on restart the stale RUNNING
+job is re-queued by owner-epoch recovery and resumes *after* its
+completed prefix instead of recomputing it.
+"""
+
+from repro.jobs.manager import JobManager
+
+__all__ = ["JobManager"]

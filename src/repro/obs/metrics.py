@@ -429,6 +429,54 @@ def _render_memory_block(out: _Renderer, stats: Mapping[str, Any]) -> None:
         out.sample("repro_frame_store_attach_total", {}, attach_total)
 
 
+def _render_jobs_block(out: _Renderer, jobs: Mapping[str, Any]) -> None:
+    """The durable job subsystem: lifecycle counters and rows by state."""
+    for field in ("submitted", "completed", "failed", "cancelled", "resumed",
+                  "queries_executed", "queries_resumed"):
+        if field in jobs:
+            metric = f"repro_jobs_{field}_total"
+            out.header(metric, "counter", f"jobs {field} since start")
+            out.sample(metric, {}, jobs.get(field, 0))
+    by_state = jobs.get("by_state")
+    if isinstance(by_state, Mapping):
+        out.header("repro_jobs", "gauge", "durable job rows by state")
+        for state, count in sorted(by_state.items()):
+            out.sample("repro_jobs", {"state": state}, count)
+    out.header("repro_jobs_worker_busy", "gauge",
+               "whether the job worker is executing a job right now")
+    out.sample("repro_jobs_worker_busy", {},
+               1 if jobs.get("running_job") else 0)
+
+
+def _render_envelope_store_block(out: _Renderer,
+                                 store: Mapping[str, Any]) -> None:
+    """The disk-backed envelope store behind the in-memory cache."""
+    for field in ("hits", "misses", "writes", "queries_recorded"):
+        if field in store:
+            metric = f"repro_envelope_store_{field}_total"
+            out.header(metric, "counter",
+                       f"durable envelope store {field} since start")
+            out.sample(metric, {}, store.get(field, 0))
+    if "pending_writes" in store:
+        out.header("repro_metastore_pending_writes", "gauge",
+                   "write-behind operations queued but not yet committed")
+        out.sample("repro_metastore_pending_writes", {},
+                   store.get("pending_writes", 0))
+    meta = store.get("meta")
+    if isinstance(meta, Mapping):
+        for field in ("writes_enqueued", "writes_committed", "write_errors",
+                      "flushes"):
+            if field in meta:
+                metric = f"repro_metastore_{field}_total"
+                out.header(metric, "counter",
+                           f"metastore {field} since start")
+                out.sample(metric, {}, meta.get(field, 0))
+        if "epoch" in meta:
+            out.header("repro_metastore_epoch", "gauge",
+                       "owner epoch minted at this process's store open")
+            out.sample("repro_metastore_epoch", {}, meta.get("epoch", 0))
+
+
 def prometheus_text(stats: Mapping[str, Any]) -> str:
     """Render a ``stats()`` snapshot as Prometheus text exposition.
 
@@ -491,6 +539,26 @@ def prometheus_text(stats: Mapping[str, Any]) -> str:
                        "requests dispatched to workers")
             out.sample("repro_cluster_requests_routed_total", {},
                        cluster.get("requests_routed", 0))
+        if "dataset_updates" in cluster:
+            out.header("repro_cluster_dataset_updates_total", "counter",
+                       "live append_rows updates applied cluster-wide")
+            out.sample("repro_cluster_dataset_updates_total", {},
+                       cluster.get("dataset_updates", 0))
+        for field in ("hedge_fired", "hedge_won"):
+            if field in cluster:
+                metric = f"repro_cluster_{field}_total"
+                out.header(metric, "counter",
+                           "hedged backup requests "
+                           + ("issued" if field == "hedge_fired"
+                              else "answered first"))
+                out.sample(metric, {}, cluster.get(field, 0))
+
+    jobs = stats.get("jobs")
+    if isinstance(jobs, Mapping):
+        _render_jobs_block(out, jobs)
+    envelope_store = stats.get("envelope_store")
+    if isinstance(envelope_store, Mapping):
+        _render_envelope_store_block(out, envelope_store)
 
     _render_memory_block(out, stats)
 

@@ -105,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "map read-only instead of copying ('auto' = on "
                              "for multi-worker clusters when /dev/shm works; "
                              "silently falls back to the copy path otherwise)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="SQLite path for the durable metastore: "
+                             "envelopes survive restarts (warm-start), "
+                             "POST /jobs and POST /append_rows come alive, "
+                             "and killed jobs resume from their completed "
+                             "prefix on the next start")
+    parser.add_argument("--hedge", action="store_true",
+                        help="Hedge straggling cluster requests: after a "
+                             "p99-derived delay re-issue the request to a "
+                             "second replica and answer with whichever "
+                             "returns first (keys-sharded clusters only)")
     parser.add_argument("--cache-size", type=int, default=4096,
                         help="Bound on the explanation cache (per worker)")
     parser.add_argument("--ttl", type=float, default=None,
@@ -142,11 +153,14 @@ def main(argv=None) -> None:
     if args.workers == 1:
         service = ExplanationService(
             cache_size=args.cache_size, ttl_seconds=args.ttl,
-            coalesce_window_seconds=args.coalesce_window)
+            coalesce_window_seconds=args.coalesce_window,
+            store=args.store)
         for bundle in bundles:
             log.info("registering %s (%d rows) and warming the cross-query "
                      "caches", bundle.name, bundle.table.n_rows)
             service.register_bundle(bundle, config=configs[bundle.name])
+        if args.store is not None:
+            service.enable_jobs()
         client = LocalClient(service)
     else:
         frame_store = {"auto": None, "on": True, "off": False}[
@@ -154,6 +168,7 @@ def main(argv=None) -> None:
         cluster = ServiceCluster(
             n_workers=args.workers, start_method=args.start_method,
             shard=args.shard, frame_store=frame_store,
+            store_path=args.store, hedge_requests=args.hedge,
             service_kwargs={"cache_size": args.cache_size,
                             "ttl_seconds": args.ttl})
         for bundle in bundles:
@@ -165,7 +180,8 @@ def main(argv=None) -> None:
         client = ClusterClient(cluster)
     slow = args.slow_query_seconds if args.slow_query_seconds > 0 else None
     serve_forever(client, host=args.host, port=args.port,
-                  slow_query_seconds=slow)
+                  slow_query_seconds=slow,
+                  install_signal_handlers=True)
 
 
 if __name__ == "__main__":

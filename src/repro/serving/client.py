@@ -39,12 +39,14 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional, Sequence
 from urllib.parse import urlsplit
 
 from repro.engine.envelope import ExplanationEnvelope
 from repro.exceptions import (
+    ConfigurationError,
     DatasetNotRegisteredError,
     ExplanationError,
     MissingDataError,
@@ -54,6 +56,7 @@ from repro.exceptions import (
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.schema import query_payload
 from repro.serving.service import ExplanationService, ServedExplanation
+from repro.storage.metastore import JOB_TERMINAL_STATES
 
 
 class ExplanationClient(ABC):
@@ -99,6 +102,45 @@ class ExplanationClient(ABC):
         """Names of the datasets this client can serve, sorted."""
         return sorted(self.health().get("datasets", []))
 
+    # ---- durability extensions (need a store-backed deployment) -------- #
+    def _no_jobs(self) -> "ConfigurationError":
+        return ConfigurationError(
+            "this deployment has no durable job store: construct the "
+            "service/cluster with store=<path> (or pass --store to "
+            "python -m repro.serving)")
+
+    def submit_job(self, dataset: str, kind: str = "explain_batch",
+                   queries: Optional[Sequence] = None,
+                   k: Optional[int] = None, top: int = 8) -> str:
+        """Submit a resumable background job; returns its id."""
+        raise self._no_jobs()
+
+    def job_status(self, job_id: str,
+                   include_result: bool = False) -> Dict[str, Any]:
+        """One job's public status (progress, state, optional results)."""
+        raise self._no_jobs()
+
+    def wait_job(self, job_id: str, timeout: Optional[float] = None,
+                 poll_seconds: float = 0.02) -> Dict[str, Any]:
+        """Block until the job reaches a terminal state (or time out)."""
+        raise self._no_jobs()
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        """Request cancellation; returns the post-cancel status."""
+        raise self._no_jobs()
+
+    def list_jobs(self, dataset: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        """Recent jobs, newest first."""
+        raise self._no_jobs()
+
+    def append_rows(self, dataset: str, rows: Sequence[Dict[str, Any]],
+                    rewarm: bool = True, top: int = 8) -> Dict[str, Any]:
+        """Append rows to a served dataset (live update + re-warm)."""
+        raise ConfigurationError(
+            "this client's deployment does not support live dataset "
+            "updates")
+
     def __enter__(self) -> "ExplanationClient":
         return self
 
@@ -141,6 +183,37 @@ class LocalClient(ExplanationClient):
 
     def datasets(self) -> List[str]:
         return self.service.datasets()
+
+    def _jobs(self):
+        if self.service.jobs is None:
+            self.service.enable_jobs()
+        return self.service.jobs
+
+    def submit_job(self, dataset: str, kind: str = "explain_batch",
+                   queries: Optional[Sequence] = None,
+                   k: Optional[int] = None, top: int = 8) -> str:
+        return self._jobs().submit(dataset, kind=kind, queries=queries,
+                                   k=k, top=top)
+
+    def job_status(self, job_id: str,
+                   include_result: bool = False) -> Dict[str, Any]:
+        return self._jobs().status(job_id, include_result=include_result)
+
+    def wait_job(self, job_id: str, timeout: Optional[float] = None,
+                 poll_seconds: float = 0.02) -> Dict[str, Any]:
+        return self._jobs().wait(job_id, timeout=timeout,
+                                 poll_seconds=poll_seconds)
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self._jobs().cancel(job_id)
+
+    def list_jobs(self, dataset: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        return self._jobs().list_jobs(dataset, limit)
+
+    def append_rows(self, dataset: str, rows: Sequence[Dict[str, Any]],
+                    rewarm: bool = True, top: int = 8) -> Dict[str, Any]:
+        return self.service.append_rows(dataset, rows, rewarm=rewarm, top=top)
 
     def close(self) -> None:
         if self._close_service:
@@ -330,6 +403,54 @@ class HTTPClient(ExplanationClient):
 
     def clear_cache(self) -> None:
         self._request("POST", "/clear_cache", {})
+
+    def submit_job(self, dataset: str, kind: str = "explain_batch",
+                   queries: Optional[Sequence] = None,
+                   k: Optional[int] = None, top: int = 8) -> str:
+        payload: Dict[str, Any] = {"dataset": dataset, "kind": kind,
+                                   "top": top}
+        if k is not None:
+            payload["k"] = k
+        if queries is not None:
+            payload["queries"] = [
+                query_payload(query) if isinstance(query, AggregateQuery)
+                else dict(query) for query in queries]
+        return str(self._request("POST", "/jobs", payload)["job_id"])
+
+    def job_status(self, job_id: str,
+                   include_result: bool = False) -> Dict[str, Any]:
+        suffix = "?result=1" if include_result else ""
+        return self._request("GET", f"/jobs/{job_id}{suffix}")
+
+    def wait_job(self, job_id: str, timeout: Optional[float] = None,
+                 poll_seconds: float = 0.05) -> Dict[str, Any]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job_status(job_id)
+            if status.get("state") in JOB_TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still "
+                                   f"{status.get('state')} after {timeout}s")
+            time.sleep(poll_seconds)
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def list_jobs(self, dataset: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        path = f"/jobs?limit={int(limit)}"
+        if dataset is not None:
+            from urllib.parse import quote
+
+            path += f"&dataset={quote(dataset)}"
+        return list(self._request("GET", path).get("jobs", []))
+
+    def append_rows(self, dataset: str, rows: Sequence[Dict[str, Any]],
+                    rewarm: bool = True, top: int = 8) -> Dict[str, Any]:
+        payload = {"dataset": dataset, "rows": [dict(row) for row in rows],
+                   "rewarm": bool(rewarm), "top": int(top)}
+        return self._request("POST", "/append_rows", payload)
 
     def health(self) -> Dict[str, Any]:
         # /healthz answers 503 with the degraded body; return it rather

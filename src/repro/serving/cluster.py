@@ -59,9 +59,14 @@ import copy
 import itertools
 import json
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.distributed import ipc
 from repro.distributed.ipc import (
@@ -72,12 +77,18 @@ from repro.distributed.ipc import (
 )
 from repro.engine.config import MESAConfig
 from repro.engine.envelope import ExplanationEnvelope
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    DatasetNotRegisteredError,
+    QueryError,
+)
 from repro.obs.metrics import merge_metric_states
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.client import ExplanationClient
 from repro.serving.service import ExplanationService, ServedExplanation
+from repro.storage import MetaStore
 from repro.table.expressions import stable_key_digest
+from repro.table.table import Table
 
 # The pipe transport — request framing, error reconstruction, the worker
 # handle — lives in :mod:`repro.distributed.ipc`, shared with the shard
@@ -236,6 +247,35 @@ def _cluster_worker_main(conn, specs: Sequence[DatasetSpec],
                     spec.extraction_specs,
                     config=_worker_safe_config(spec.config), warm=spec.warm)
             return None
+        if op == "append_rows":
+            # Copy-path live update: every replica rebuilds the merged
+            # table from the same rows, deterministically identical.
+            dataset, rows = payload
+            result = service.append_rows(dataset, rows, rewarm=False)
+            for position, existing in enumerate(specs):
+                if existing.name == dataset and existing.table is not None:
+                    specs[position] = replace(
+                        existing,
+                        table=service.pipeline(dataset).context.table)
+            return result
+        if op == "update_dataset":
+            # Frame-store live update: the spec carries a manifest of the
+            # owner's freshly published merged table; attach zero-copy.
+            spec = payload
+            for position, existing in enumerate(specs):
+                if existing.name == spec.name:
+                    specs[position] = spec
+                    break
+            else:
+                specs.append(spec)
+            if spec.name not in service.datasets():
+                service.register_dataset(
+                    spec.name, spec.resolve_table(), spec.knowledge_graph,
+                    spec.extraction_specs,
+                    config=_worker_safe_config(spec.config), warm=spec.warm)
+                return None
+            return service.replace_table(spec.name, spec.resolve_table(),
+                                         rewarm=False)
         if op == "ping":
             return "pong"
         raise ConfigurationError(f"unknown cluster op {op!r}")
@@ -288,6 +328,28 @@ class ServiceCluster:
         platform has usable POSIX shared memory; ``True`` requests it
         (still subject to platform support — graceful fallback to the
         copy path, never an error); ``False`` disables it.
+    store_path:
+        Path of a shared SQLite :class:`~repro.storage.MetaStore`.  The
+        front tier opens it for the job table (:attr:`jobs` becomes a
+        :class:`~repro.jobs.JobManager` at :meth:`start`), and every
+        worker service opens the same file for its durable envelope
+        store + recorded history (WAL mode keeps the single-writer-per-
+        process discipline safe across processes).  A restarted cluster
+        re-queues stale RUNNING jobs and re-warms worker caches from
+        disk instead of recomputing.  ``None`` (default) disables
+        durability.
+    hedge_requests:
+        Keys mode only: fire a backup ``explain`` to the next replica
+        when the primary worker has not answered within a p99-derived
+        hedge delay; first response wins.  Tames tail latency when one
+        worker is busy with a cold query.  (Keys-mode replicas can all
+        answer any key — the backup just pays a cache miss at worst.)
+    hedge_min_seconds:
+        Floor of the hedge delay — never hedge faster than this.
+    hedge_p99_multiplier:
+        The hedge delay is ``max(hedge_min_seconds, multiplier * p99)``
+        over a sliding window of recent explain latencies; hedging stays
+        dormant until enough samples (20) accumulate.
     """
 
     def __init__(self, n_workers: int = 2,
@@ -297,7 +359,11 @@ class ServiceCluster:
                  restart_warm_top: int = 8,
                  history_size: int = 1024,
                  shard: str = "keys",
-                 frame_store: Optional[bool] = None):
+                 frame_store: Optional[bool] = None,
+                 store_path: Optional[Union[str, Path]] = None,
+                 hedge_requests: bool = False,
+                 hedge_min_seconds: float = 0.05,
+                 hedge_p99_multiplier: float = 1.5):
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
         if shard not in ("keys", "rows"):
@@ -344,8 +410,31 @@ class ServiceCluster:
         self.request_timeout = request_timeout
         self.restart_warm_top = restart_warm_top
         self.history_size = history_size
+        self.store_path = str(store_path) if store_path is not None else None
+        #: Front-tier metastore handle (jobs + crash-recovery epoch); the
+        #: workers open the same file themselves via ``service_kwargs``.
+        self._meta: Optional[MetaStore] = None
+        #: The cluster's :class:`~repro.jobs.JobManager` (built at start
+        #: when ``store_path`` is set).
+        self.jobs = None
+        self.hedge_requests = hedge_requests and shard == "keys"
+        self.hedge_min_seconds = hedge_min_seconds
+        self.hedge_p99_multiplier = hedge_p99_multiplier
+        #: Sliding window of recent keys-mode explain dispatch latencies,
+        #: feeding the p99-derived hedge delay.
+        self._latencies: "deque[float]" = deque(maxlen=512)
+        self._hedge_pool: Optional[ThreadPoolExecutor] = None
+        self.hedge_fired = 0
+        self.hedge_won = 0
+        #: Keys mode: the live shm generation of each dataset's published
+        #: table — starts at ``("table", name)``, appends mint successors
+        #: so the retired generation can drain readers without colliding.
+        self._table_generations: Dict[str, Tuple] = {}
+        self._table_epoch = 0
         self.service_kwargs = dict({"coalesce_window_seconds": 0.0},
                                    **(service_kwargs or {}))
+        if self.store_path is not None:
+            self.service_kwargs.setdefault("store", self.store_path)
         self._specs: List[DatasetSpec] = []
         self._handles: List[_WorkerHandle] = []
         self._lock = threading.Lock()
@@ -367,6 +456,7 @@ class ServiceCluster:
         self.requests_deduplicated = 0
         self.worker_restarts = 0
         self.request_retries = 0
+        self.dataset_updates = 0
         #: The most recent post-restart warmer thread (join in tests).
         self.last_restart_warmer: Optional[threading.Thread] = None
 
@@ -398,9 +488,13 @@ class ServiceCluster:
                 for handle in self._handles:
                     self._dispatch(handle.index, "register", payload)
                     if self._store is not None:
-                        self._store.attach_reader(("table", name),
-                                                  handle.index)
+                        self._store.attach_reader(
+                            self._table_generation(name), handle.index)
         return spec
+
+    def _table_generation(self, name: str) -> Tuple:
+        """The live shm generation key of a dataset's published table."""
+        return self._table_generations.get(name, ("table", name))
 
     def register_bundle(self, bundle, config: Optional[MESAConfig] = None,
                         warm: bool = True) -> DatasetSpec:
@@ -430,6 +524,11 @@ class ServiceCluster:
             from repro.shm import FrameStore
 
             self._store = FrameStore()
+        if self.store_path is not None and self._meta is None:
+            # Open before the workers spawn: the schema is created once,
+            # and this handle's owner epoch is the one stale RUNNING jobs
+            # are recovered against.
+            self._meta = MetaStore(self.store_path)
         if self.shard == "rows":
             from repro.distributed.coordinator import ShardPool
 
@@ -451,13 +550,23 @@ class ServiceCluster:
             for spec in self._specs:
                 self._register_rows(spec)
             self._started = True
+            self._start_jobs()
             return self
         self._handles = [self._spawn_worker(index)
                          for index in range(self.n_workers)]
         for handle in self._handles:
             self._request(handle, "ping", None)
         self._started = True
+        self._start_jobs()
         return self
+
+    def _start_jobs(self) -> None:
+        """Attach the job manager once the cluster serves (and recover)."""
+        if self._meta is None or self.jobs is not None:
+            return
+        from repro.jobs import JobManager  # deferred: avoids an import cycle
+
+        self.jobs = JobManager(self._meta, self)
 
     def _register_rows(self, spec: DatasetSpec) -> None:
         """Register one dataset on the rows-mode service + data plane.
@@ -480,8 +589,8 @@ class ServiceCluster:
             return spec
         manifest = self._table_manifests.get(spec.name)
         if manifest is None:
-            manifest = self._store.put_table(("table", spec.name), spec.name,
-                                             spec.table)
+            manifest = self._store.put_table(
+                self._table_generation(spec.name), spec.name, spec.table)
             self._table_manifests[spec.name] = manifest
         return replace(spec, table=None, manifest=manifest)
 
@@ -518,7 +627,8 @@ class ServiceCluster:
         child_conn.close()  # the parent keeps only its end
         if self._store is not None:
             for spec in self._specs:
-                self._store.attach_reader(("table", spec.name), index)
+                self._store.attach_reader(self._table_generation(spec.name),
+                                          index)
         return _WorkerHandle(index=index, process=process, conn=parent_conn)
 
     def close(self) -> None:
@@ -534,10 +644,16 @@ class ServiceCluster:
                 return
             self._closed = True
             handles = list(self._handles)
+        if self.jobs is not None:
+            # Checkpoint first: an in-flight RUNNING job flips back to
+            # PENDING so a restart against the same store resumes it.
+            self.jobs.close(checkpoint=True)
         if self._service is not None:
             self._service.close()
         if self._pool is not None:
             self._pool.close()
+        if self._hedge_pool is not None:
+            self._hedge_pool.shutdown(wait=False)
         for handle in handles:
             if not handle.lock.acquire(timeout=2.0):
                 continue  # busy worker: skip graceful, terminate below
@@ -562,6 +678,9 @@ class ServiceCluster:
             # After the workers are down: force-unlink every shared
             # segment so /dev/shm is clean the moment the owner returns.
             self._store.close()
+        if self._meta is not None:
+            self._meta.flush()
+            self._meta.close()
 
     def __enter__(self) -> "ServiceCluster":
         self.start()
@@ -637,8 +756,8 @@ class ServiceCluster:
                                      cache_hit=served.cache_hit,
                                      coalesced=True)
         try:
-            envelope_json, cache_hit, coalesced = self._dispatch(
-                self.worker_index(key), "explain", (dataset, query, k))
+            envelope_json, cache_hit, coalesced = self._dispatch_explain(
+                self.worker_index(key), dataset, query, k)
             served = ServedExplanation(
                 dataset=dataset,
                 envelope=ExplanationEnvelope.from_json(envelope_json),
@@ -654,6 +773,76 @@ class ServiceCluster:
         with self._lock:
             self._inflight.pop(key, None)
         return served
+
+    def _hedge_delay(self) -> Optional[float]:
+        """Seconds to wait before firing a backup request, or ``None``.
+
+        Derived from the observed p99 of primary latencies so hedges fire
+        only on genuine stragglers (~1% of requests), never on the normal
+        case.  Requires enough samples for the tail estimate to mean
+        anything; until then every request runs unhedged and feeds the
+        window.
+        """
+        if not self.hedge_requests or self.n_workers < 2:
+            return None
+        with self._lock:
+            if len(self._latencies) < 20:
+                return None
+            ordered = sorted(self._latencies)
+        p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+        return max(self.hedge_min_seconds,
+                   self.hedge_p99_multiplier * p99)
+
+    def _dispatch_explain(self, index: int, dataset: str,
+                          query: AggregateQuery, k: Optional[int]):
+        """One explain round-trip, hedged against stragglers when enabled.
+
+        The primary runs on the key's own worker; if it has not answered
+        within the p99-derived delay a single backup fires at the *next*
+        worker (replicas hold full dataset copies in keys mode, so any
+        worker can answer — but each worker's pipe is serialised, so the
+        backup must not queue behind the very straggler it is hedging).
+        First response wins; the loser is left to finish on its pipe and
+        its result is discarded.  Both failing re-raises the primary's
+        error.
+        """
+        payload = (dataset, query, k)
+        delay = self._hedge_delay()
+        started = time.monotonic()
+        try:
+            if delay is None:
+                return self._dispatch(index, "explain", payload)
+            if self._hedge_pool is None:
+                with self._lock:
+                    if self._hedge_pool is None:
+                        self._hedge_pool = ThreadPoolExecutor(
+                            max_workers=max(2, self.n_workers),
+                            thread_name_prefix="repro-hedge")
+            primary = self._hedge_pool.submit(
+                self._dispatch, index, "explain", payload)
+            try:
+                return primary.result(timeout=delay)
+            except FuturesTimeoutError:
+                pass
+            with self._lock:
+                self.hedge_fired += 1
+            backup = self._hedge_pool.submit(
+                self._dispatch, (index + 1) % self.n_workers,
+                "explain", payload)
+            pending = {primary, backup}
+            while pending:
+                done, pending = futures_wait(
+                    pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    if future.exception() is None:
+                        if future is backup:
+                            with self._lock:
+                                self.hedge_won += 1
+                        return future.result()
+            return primary.result()  # both failed: primary's error
+        finally:
+            with self._lock:
+                self._latencies.append(time.monotonic() - started)
 
     def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
                       k: Optional[int] = None) -> List[ServedExplanation]:
@@ -754,11 +943,12 @@ class ServiceCluster:
                     "shard": "rows",
                     "workers_alive": self._pool.alive_workers(),
                     "requests_routed": self.requests_routed,
+                    "dataset_updates": self.dataset_updates,
                     "worker_restarts": pool_stats["pool"]["worker_restarts"],
                     "request_retries": pool_stats["pool"]["request_retries"],
                     "data_plane": pool_stats["pool"],
                 }
-            return {
+            merged = {
                 "mode": "cluster",
                 "shard": "rows",
                 "datasets": sorted(spec.name for spec in self._specs),
@@ -771,6 +961,11 @@ class ServiceCluster:
                 "frame_store": self._frame_store_stats(),
                 "workers": pool_stats["workers"],
             }
+            if "envelope_store" in snapshot:
+                merged["envelope_store"] = snapshot["envelope_store"]
+            if self.jobs is not None:
+                merged["jobs"] = self.jobs.stats()
+            return merged
 
         def probe(handle: _WorkerHandle) -> Dict[str, Any]:
             # A worker busy with a long cold explanation holds its pipe
@@ -854,9 +1049,13 @@ class ServiceCluster:
                 "requests_deduplicated": self.requests_deduplicated,
                 "worker_restarts": self.worker_restarts,
                 "request_retries": self.request_retries,
+                "dataset_updates": self.dataset_updates,
+                "hedge_requests": self.hedge_requests,
+                "hedge_fired": self.hedge_fired,
+                "hedge_won": self.hedge_won,
                 "inflight": len(self._inflight),
             }
-        return {
+        merged = {
             "mode": "cluster",
             "shard": "keys",
             "datasets": sorted(spec.name for spec in self._specs),
@@ -868,6 +1067,9 @@ class ServiceCluster:
             "frame_store": self._frame_store_stats(),
             "workers": workers,
         }
+        if self.jobs is not None:
+            merged["jobs"] = self.jobs.stats()
+        return merged
 
     def _frame_store_stats(self) -> Dict[str, Any]:
         """Owner-side segment registry totals for ``/stats`` and gauges."""
@@ -1041,6 +1243,108 @@ class ServiceCluster:
         # its own cache; drop them with the generation.
         for context in self._ref_contexts.values():
             context.bump_dataset_version()
+
+    # ------------------------------------------------------------------ #
+    # live dataset updates
+    # ------------------------------------------------------------------ #
+    def _merged_table(self, spec: DatasetSpec, rows: Sequence[Mapping]):
+        """The deterministic merge every tier agrees on.
+
+        Built exactly as :meth:`ExplanationService.append_rows` builds it
+        (same column order, same row order), so a copy-mode worker
+        rebuilding the merge from the raw rows and the front tier merging
+        locally produce identical tables — and identical envelopes.
+        """
+        base = spec.table
+        appended = Table.from_rows(list(rows),
+                                   columns=list(base.column_names),
+                                   name=base.name)
+        return base.concat_rows(appended)
+
+    def append_rows(self, dataset: str, rows: Sequence[Mapping],
+                    rewarm: bool = True, top: int = 8) -> Dict[str, Any]:
+        """Append rows to a served dataset, invalidating coherently.
+
+        Rows mode: the parent-process service swaps its pipeline and the
+        shard pool re-partitions on first touch (the version bump ages the
+        old shard contexts out; dropping them now frees worker memory
+        immediately).  Keys mode with the frame store: the owner publishes
+        the merged table as a *new* shm generation, workers re-attach
+        zero-copy, and the old generation (plus every published hot-frame
+        generation — their encodings cover the old rows) drains to the
+        unlink.  Keys copy mode: every replica rebuilds the identical
+        merged table from the broadcast rows.
+
+        Afterwards the dataset's top recorded queries re-warm in the
+        background — as a durable job when the cluster has a store
+        (visible and resumable via ``/jobs``), else a plain thread.
+        """
+        self._ensure_serving()
+        rows = [dict(row) for row in rows]
+        if not rows:
+            raise QueryError("append_rows requires at least one row")
+        position = next((index for index, spec in enumerate(self._specs)
+                         if spec.name == dataset), None)
+        if position is None:
+            raise DatasetNotRegisteredError(
+                f"dataset {dataset!r} is not registered")
+        spec = self._specs[position]
+        if self._service is not None:
+            result = self._service.append_rows(dataset, rows, rewarm=False)
+            self._pool.drop_all_contexts()
+            self._specs[position] = replace(
+                spec, table=self._service.pipeline(dataset).context.table)
+        elif self._store is not None:
+            merged = self._merged_table(spec, rows)
+            with self._lock:
+                self._table_epoch += 1
+                new_generation = ("table", dataset, self._table_epoch)
+            old_generation = self._table_generation(dataset)
+            manifest = self._store.put_table(new_generation, dataset, merged)
+            new_spec = replace(spec, table=merged)
+            self._specs[position] = new_spec
+            self._table_manifests[dataset] = manifest
+            self._table_generations[dataset] = new_generation
+            result = None
+            worker_payload = replace(new_spec, table=None, manifest=manifest)
+            for handle in self._handles:
+                outcome = self._dispatch(handle.index, "update_dataset",
+                                         worker_payload)
+                self._store.attach_reader(new_generation, handle.index)
+                result = result or outcome
+            # Every published hot-frame generation encodes the *old* rows;
+            # retire them all (workers re-encode lazily — `_adopt_frame`
+            # falls back on any attach failure — and the next warm pass
+            # republishes against the merged table).
+            self._retire_frame_generation()
+            self._ref_contexts.pop(dataset, None)
+            for handle in self._handles:
+                self._store.detach_reader(old_generation, handle.index)
+            self._store.retire(old_generation)
+            result = dict(result or {})
+        else:
+            result = None
+            for handle in self._handles:
+                outcome = self._dispatch(handle.index, "append_rows",
+                                         (dataset, rows))
+                result = result or outcome
+            self._specs[position] = replace(
+                spec, table=self._merged_table(spec, rows))
+            result = dict(result or {})
+        with self._lock:
+            self.dataset_updates += 1
+        result = dict(result)
+        result["appended"] = len(rows)
+        rewarm_job = None
+        if rewarm:
+            if self.jobs is not None:
+                rewarm_job = self.jobs.submit(dataset, kind="warm", top=top)
+            else:
+                threading.Thread(
+                    target=lambda: self.warm(dataset, top=top),
+                    name=f"repro-rewarm-{dataset}", daemon=True).start()
+        result["rewarm_job"] = rewarm_job
+        return result
 
     def datasets(self) -> List[str]:
         """Names of the registered datasets, sorted."""
@@ -1294,6 +1598,37 @@ class ClusterClient(ExplanationClient):
 
     def datasets(self) -> List[str]:
         return self.cluster.datasets()
+
+    def _jobs(self):
+        if self.cluster.jobs is None:
+            raise self._no_jobs()
+        return self.cluster.jobs
+
+    def submit_job(self, dataset: str, kind: str = "explain_batch",
+                   queries: Optional[Sequence] = None,
+                   k: Optional[int] = None, top: int = 8) -> str:
+        return self._jobs().submit(dataset, kind=kind, queries=queries,
+                                   k=k, top=top)
+
+    def job_status(self, job_id: str,
+                   include_result: bool = False) -> Dict[str, Any]:
+        return self._jobs().status(job_id, include_result=include_result)
+
+    def wait_job(self, job_id: str, timeout: Optional[float] = None,
+                 poll_seconds: float = 0.02) -> Dict[str, Any]:
+        return self._jobs().wait(job_id, timeout=timeout,
+                                 poll_seconds=poll_seconds)
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self._jobs().cancel(job_id)
+
+    def list_jobs(self, dataset: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        return self._jobs().list_jobs(dataset, limit)
+
+    def append_rows(self, dataset: str, rows: Sequence[Mapping],
+                    rewarm: bool = True, top: int = 8) -> Dict[str, Any]:
+        return self.cluster.append_rows(dataset, rows, rewarm=rewarm, top=top)
 
     def close(self) -> None:
         if self._close_cluster:

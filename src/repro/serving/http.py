@@ -35,6 +35,27 @@ Endpoints
 ``POST /clear_cache``
     Invalidates every cache layer (dataset versions bump on every backend
     process).
+``POST /jobs``
+    Body: ``{"dataset": ..., "kind": "explain_batch"|"warm", "queries":
+    [...]?, "k": ...?, "top": ...?}``.  Creates a durable background job
+    (see :class:`~repro.jobs.manager.JobManager`) and returns
+    ``{"job_id": ...}`` immediately — the job row is fsynced before the
+    response, so a crash after the 200 never loses the submission.
+``GET /jobs``
+    Recent jobs, newest first: ``{"jobs": [...]}``; ``?limit=N`` and
+    ``?dataset=...`` filter.
+``GET /jobs/<id>``
+    One job's status/progress dict; ``?result=1`` embeds the per-query
+    results recorded so far (the completed prefix, even mid-run).
+    Unknown ids answer 400.
+``DELETE /jobs/<id>``
+    Requests cancellation; a RUNNING job stops at its next
+    between-queries boundary and keeps its completed prefix durable.
+``POST /append_rows``
+    Body: ``{"dataset": ..., "rows": [...], "rewarm": bool?, "top": ...?}``.
+    Live dataset update: appends the rows under a bumped dataset version,
+    invalidates every cache tier coherently, and (by default) kicks off a
+    background re-warm job over the top recorded queries.
 ``GET /stats``
     Serving-tier observability snapshot: cache hit rates and per-dataset
     occupancy, coalescing counters, per-dataset engine counters — and, in
@@ -70,7 +91,10 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro import __version__
+from urllib.parse import parse_qs
+
 from repro.exceptions import (
+    ConfigurationError,
     DatasetNotRegisteredError,
     ExplanationError,
     MissingDataError,
@@ -83,9 +107,11 @@ from repro.obs.metrics import prometheus_text
 from repro.serving.client import ExplanationClient, LocalClient
 from repro.serving.schema import (
     API_SCHEMA_VERSION,
+    AppendRowsRequest,
     BatchExplainRequest,
     ExplainRequest,
     ExplainResponse,
+    JobSubmitRequest,
 )
 from repro.serving.service import ExplanationService, ServedExplanation
 
@@ -141,6 +167,9 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
                 self._respond(200, self._client.stats())
             elif path == "/metrics":
                 self._respond_text(200, prometheus_text(self._client.stats()))
+            elif path == "/jobs" or path.startswith("/jobs/"):
+                status, body = self._guard(lambda: self._jobs_get(path))
+                self._respond(status, body)
             elif path.startswith("/trace/"):
                 trace_id = path[len("/trace/"):]
                 tree = self.server.tracer.trace_tree(trace_id)  # type: ignore[attr-defined]
@@ -165,8 +194,22 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
             self._handle(self._warm)
         elif path == "/clear_cache":
             self._handle(self._clear_cache)
+        elif path == "/jobs":
+            self._handle(self._submit_job)
+        elif path == "/append_rows":
+            self._handle(self._append_rows)
         else:
             self._respond(404, {"errors": [f"no such endpoint: POST {path}"]})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler naming
+        path = self.path.split("?", 1)[0]
+        if path.startswith("/jobs/") and len(path) > len("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            status, body = self._guard(
+                lambda: (200, self._client.cancel_job(job_id)))
+            self._respond(status, body)
+        else:
+            self._respond(404, {"errors": [f"no such endpoint: DELETE {path}"]})
 
     # ------------------------------------------------------------------ #
     # endpoints
@@ -259,6 +302,47 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
         return 200, {"api_schema_version": API_SCHEMA_VERSION,
                      "status": "cleared"}
 
+    def _submit_job(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        dataset, body = self._split_dataset(payload)
+        request = JobSubmitRequest.from_dict(body)
+        job_id = self._client.submit_job(
+            dataset, kind=request.kind, queries=request.queries,
+            k=request.k, top=request.top)
+        return 200, {"api_schema_version": API_SCHEMA_VERSION,
+                     "job_id": job_id}
+
+    def _append_rows(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        dataset, body = self._split_dataset(payload)
+        request = AppendRowsRequest.from_dict(body)
+        result = self._client.append_rows(
+            dataset, list(request.rows), rewarm=request.rewarm,
+            top=request.top)
+        response = {"api_schema_version": API_SCHEMA_VERSION}
+        response.update(result)
+        return 200, response
+
+    def _jobs_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        params = parse_qs(self.path.split("?", 1)[1]) if "?" in self.path \
+            else {}
+        if path == "/jobs":
+            raw_limit = params.get("limit", ["100"])[-1]
+            try:
+                limit = int(raw_limit)
+            except ValueError:
+                raise RequestValidationError(
+                    f"limit must be an integer, got {raw_limit!r}")
+            dataset = params.get("dataset", [None])[-1]
+            jobs = self._client.list_jobs(dataset=dataset, limit=limit)
+            return 200, {"api_schema_version": API_SCHEMA_VERSION,
+                         "jobs": jobs}
+        job_id = path[len("/jobs/"):]
+        if not job_id or "/" in job_id:
+            raise RequestValidationError(f"bad jobs path {path!r}")
+        include_result = params.get("result", ["0"])[-1] \
+            not in ("", "0", "false")
+        return 200, self._client.job_status(
+            job_id, include_result=include_result)
+
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
@@ -300,29 +384,34 @@ class ExplanationRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise RequestValidationError(f"request body is not valid JSON: {exc}")
 
-    def _handle(self, endpoint) -> None:
+    def _guard(self, thunk) -> Tuple[int, Dict[str, Any]]:
+        """Run a request thunk, mapping exceptions to error responses."""
         try:
-            payload = self._read_json_body()
-            status, body = endpoint(payload)
+            return thunk()
         except _HTTPFault as fault:
             if fault.close:
                 self.close_connection = True
-            status, body = fault.status, {"errors": [fault.message]}
+            return fault.status, {"errors": [fault.message]}
         except RequestValidationError as exc:
-            status, body = 400, {"errors": exc.errors}
-        except (QueryError, ExplanationError) as exc:
-            # On the serving path both are client-input errors: malformed
-            # queries, contexts selecting zero rows, candidate misuse.
-            status, body = 400, {"errors": [str(exc)]}
+            return 400, {"errors": exc.errors}
+        except (QueryError, ExplanationError, ConfigurationError) as exc:
+            # On the serving path all three are client-input errors:
+            # malformed queries, contexts selecting zero rows, candidate
+            # misuse, job APIs on a deployment without a durable store.
+            return 400, {"errors": [str(exc)]}
         except MissingDataError as exc:
             # The request was valid but the referenced data cannot support
             # the analysis (e.g. degenerate selection-model inputs): a
             # client-data problem, not a server fault.
-            status, body = 422, {"errors": [str(exc)]}
+            return 422, {"errors": [str(exc)]}
         except DatasetNotRegisteredError as exc:
-            status, body = 404, {"errors": [str(exc)]}
+            return 404, {"errors": [str(exc)]}
         except Exception as exc:  # engine failures must not kill the thread
-            status, body = 500, {"errors": [f"{type(exc).__name__}: {exc}"]}
+            return 500, {"errors": [f"{type(exc).__name__}: {exc}"]}
+
+    def _handle(self, endpoint) -> None:
+        status, body = self._guard(
+            lambda: endpoint(self._read_json_body()))
         self._respond(status, body)
 
     def _respond(self, status: int, body: Dict[str, Any]) -> None:
@@ -399,16 +488,42 @@ def make_server(backend: Union[ExplanationClient, ExplanationService],
 def serve_forever(backend: Union[ExplanationClient, ExplanationService],
                   host: str = "127.0.0.1", port: int = 8080,
                   quiet: bool = False,
-                  slow_query_seconds: Optional[float] = 1.0) -> None:
-    """Blocking convenience entry point (used by ``python -m repro.serving``)."""
+                  slow_query_seconds: Optional[float] = 1.0,
+                  install_signal_handlers: bool = False) -> None:
+    """Blocking convenience entry point (used by ``python -m repro.serving``).
+
+    With ``install_signal_handlers`` (the ``python -m repro.serving`` path),
+    SIGTERM and SIGINT trigger a *graceful* stop: the accept loop drains, the
+    backend closes — which checkpoints any RUNNING job back to PENDING and
+    flushes the metastore's write-behind queue — and only then does the
+    process exit, so a supervisor's ``kill`` never loses durable work.
+    ``server.shutdown()`` blocks until ``serve_forever`` returns, so the
+    handler hands it to a helper thread instead of calling it inline (a
+    signal delivered on the serving thread would deadlock).
+    """
     server = make_server(backend, host, port, quiet=quiet,
                          slow_query_seconds=slow_query_seconds)
+    log = logging.getLogger("repro.serving.http")
+    if install_signal_handlers:
+        import signal
+        import threading
+
+        def _graceful(signum, _frame):  # pragma: no cover - signal path
+            log.info("received %s: draining connections and closing the "
+                     "backend (jobs checkpoint, write-behind flushes)",
+                     signal.Signals(signum).name)
+            threading.Thread(target=server.shutdown,
+                             name="repro-shutdown", daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
     bound_host, bound_port = server.server_address[:2]
     datasets = server.client.datasets()
-    logging.getLogger("repro.serving.http").info(
+    log.info(
         "serving %s on http://%s:%s (POST /explain, POST /explain_batch, "
-        "POST /warm, GET /stats, GET /metrics, GET /trace/<id>, "
-        "GET /healthz)", datasets, bound_host, bound_port)
+        "POST /warm, POST /jobs, POST /append_rows, GET /stats, "
+        "GET /metrics, GET /trace/<id>, GET /healthz)",
+        datasets, bound_host, bound_port)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive path

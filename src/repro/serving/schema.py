@@ -318,6 +318,101 @@ class BatchExplainRequest:
         return cls(requests=tuple(requests), k=k)
 
 
+_JOB_FIELDS = frozenset({"kind", "queries", "k", "top"})
+_JOB_KINDS = frozenset({"explain_batch", "warm"})
+
+
+@dataclass(frozen=True)
+class JobSubmitRequest:
+    """A validated job submission (the body of ``POST /jobs``).
+
+    ``queries`` are kept in wire form (payload dicts) — the job body is
+    stored durably as JSON, so normalising to :class:`AggregateQuery` here
+    would only round-trip back through :func:`query_payload`.  Each entry
+    is still parsed through :class:`ExplainRequest` so malformed queries
+    fail at submission with a 400, not inside the background worker.
+    """
+
+    kind: str
+    queries: Optional[Tuple[Dict[str, Any], ...]] = None
+    k: Optional[int] = None
+    top: int = 8
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "JobSubmitRequest":
+        payload = _require_mapping(payload, "request body")
+        errors: List[str] = []
+        unknown = sorted(set(payload) - _JOB_FIELDS)
+        if unknown:
+            errors.append(f"unknown field(s) {unknown}")
+        kind = payload.get("kind", "explain_batch")
+        if kind not in _JOB_KINDS:
+            errors.append(
+                f"kind must be one of {sorted(_JOB_KINDS)}, got {kind!r}")
+        k = _parse_k(payload.get("k"), errors)
+        top = payload.get("top", 8)
+        if not isinstance(top, int) or isinstance(top, bool) or top < 0:
+            errors.append(f"top must be an integer >= 0, got {top!r}")
+            top = 8
+        raw_queries = payload.get("queries")
+        queries: Optional[Tuple[Dict[str, Any], ...]] = None
+        if raw_queries is not None:
+            if not isinstance(raw_queries, (list, tuple)):
+                errors.append("queries must be a list of request objects")
+            else:
+                for position, raw in enumerate(raw_queries):
+                    try:
+                        ExplainRequest.from_dict(raw)
+                    except RequestValidationError as exc:
+                        errors.extend(f"queries[{position}]: {error}"
+                                      for error in exc.errors)
+                queries = tuple(dict(raw) for raw in raw_queries
+                                if isinstance(raw, Mapping))
+        if kind == "explain_batch" and not queries and not errors:
+            errors.append(
+                "an explain_batch job needs a non-empty queries list")
+        if errors:
+            raise RequestValidationError(errors)
+        return cls(kind=kind, queries=queries, k=k, top=top)
+
+
+@dataclass(frozen=True)
+class AppendRowsRequest:
+    """A validated live-update request (the body of ``POST /append_rows``)."""
+
+    rows: Tuple[Dict[str, Any], ...]
+    rewarm: bool = True
+    top: int = 8
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "AppendRowsRequest":
+        payload = _require_mapping(payload, "request body")
+        errors: List[str] = []
+        unknown = sorted(set(payload) - {"rows", "rewarm", "top"})
+        if unknown:
+            errors.append(f"unknown field(s) {unknown}")
+        rewarm = payload.get("rewarm", True)
+        if not isinstance(rewarm, bool):
+            errors.append(f"rewarm must be a boolean, got {rewarm!r}")
+            rewarm = True
+        top = payload.get("top", 8)
+        if not isinstance(top, int) or isinstance(top, bool) or top < 0:
+            errors.append(f"top must be an integer >= 0, got {top!r}")
+            top = 8
+        raw_rows = payload.get("rows")
+        if not isinstance(raw_rows, (list, tuple)) or not raw_rows:
+            errors.append("rows must be a non-empty list of objects")
+            raise RequestValidationError(errors)
+        for position, row in enumerate(raw_rows):
+            if not isinstance(row, Mapping):
+                errors.append(f"rows[{position}] must be an object, "
+                              f"got {type(row).__name__}")
+        if errors:
+            raise RequestValidationError(errors)
+        return cls(rows=tuple(dict(row) for row in raw_rows),
+                   rewarm=rewarm, top=top)
+
+
 @dataclass(frozen=True)
 class ExplainResponse:
     """The served form of one explanation: envelope JSON + cache metadata."""

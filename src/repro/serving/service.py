@@ -34,7 +34,18 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.engine.config import MESAConfig
 from repro.engine.envelope import ExplanationEnvelope
@@ -44,6 +55,7 @@ from repro.exceptions import (
     DatasetNotRegisteredError,
     ExplanationError,
     QueryError,
+    RequestValidationError,
 )
 from repro.obs import trace
 from repro.obs.logs import log_slow_query
@@ -51,7 +63,10 @@ from repro.obs.metrics import MetricsRegistry, process_maxrss_kb
 from repro.query.aggregate_query import AggregateQuery
 from repro.serving.batcher import MicroBatcher
 from repro.serving.cache import TTLCache
+from repro.serving.schema import ExplainRequest, query_payload
+from repro.storage import DurableEnvelopeStore, MetaStore
 from repro.table.expressions import canonical_predicate_key
+from repro.table.table import Table
 
 
 def _maxrss_kb() -> int:
@@ -151,6 +166,16 @@ class ExplanationService:
         Latency threshold of the slow-query log (structured JSON lines on
         the ``repro.serving.slowlog`` logger, carrying the trace id).
         ``None`` or ``<= 0`` disables it.
+    store:
+        Durable storage: a :class:`~repro.storage.MetaStore`, a filesystem
+        path (a store is opened and owned by this service), or ``None``
+        (no durability — the pre-existing behaviour).  With a store, the
+        in-memory envelope cache is backed by the disk-resident
+        :class:`~repro.storage.DurableEnvelopeStore` (miss -> disk ->
+        engine; writes are async write-behind), query history is recorded
+        durably so a *restarted* service re-warms its top-K traffic from
+        disk instead of recomputing, and dataset versions persist so the
+        restarted process mints cache keys matching what it stored.
     """
 
     def __init__(self, cache_size: int = 1024,
@@ -165,7 +190,8 @@ class ExplanationService:
                  tracer: Optional[trace.Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  trace_requests: bool = True,
-                 slow_query_seconds: Optional[float] = 1.0):
+                 slow_query_seconds: Optional[float] = 1.0,
+                 store: Optional[Union[MetaStore, str, Path]] = None):
         self._clock = clock
         self.tracer = tracer if tracer is not None else trace.Tracer(
             tier="service")
@@ -191,6 +217,43 @@ class ExplanationService:
         self._closed = False
         #: The most recently started background warmer thread (join in tests).
         self.last_warmer: Optional[threading.Thread] = None
+        self._owns_meta = False
+        self._meta: Optional[MetaStore] = None
+        self._envelopes: Optional[DurableEnvelopeStore] = None
+        if store is not None:
+            if isinstance(store, MetaStore):
+                self._meta = store
+            else:
+                self._meta = MetaStore(store)
+                self._owns_meta = True
+            self._envelopes = DurableEnvelopeStore(self._meta)
+        #: The attached :class:`~repro.jobs.JobManager` (see
+        #: :meth:`enable_jobs`); ``None`` until enabled.
+        self.jobs = None
+
+    @property
+    def meta(self) -> Optional[MetaStore]:
+        """The backing metastore (``None`` without durability)."""
+        return self._meta
+
+    @property
+    def envelope_store(self) -> Optional[DurableEnvelopeStore]:
+        """The durable envelope store (``None`` without durability)."""
+        return self._envelopes
+
+    def enable_jobs(self, resume: bool = True):
+        """Attach a :class:`~repro.jobs.JobManager` running against this
+        service; requires a durable store.  Idempotent."""
+        if self.jobs is not None:
+            return self.jobs
+        if self._meta is None:
+            raise ConfigurationError(
+                "jobs require a durable store: construct the service with "
+                "store=<path> (or pass --store to python -m repro.serving)")
+        from repro.jobs import JobManager  # deferred: avoids an import cycle
+        self.jobs = JobManager(self._meta, self, tracer=self.tracer,
+                               resume=resume)
+        return self.jobs
 
     # ------------------------------------------------------------------ #
     # dataset registration
@@ -224,6 +287,17 @@ class ExplanationService:
         # caller-warmed pipeline.
         if pipeline.context.dataset_version > 0:
             pipeline.context.bump_dataset_version()
+        if self._meta is not None:
+            # Restore the durably recorded version: a restarted process
+            # must mint the same cache keys it stored envelopes under, or
+            # every disk lookup would miss.  The fresh context has no
+            # version-keyed artefacts yet, so fast-forwarding is safe.
+            stored_version = self._meta.dataset_version(name)
+            if stored_version is not None \
+                    and stored_version > pipeline.context.dataset_version:
+                pipeline.context.dataset_version = stored_version
+            self._meta.record_dataset_version(
+                name, pipeline.context.dataset_version)
         if warm:
             self.warm(name)
         return pipeline
@@ -320,11 +394,40 @@ class ExplanationService:
         return run_replay()
 
     def top_queries(self, name: str, top: int) -> List[Tuple]:
-        """The ``top`` most requested ``(query, k)`` pairs of a dataset."""
+        """The ``top`` most requested ``(query, k)`` pairs of a dataset.
+
+        In-memory history first; when it holds fewer than ``top`` entries
+        (freshly restarted process) the durably recorded history fills
+        the remainder — the mechanism behind restart re-warm: a new
+        process replays queries its predecessor recorded, and each replay
+        hits the durable envelope store instead of the engine.
+        """
         with self._lock:
             history = list(self._history.get(name, {}).values())
         history.sort(key=lambda entry: entry[2], reverse=True)
-        return [(query, k) for query, k, _hits in history[:max(0, top)]]
+        replay = [(query, k) for query, k, _hits in history[:max(0, top)]]
+        if self._envelopes is not None and len(replay) < max(0, top):
+            seen = {self._history_identity(query, k) for query, k in replay}
+            for payload, k, _hits in self._envelopes.top_queries(name, top):
+                try:
+                    parsed = ExplainRequest.from_dict(payload)
+                except Exception:
+                    continue
+                identity = self._history_identity(parsed.query, k)
+                if identity in seen:
+                    continue
+                seen.add(identity)
+                replay.append((parsed.query, k))
+                if len(replay) >= top:
+                    break
+        return replay
+
+    @staticmethod
+    def _history_identity(query: AggregateQuery, k: Optional[int]) -> Tuple:
+        """Version-free identity used to merge durable + live history."""
+        return (query.exposure, query.outcome, query.aggregate.lower(),
+                canonical_predicate_key(query.context), query.name,
+                query.table_name, k)
 
     def _record_history(self, name: str, key: Tuple, query: AggregateQuery,
                         k: Optional[int]) -> None:
@@ -340,6 +443,95 @@ class ExplanationService:
                 history.move_to_end(key)
             while len(history) > self.history_size:
                 history.popitem(last=False)
+        if self._envelopes is not None:
+            # Durable history is keyed without the version component
+            # (``key`` already is): it must survive version bumps, or the
+            # re-warm after an append would find nothing to replay.
+            # Best-effort: a predicate the wire format cannot express
+            # (OR, nested NOT) is servable but not durably recordable —
+            # never let bookkeeping fail the request.
+            try:
+                payload = query_payload(query, k=k)
+            except RequestValidationError:
+                return
+            self._envelopes.record_query(name, key, payload, k)
+
+    # ------------------------------------------------------------------ #
+    # live dataset updates
+    # ------------------------------------------------------------------ #
+    def append_rows(self, name: str, rows: Sequence[Mapping],
+                    rewarm: bool = True, top: int = 8) -> Dict[str, object]:
+        """Append rows to a registered dataset, invalidating coherently.
+
+        The appended table replaces the dataset's pipeline under a bumped
+        dataset version, so every version-keyed cache — the in-process
+        envelope/negative caches, other processes' caches in a cluster,
+        the encoded-frame cache — stops serving pre-append artefacts the
+        moment the new version appears in freshly minted keys.  With
+        ``rewarm`` (default) a background re-warm of the dataset's top-K
+        recorded queries follows: as a durable job when a
+        :class:`~repro.jobs.JobManager` is attached (see
+        :meth:`enable_jobs`), otherwise on a daemon thread.
+
+        Returns a summary dict (``dataset``, ``appended``, ``n_rows``,
+        ``dataset_version``, ``rewarm_job``).
+        """
+        if not rows:
+            raise QueryError("append_rows requires a non-empty list of "
+                             "row mappings")
+        pipeline = self.pipeline(name)
+        table = pipeline.context.table
+        extra = Table.from_rows(list(rows),
+                                columns=list(table.column_names),
+                                name=table.name)
+        merged = table.concat_rows(extra)
+        return self.replace_table(name, merged, rewarm=rewarm, top=top,
+                                  appended=len(rows))
+
+    def replace_table(self, name: str, table: Table, rewarm: bool = True,
+                      top: int = 8, appended: int = 0) -> Dict[str, object]:
+        """Swap a dataset's table for a new one under a bumped version.
+
+        The machinery behind :meth:`append_rows` (and the cluster's
+        frame-store update path, which hands workers a zero-copy manifest
+        table).  The old pipeline's knowledge graph, extraction specs,
+        config and shard-pool attachment carry over; its batcher is torn
+        down and rebuilt because the runner closure binds the pipeline.
+        """
+        old = self.pipeline(name)
+        version = old.context.dataset_version + 1
+        pipeline = ExplanationPipeline(table, old.context.knowledge_graph,
+                                       old.context.extraction_specs,
+                                       config=old.config)
+        pipeline.context.dataset_version = version
+        # Rows-mode serving: the new context keeps feeding the shard pool;
+        # the version bump makes it register fresh shard contexts (old
+        # ones are the cluster owner's to drop).
+        pipeline.context.shard_pool = old.context.shard_pool
+        pipeline.context.shard_label = old.context.shard_label
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("ExplanationService is closed")
+            self._pipelines[name] = pipeline
+            old_batcher = self._batchers.get(name)
+            self._batchers[name] = MicroBatcher(
+                runner=self._runner_for(pipeline),
+                window_seconds=self.coalesce_window_seconds,
+                max_batch=self.max_batch, clock=self._clock)
+        if old_batcher is not None:
+            old_batcher.close()
+        pipeline.context.count("service.dataset_updates")
+        if self._meta is not None:
+            self._meta.record_dataset_version(name, version)
+        rewarm_job = None
+        if rewarm:
+            if self.jobs is not None:
+                rewarm_job = self.jobs.submit(name, kind="warm", top=top)
+            else:
+                self.warm(name, top=top, background=True)
+        return {"dataset": name, "appended": int(appended),
+                "n_rows": table.n_rows, "dataset_version": version,
+                "rewarm_job": rewarm_job}
 
     def datasets(self) -> List[str]:
         """Names of the registered datasets, sorted."""
@@ -471,6 +663,10 @@ class ExplanationService:
             span.set_tag("hit", cached_error is not None)
         if cached_error is not None:
             self._raise_cached_error(pipeline, cached_error)
+        stored = self._store_lookup(dataset, pipeline, key)
+        if stored is not None:
+            return ServedExplanation(dataset=dataset, envelope=stored,
+                                     cache_hit=True)
         pipeline.context.count("service.cache_miss")
         future, attached = self._batcher(dataset).submit(key, query, resolved_k)
         try:
@@ -479,8 +675,35 @@ class ExplanationService:
             self._cache_negative(key, error)
             raise
         self._cache.put(key, envelope)
+        self._store_put(dataset, key, envelope)
         return ServedExplanation(dataset=dataset, envelope=envelope,
                                  cache_hit=False, coalesced=attached)
+
+    def _store_lookup(self, dataset: str, pipeline: ExplanationPipeline,
+                      key: Tuple) -> Optional[ExplanationEnvelope]:
+        """Durable-store fall-through on an in-memory miss.
+
+        A hit is promoted into the in-memory cache (so the disk is read
+        once per key per process) and served as a cache hit — from the
+        client's perspective the answer came from cache, just a colder
+        tier.
+        """
+        if self._envelopes is None:
+            return None
+        with trace.span("cache.lookup", cache="durable") as span:
+            envelope = self._envelopes.get(dataset, key[-1], key)
+            span.set_tag("hit", envelope is not None)
+        if envelope is None:
+            return None
+        self._cache.put(key, envelope)
+        pipeline.context.count("service.store_hit")
+        return envelope
+
+    def _store_put(self, dataset: str, key: Tuple,
+                   envelope: ExplanationEnvelope) -> None:
+        """Write-behind persist of a freshly computed envelope."""
+        if self._envelopes is not None:
+            self._envelopes.put(dataset, key[-1], key, envelope)
 
     def explain_batch(self, dataset: str, queries: Sequence[AggregateQuery],
                       k: Optional[int] = None) -> List[ServedExplanation]:
@@ -535,7 +758,13 @@ class ExplanationService:
                     if hits:
                         pipeline.context.count("service.cache_hit", hits)
                     self._raise_cached_error(pipeline, cached_error)
-                misses.append((index, query, key))
+                stored = self._store_lookup(dataset, pipeline, key)
+                if stored is not None:
+                    hits += 1
+                    served[index] = ServedExplanation(
+                        dataset=dataset, envelope=stored, cache_hit=True)
+                else:
+                    misses.append((index, query, key))
         if hits:
             pipeline.context.count("service.cache_hit", hits)
         if misses:
@@ -551,6 +780,7 @@ class ExplanationService:
                     self._cache_negative(key, error)
                     raise
                 self._cache.put(key, envelope)
+                self._store_put(dataset, key, envelope)
                 served[index] = ServedExplanation(
                     dataset=dataset, envelope=envelope, cache_hit=False,
                     coalesced=attached)
@@ -584,7 +814,7 @@ class ExplanationService:
         cache_stats["by_dataset"] = self._cache.sizes_by(lambda key: key[0])
         negative_stats = self._negative.stats()
         negative_stats["by_dataset"] = self._negative.sizes_by(lambda key: key[0])
-        return {
+        snapshot = {
             "uptime_seconds": self._clock() - self._started_at,
             "datasets": sorted(pipelines),
             "cache": cache_stats,
@@ -596,6 +826,11 @@ class ExplanationService:
             "tracing": self.tracer.stats(),
             "memory": {"maxrss_kb": _maxrss_kb()},
         }
+        if self._envelopes is not None:
+            snapshot["envelope_store"] = self._envelopes.stats()
+        if self.jobs is not None:
+            snapshot["jobs"] = self.jobs.stats()
+        return snapshot
 
     def health(self) -> Dict[str, object]:
         """Liveness verdict: a single-process service is up iff it is open."""
@@ -615,21 +850,38 @@ class ExplanationService:
         are kept: :meth:`warm` can replay the top-K history to refill.
         """
         with self._lock:
-            pipelines = list(self._pipelines.values())
-        for pipeline in pipelines:
+            pipelines = dict(self._pipelines)
+        for name, pipeline in pipelines.items():
             pipeline.context.bump_dataset_version()
+            if self._meta is not None:
+                # Persist the bump (and prune superseded stored envelopes)
+                # so a restart does not resurrect pre-invalidation state.
+                self._meta.record_dataset_version(
+                    name, pipeline.context.dataset_version)
         self._cache.clear()
         self._negative.clear()
 
     def close(self) -> None:
-        """Stop the per-dataset batcher threads; the service stops serving."""
+        """Stop the per-dataset batcher threads; the service stops serving.
+
+        With durability attached this is the graceful-shutdown path: the
+        job worker checkpoints an in-flight RUNNING job back to PENDING
+        and the metastore flushes its write-behind queue, so a restart
+        against the same store resumes instead of recomputing.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             batchers = list(self._batchers.values())
+        if self.jobs is not None:
+            self.jobs.close(checkpoint=True)
         for batcher in batchers:
             batcher.close()
+        if self._meta is not None:
+            self._meta.flush()
+            if self._owns_meta:
+                self._meta.close()
 
     def __enter__(self) -> "ExplanationService":
         return self

@@ -1,0 +1,26 @@
+"""Durable storage substrate for the serving stack.
+
+Everything in the serving tiers used to die with the process: envelope
+caches, recorded query history, in-flight batch work.  This package is
+the storage substrate that survives — one SQLite file (WAL mode) behind
+a :class:`~repro.storage.metastore.MetaStore`, shared by
+
+* the **durable envelope store** (:mod:`repro.storage.envelopes`)
+  backing the in-memory TTL cache: misses fall through to disk before
+  the engine, writes are asynchronous write-behind, and a restarted
+  service re-warms the top-K recorded queries from its own history;
+* the **job table** consumed by :mod:`repro.jobs`: a
+  ``PENDING -> RUNNING -> (DONE | FAILED | CANCELLED)`` state machine
+  with heartbeats and owner-epoch crash recovery;
+* durable **dataset versions**, so a restarted process mints cache keys
+  that match what it stored before dying.
+
+All writes funnel through a single writer thread consuming a queue, so
+HTTP threads never block on fsync; reads use per-thread connections
+(WAL lets them proceed concurrently with the writer).
+"""
+
+from repro.storage.metastore import MetaStore
+from repro.storage.envelopes import DurableEnvelopeStore
+
+__all__ = ["MetaStore", "DurableEnvelopeStore"]

@@ -1,0 +1,113 @@
+"""The durable envelope store: disk tier behind the in-memory TTL cache.
+
+Lookups key on a digest of the canonical query key (minus its trailing
+dataset-version component, which is passed separately — the store keeps
+the version as a queryable column so superseded generations can be
+pruned).  Misses in the in-memory cache fall through here before they
+reach the engine; writes are asynchronous write-behind through the
+:class:`~repro.storage.metastore.MetaStore` writer thread, so the serving
+hot path never waits on fsync.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.envelope import ExplanationEnvelope
+from repro.storage.metastore import MetaStore
+
+
+def key_digest(key: Sequence) -> str:
+    """Stable hex digest of a canonical query key (or any tuple).
+
+    Mirrors :func:`repro.table.expressions.stable_key_digest` (sha1 over
+    ``repr(tuple(key))``) but keeps the full 40-hex-character digest —
+    these are persistent primary-key components, not in-memory routing
+    hashes, so collision resistance matters more than integer width.
+    """
+    return hashlib.sha1(repr(tuple(key)).encode("utf-8")).hexdigest()
+
+
+class DurableEnvelopeStore:
+    """Envelope persistence + recorded query history over a MetaStore."""
+
+    def __init__(self, meta: MetaStore):
+        self.meta = meta
+        self._lock = threading.Lock()
+        self._counters = {"hits": 0, "misses": 0, "writes": 0,
+                          "queries_recorded": 0}
+
+    # ------------------------------------------------------------------ #
+    # envelopes
+    # ------------------------------------------------------------------ #
+    def get(self, dataset: str, version: int,
+            key: Sequence) -> Optional[ExplanationEnvelope]:
+        """The stored envelope for a canonical key at ``version``, if any.
+
+        ``key`` is the *full* canonical key (version last); the digest is
+        computed over ``key[:-1]`` so it matches what :meth:`put` wrote.
+        """
+        payload = self.meta.get_envelope(dataset, key_digest(key[:-1]),
+                                         version)
+        if payload is None:
+            with self._lock:
+                self._counters["misses"] += 1
+            return None
+        envelope = ExplanationEnvelope.from_json(payload)
+        with self._lock:
+            self._counters["hits"] += 1
+        return envelope
+
+    def put(self, dataset: str, version: int, key: Sequence,
+            envelope: ExplanationEnvelope) -> None:
+        """Write-behind persist of one envelope (never blocks)."""
+        self.meta.put_envelope(dataset, key_digest(key[:-1]), version,
+                               envelope.to_json())
+        with self._lock:
+            self._counters["writes"] += 1
+
+    # ------------------------------------------------------------------ #
+    # recorded query history (restart re-warm)
+    # ------------------------------------------------------------------ #
+    def record_query(self, dataset: str, key_without_version: Sequence,
+                     payload: Dict[str, object], k: Optional[int]) -> None:
+        """Record one request for the top-K restart re-warm (write-behind).
+
+        ``payload`` is the wire-form query
+        (:func:`repro.serving.schema.query_payload`), i.e. exactly what a
+        fresh process can parse back into an ``AggregateQuery`` without
+        any live objects surviving the restart.
+        """
+        self.meta.record_query(dataset, key_digest(key_without_version),
+                               json.dumps(payload, sort_keys=True), k)
+        with self._lock:
+            self._counters["queries_recorded"] += 1
+
+    def top_queries(self, dataset: str,
+                    limit: int) -> List[Tuple[Dict[str, object],
+                                              Optional[int], int]]:
+        """Most-requested recorded queries: (payload_dict, k, hits)."""
+        out = []
+        for payload_json, k, hits in self.meta.top_queries(dataset, limit):
+            try:
+                payload = json.loads(payload_json)
+            except ValueError:
+                continue
+            out.append((payload, k, hits))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / observability
+    # ------------------------------------------------------------------ #
+    def flush(self, timeout: Optional[float] = None) -> bool:
+        return self.meta.flush(timeout)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            counters = dict(self._counters)
+        counters["pending_writes"] = self.meta.pending_writes
+        counters["meta"] = self.meta.stats()
+        return counters

@@ -18,6 +18,12 @@ from repro.table.table import Table
 SMALL_KG_CONFIG = SyntheticKGConfig(seed=3, n_noise_properties=6, missing_rate=0.10)
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running end-to-end scenarios (kill-and-resume recovery)")
+
+
 @pytest.fixture(scope="session")
 def small_kg():
     """A small synthetic knowledge graph shared across tests."""
